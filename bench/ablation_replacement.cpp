@@ -1,0 +1,97 @@
+// §5 ablation — link replacement strategy of the construction heuristic.
+//
+// The paper's main rule redirects a power-law-chosen victim link; §5 also
+// reports an "oldest link" alternative that performs almost as well, and we
+// add a no-redirect ablation to show why redirecting matters at all (early
+// joiners would otherwise never learn about late joiners, biasing in-degrees
+// and inflating long-range error).
+//
+// Measured per policy: max and mean absolute error vs the ideal 1/d mass,
+// in-degree dispersion, and end-to-end routing quality on the built network.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/harmonic.h"
+
+namespace {
+
+using namespace p2p;
+
+double ideal_mass(std::uint64_t d, std::uint64_t n) {
+  const std::uint64_t half = n / 2;
+  const bool even = n % 2 == 0;
+  const double denom =
+      2.0 * util::harmonic(half) - (even ? 2.0 / static_cast<double>(n) : 0.0);
+  const double sides = (even && d == half) ? 1.0 : 2.0;
+  return sides / (static_cast<double>(d) * denom);
+}
+
+}  // namespace
+
+int main() {
+  const auto opts = util::scale_options_from_env();
+  const std::uint64_t n = opts.resolve_nodes(1 << 11, 1 << 13);
+  const std::size_t links = bench::lg_links(n);
+  const std::size_t networks = opts.resolve_trials(4, 10);
+  const std::size_t messages = opts.resolve_messages(300, 1000);
+  bench::banner("Ablation: §5 link replacement policy", n, links, networks,
+                messages);
+
+  struct Policy {
+    std::string name;
+    core::ReplacePolicy policy;
+  };
+  const std::vector<Policy> policies{
+      {"power_law (paper)", core::ReplacePolicy::kPowerLaw},
+      {"oldest (paper alt)", core::ReplacePolicy::kOldest},
+      {"never (ablation)", core::ReplacePolicy::kNever}};
+
+  util::Table table({"policy", "max_abs_err", "mean_abs_err", "indegree_stddev",
+                     "hops_no_fail", "failed_frac_p0.5"});
+  for (const auto& [name, policy] : policies) {
+    std::vector<double> derived(n / 2 + 1, 0.0);
+    double total = 0.0;
+    util::Accumulator indeg_sd, hops, failed;
+    for (std::size_t net = 0; net < networks; ++net) {
+      const auto overlay =
+          bench::constructed_overlay(n, links, opts.seed + net * 7919, policy);
+      for (const auto d : overlay.long_link_lengths()) {
+        derived[d] += 1.0;
+        total += 1.0;
+      }
+      const auto g = overlay.snapshot();
+      util::Accumulator indeg;
+      for (const auto d : g.in_degrees()) indeg.add(static_cast<double>(d));
+      indeg_sd.add(indeg.stddev());
+
+      util::Rng rng(opts.seed + net * 131 + 5);
+      const auto healthy = failure::FailureView::all_alive(g);
+      hops.add(sim::run_batch(core::Router(g, healthy), messages, rng)
+                   .hops_success.mean());
+      const auto res = bench::failure_trial(g, 0.5, core::RouterConfig{},
+                                            messages, rng);
+      failed.add(res.failed_fraction);
+    }
+    double max_err = 0.0, sum_err = 0.0;
+    for (std::uint64_t d = 1; d <= n / 2; ++d) {
+      const double err = std::abs(derived[d] / total - ideal_mass(d, n));
+      max_err = std::max(max_err, err);
+      sum_err += err;
+    }
+    table.add_row({name, util::format_double(max_err, 4),
+                   util::format_double(sum_err / static_cast<double>(n / 2), 6),
+                   util::format_double(indeg_sd.mean(), 2),
+                   util::format_double(hops.mean(), 2),
+                   util::format_double(failed.mean(), 4)});
+  }
+  table.emit(std::cout, "Replacement-policy ablation");
+  std::cout << "\npaper shape: power_law and oldest nearly indistinguishable "
+               "(the paper 'omits those results because it is difficult to "
+               "distinguish' them); never-redirect degrades the distribution "
+               "and routing.\n";
+  return 0;
+}

@@ -1,0 +1,154 @@
+// §3 / §6 context — our power-law overlay vs the systems the paper discusses:
+// Chord (finger tables, one-sided), Kleinberg's 2-D grid (exponent sweep)
+// and Gnutella-style flooding.
+//
+// "Our results may not be directly comparable to those of CAN and Chord,
+// since they use different simulators ... to the extent that the results are
+// comparable, our methods appear to perform as well as theirs." — we make
+// the comparison on one simulator.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/chord.h"
+#include "baselines/flood.h"
+#include "baselines/kleinberg_grid.h"
+#include "bench_common.h"
+#include "sim/workload.h"
+
+int main() {
+  using namespace p2p;
+  const auto opts = util::scale_options_from_env();
+  const std::uint64_t n = opts.resolve_nodes(1 << 12, 1 << 14);
+  const std::size_t links = bench::lg_links(n);
+  const std::size_t messages = opts.resolve_messages(400, 2000);
+  bench::banner("Baseline comparison: ours vs Chord vs Kleinberg vs flooding",
+                n, links, 1, messages);
+  util::Rng rng(opts.seed);
+
+  // -- Hops and failure tolerance: ours vs Chord ----------------------------
+  {
+    util::Table table({"system", "hops_p0", "failed_p0.2", "failed_p0.5"});
+
+    const auto g =
+        bench::ideal_overlay(n, links, opts.seed, /*bidirectional=*/true);
+    for (const bool backtrack : {false, true}) {
+      core::RouterConfig cfg;
+      if (backtrack) cfg.stuck_policy = core::StuckPolicy::kBacktrack;
+      const auto healthy = failure::FailureView::all_alive(g);
+      const double hops0 =
+          sim::run_batch(core::Router(g, healthy), messages, rng)
+              .hops_success.mean();
+      std::vector<std::string> row{backtrack ? "ours (backtrack)"
+                                             : "ours (terminate)",
+                                   util::format_double(hops0, 2)};
+      for (const double p : {0.2, 0.5}) {
+        const auto res = bench::failure_trial(g, p, cfg, messages, rng);
+        row.push_back(util::format_double(res.failed_fraction, 4));
+      }
+      table.add_row(row);
+    }
+
+    // Chord with the same node count; m chosen so the ring is ~4x the nodes.
+    unsigned m = 2;
+    while ((1ULL << m) < 4 * n) ++m;
+    const auto chord = baselines::ChordNetwork::random(m, n, rng);
+    util::Accumulator chord_hops;
+    for (std::size_t i = 0; i < messages; ++i) {
+      const auto src = static_cast<std::size_t>(rng.next_below(chord.size()));
+      const auto res = chord.route(src, rng.next_below(1ULL << m));
+      if (res.ok) chord_hops.add(static_cast<double>(res.hops));
+    }
+    std::vector<std::string> chord_row{"chord",
+                                       util::format_double(chord_hops.mean(), 2)};
+    for (const double p : {0.2, 0.5}) {
+      std::vector<std::uint8_t> dead(chord.size(), 0);
+      for (auto& d : dead) d = rng.next_bool(p);
+      std::size_t failures = 0, total = 0;
+      for (std::size_t i = 0; i < messages; ++i) {
+        std::size_t src;
+        do {
+          src = static_cast<std::size_t>(rng.next_below(chord.size()));
+        } while (dead[src]);
+        const auto res = chord.route(src, rng.next_below(1ULL << m), &dead);
+        ++total;
+        if (!res.ok) ++failures;
+      }
+      chord_row.push_back(util::format_double(
+          static_cast<double>(failures) / static_cast<double>(total), 4));
+    }
+    table.add_row(chord_row);
+    table.emit(std::cout, "Greedy overlays under node failures");
+  }
+
+  // -- Kleinberg exponent sweep ----------------------------------------------
+  {
+    // r = 2 only wins once side^{(2-r)/3} clears the log² constant, so this
+    // sweep needs a larger grid than the 1-D experiments.
+    const auto side = static_cast<std::uint32_t>(std::lround(std::sqrt(
+        static_cast<double>(opts.resolve_nodes(256 * 256, 512 * 512)))));
+    util::Table table({"exponent_r", "mean_hops", "p99_hops"});
+    for (const double r : {0.0, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0}) {
+      const baselines::KleinbergGrid grid(side, 1, r, rng);
+      std::vector<double> hops;
+      hops.reserve(messages);
+      for (std::size_t i = 0; i < messages; ++i) {
+        const auto src = static_cast<metric::Point>(rng.next_below(grid.size()));
+        const auto dst = static_cast<metric::Point>(rng.next_below(grid.size()));
+        const auto res = grid.route(src, dst);
+        if (res.ok) hops.push_back(static_cast<double>(res.hops));
+      }
+      const auto summary = util::summarize(std::move(hops));
+      table.add_row({util::format_double(r, 1),
+                     util::format_double(summary.mean, 2),
+                     util::format_double(summary.p99, 1)});
+    }
+    table.emit(std::cout,
+               "Kleinberg 2-D grid, exponent sweep (side = " +
+                   std::to_string(side) +
+                   "): performance is sensitive to r (§2's brittleness "
+                   "critique); r = 2 is asymptotically optimal, the "
+                   "finite-size minimum sits slightly below it");
+  }
+
+  // -- Flooding: the §3 trade-off ---------------------------------------------
+  {
+    const auto g = bench::ideal_overlay(n, links, opts.seed + 1);
+    const auto view = failure::FailureView::all_alive(g);
+    const core::Router router(g, view);
+    util::Table table(
+        {"ttl", "flood_found_frac", "flood_msgs_per_search", "greedy_hops"});
+    const double greedy_hops =
+        sim::run_batch(router, messages, rng).hops_success.mean();
+    for (const std::size_t ttl : {1u, 2u, 3u, 4u, 5u}) {
+      std::size_t found = 0;
+      util::Accumulator msgs;
+      const std::size_t searches = messages / 4;
+      for (std::size_t i = 0; i < searches; ++i) {
+        const auto [src, dst] = sim::random_live_pair(view, rng);
+        const auto res = baselines::flood_search(g, view, src, dst, ttl);
+        found += res.found ? 1 : 0;
+        msgs.add(static_cast<double>(res.messages));
+      }
+      table.add_row({std::to_string(ttl),
+                     util::format_double(static_cast<double>(found) /
+                                             static_cast<double>(searches),
+                                         3),
+                     util::format_double(msgs.mean(), 0),
+                     util::format_double(greedy_hops, 2)});
+    }
+    table.emit(std::cout,
+               "Gnutella-style flooding vs greedy routing (messages per search)");
+  }
+
+  std::cout << "\nexpected: ours and Chord hop counts are the same order "
+               "(O(log n)); two-sided greedy tolerates failures far better "
+               "than Chord's one-sided fingers; Kleinberg's grid degrades "
+               "sharply away from r=2 (beating both r=0 and r=4 at this "
+               "side, with the finite-size optimum just below 2); flooding "
+               "needs orders of magnitude more messages to match greedy's "
+               "coverage.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared helpers for the benchmark harnesses.
+//
+// Every bench binary prints the series of one paper artefact (figure or
+// table). Output scale is controlled by P2P_SCALE / P2P_NODES / P2P_TRIALS /
+// P2P_MESSAGES (see util/options.h); P2P_CSV=1 switches to CSV.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/construction.h"
+#include "core/router.h"
+#include "failure/failure_model.h"
+#include "graph/graph_builder.h"
+#include "sim/experiment.h"
+#include "sim/hop_simulator.h"
+#include "util/options.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace p2p::bench {
+
+/// Ideal (one-shot) power-law overlay on a ring — the paper's §4.3 setup.
+///
+/// The §6 experiment benches pass bidirectional = true: §2 models links as
+/// address knowledge, and once two nodes have spoken both know each other,
+/// so a stored link carries traffic both ways. The §4 theorem benches keep
+/// links directed (the analysis counts out-links only).
+inline graph::OverlayGraph ideal_overlay(std::uint64_t n, std::size_t links,
+                                         std::uint64_t seed,
+                                         bool bidirectional = false) {
+  util::Rng rng(seed);
+  graph::BuildSpec spec;
+  spec.grid_size = n;
+  spec.long_links = links;
+  spec.bidirectional = bidirectional;
+  return graph::build_overlay(spec, rng);
+}
+
+/// §5 heuristic-constructed overlay: every grid point joins in random order.
+inline core::DynamicOverlay constructed_overlay(
+    std::uint64_t n, std::size_t links, std::uint64_t seed,
+    core::ReplacePolicy policy = core::ReplacePolicy::kPowerLaw) {
+  core::ConstructionConfig cfg;
+  cfg.long_links = links;
+  cfg.replace_policy = policy;
+  core::DynamicOverlay overlay(metric::Space1D::ring(n), cfg);
+  util::Rng rng(seed);
+  std::vector<metric::Point> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  for (const metric::Point p : order) overlay.join(p, rng);
+  return overlay;
+}
+
+/// lg n, the paper's standard per-node link count for the experiments.
+inline std::size_t lg_links(std::uint64_t n) {
+  std::size_t bits = 0;
+  while ((1ULL << (bits + 1)) <= n) ++bits;
+  return bits < 1 ? 1 : bits;
+}
+
+/// One figure-6-style measurement: fresh failure draw + message batch.
+struct FailureTrialResult {
+  double failed_fraction = 0.0;
+  double hops_success = 0.0;  ///< 0 when no search succeeded
+};
+
+inline FailureTrialResult failure_trial(const graph::OverlayGraph& g,
+                                        double p_fail, core::RouterConfig cfg,
+                                        std::size_t messages, util::Rng& rng) {
+  const auto view = failure::FailureView::with_node_failures(g, p_fail, rng);
+  FailureTrialResult out;
+  if (view.alive_count() < 2) {
+    out.failed_fraction = 1.0;
+    return out;
+  }
+  const core::Router router(g, view, cfg);
+  const auto batch = sim::run_batch(router, messages, rng);
+  out.failed_fraction = batch.failure_fraction();
+  out.hops_success = batch.hops_success.mean();
+  return out;
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& title, std::uint64_t n, std::size_t links,
+                   std::size_t trials, std::size_t messages) {
+  if (util::csv_requested()) return;
+  std::cout << title << "\n"
+            << "  nodes=" << n << " links/node=" << links << " trials=" << trials
+            << " messages/trial=" << messages << "\n"
+            << "  (set P2P_SCALE=paper for the paper's full scale; "
+               "P2P_NODES/P2P_TRIALS/P2P_MESSAGES override)\n";
+}
+
+}  // namespace p2p::bench

@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark): costs of the hot operations — link
+// sampling, route steps, graph construction, heuristic joins, DHT ops.
+#include <benchmark/benchmark.h>
+
+#include "core/construction.h"
+#include "core/router.h"
+#include "dht/dht.h"
+#include "failure/failure_model.h"
+#include "graph/graph_builder.h"
+#include "graph/link_distribution.h"
+#include "util/prefix_sampler.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace p2p;
+
+void BM_PowerLawSample(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const graph::PowerLawLinkSampler sampler(metric::Space1D::ring(n), 1.0);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_target(rng, 0));
+  }
+}
+BENCHMARK(BM_PowerLawSample)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PrefixVsAlias(benchmark::State& state) {
+  std::vector<double> weights(1 << 16);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  util::Rng rng(2);
+  if (state.range(0) == 0) {
+    const util::PrefixSampler s(weights);
+    for (auto _ : state) benchmark::DoNotOptimize(s.sample(rng));
+  } else {
+    const util::AliasSampler s(weights);
+    for (auto _ : state) benchmark::DoNotOptimize(s.sample(rng));
+  }
+}
+BENCHMARK(BM_PrefixVsAlias)->Arg(0)->Arg(1)->ArgNames({"alias"});
+
+void BM_BuildIdealOverlay(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  graph::BuildSpec spec;
+  spec.grid_size = n;
+  spec.long_links = 8;
+  std::uint64_t seed = 3;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    benchmark::DoNotOptimize(graph::build_overlay(spec, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BuildIdealOverlay)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_RouteNoFailures(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  util::Rng rng(4);
+  graph::BuildSpec spec;
+  spec.grid_size = n;
+  spec.long_links = 12;
+  const auto g = graph::build_overlay(spec, rng);
+  const auto view = failure::FailureView::all_alive(g);
+  const core::Router router(g, view);
+  for (auto _ : state) {
+    const auto src = static_cast<graph::NodeId>(rng.next_below(n));
+    const auto dst = static_cast<graph::NodeId>(rng.next_below(n));
+    benchmark::DoNotOptimize(router.route(src, g.position(dst), rng));
+  }
+}
+BENCHMARK(BM_RouteNoFailures)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_RouteWithBacktracking(benchmark::State& state) {
+  const std::uint64_t n = 1 << 14;
+  util::Rng rng(5);
+  graph::BuildSpec spec;
+  spec.grid_size = n;
+  spec.long_links = 14;
+  const auto g = graph::build_overlay(spec, rng);
+  const auto view = failure::FailureView::with_node_failures(g, 0.5, rng);
+  core::RouterConfig cfg;
+  cfg.stuck_policy = core::StuckPolicy::kBacktrack;
+  const core::Router router(g, view, cfg);
+  for (auto _ : state) {
+    const auto src = view.random_alive(rng);
+    const auto dst = view.random_alive(rng);
+    benchmark::DoNotOptimize(router.route(src, g.position(dst), rng));
+  }
+}
+BENCHMARK(BM_RouteWithBacktracking);
+
+void BM_HeuristicJoin(benchmark::State& state) {
+  const std::uint64_t n = 1 << 16;
+  core::ConstructionConfig cfg;
+  cfg.long_links = 8;
+  core::DynamicOverlay overlay(metric::Space1D::ring(n), cfg);
+  util::Rng rng(6);
+  // Pre-populate half the grid so joins hit a realistic membership.
+  for (metric::Point p = 0; p < static_cast<metric::Point>(n); p += 2) {
+    overlay.join(p, rng);
+  }
+  metric::Point next = 1;
+  for (auto _ : state) {
+    overlay.join(next, rng);
+    next += 2;
+    if (next >= static_cast<metric::Point>(n)) {
+      state.PauseTiming();
+      util::Rng drop(7);
+      while (next > 1) {
+        next -= 2;
+        overlay.leave(next, drop);
+      }
+      next = 1;
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_HeuristicJoin);
+
+void BM_DhtPutGet(benchmark::State& state) {
+  dht::DhtConfig cfg;
+  cfg.overlay.long_links = 8;
+  cfg.replication = 3;
+  dht::Dht store(metric::Space1D::ring(1 << 12), cfg, 8);
+  for (metric::Point p = 0; p < (1 << 12); p += 8) store.add_node(p);
+  util::Rng rng(9);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "key-" + std::to_string(i % 512);
+    if (i % 2 == 0) {
+      benchmark::DoNotOptimize(store.put(0, key, "value"));
+    } else {
+      benchmark::DoNotOptimize(store.get(0, key));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_DhtPutGet);
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Table 1 — the paper's summary of upper and lower routing bounds, checked
+// empirically: for every row we sweep n, measure mean delivery time, fit
+// measured ≈ c · bound(n) and report the fit quality R² (1.0 = the measured
+// curve has exactly the bound's shape).
+//
+//   Model                 Links ℓ        Upper bound       Lower bound
+//   no failures           1              O(log² n)         Ω(log²n/loglog n)
+//   no failures           [1, lg n]      O(log² n / ℓ)     Ω(log²n/(ℓ loglog n))
+//   no failures           [lg n, n^c]    O(log n / log b)  Ω(log n / log ℓ)
+//   link present w.p. p   [1, lg n]      O(log² n / pℓ)    —
+//   link present w.p. p   [lg n, n^c]    O(b log n / p)    —
+//   node present w.p. p   [1, lg n]      O(log² n / pℓ)    —
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.h"
+#include "analysis/fit.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace p2p;
+
+struct RowSpec {
+  std::string model;
+  std::string links_desc;
+  /// Builds the graph + view and measures mean successful-search hops at n.
+  std::function<double(std::uint64_t n, std::size_t trials, std::size_t messages,
+                       std::uint64_t seed)>
+      measure;
+  /// The upper bound as a function of n.
+  std::function<double(std::uint64_t n)> upper;
+  /// The lower bound as a function of n (nullptr when the paper gives none).
+  std::function<double(std::uint64_t n)> lower;
+};
+
+double measure_graph(const graph::OverlayGraph& g,
+                     const failure::FailureView& view, std::size_t messages,
+                     util::Rng& rng) {
+  const core::Router router(g, view);
+  const auto batch = sim::run_batch(router, messages, rng);
+  return batch.hops_success.mean();
+}
+
+double measure_power_law(std::uint64_t n, std::size_t links, double p_link,
+                         double p_node_fail, std::size_t trials,
+                         std::size_t messages, std::uint64_t seed) {
+  util::Accumulator acc;
+  for (std::size_t t = 0; t < trials; ++t) {
+    util::Rng rng(seed + t * 977);
+    graph::BuildSpec spec;
+    spec.grid_size = n;
+    spec.long_links = links;
+    const auto g = graph::build_overlay(spec, rng);
+    auto view = p_link < 1.0
+                    ? failure::FailureView::with_link_failures(g, p_link, rng)
+                    : (p_node_fail > 0.0
+                           ? failure::FailureView::with_node_failures(
+                                 g, p_node_fail, rng)
+                           : failure::FailureView::all_alive(g));
+    if (view.alive_count() < 2) continue;
+    acc.add(measure_graph(g, view, messages, rng));
+  }
+  return acc.mean();
+}
+
+double measure_base_b(std::uint64_t n, unsigned base, bool powers_only,
+                      double p_link, std::size_t trials, std::size_t messages,
+                      std::uint64_t seed) {
+  util::Accumulator acc;
+  for (std::size_t t = 0; t < trials; ++t) {
+    util::Rng rng(seed + t * 977);
+    graph::BuildSpec spec;
+    spec.grid_size = n;
+    spec.link_model = powers_only ? graph::BuildSpec::LinkModel::kBaseBPowers
+                                  : graph::BuildSpec::LinkModel::kBaseBFull;
+    spec.base = base;
+    const auto g = graph::build_overlay(spec, rng);
+    const auto view =
+        p_link < 1.0 ? failure::FailureView::with_link_failures(g, p_link, rng)
+                     : failure::FailureView::all_alive(g);
+    acc.add(measure_graph(g, view, messages, rng));
+  }
+  return acc.mean();
+}
+
+}  // namespace
+
+int main() {
+  const auto opts = util::scale_options_from_env();
+  const std::uint64_t n_max = opts.resolve_nodes(1 << 13, 1 << 16);
+  const std::size_t trials = opts.resolve_trials(4, 16);
+  const std::size_t messages = opts.resolve_messages(200, 1000);
+  bench::banner("Table 1: measured delivery time vs the paper's bounds", n_max,
+                0, trials, messages);
+
+  std::vector<std::uint64_t> ns;
+  for (std::uint64_t n = 1 << 10; n <= n_max; n <<= 1) ns.push_back(n);
+
+  const double p = 0.5;       // failure sweeps use p = 1/2
+  const unsigned base = 4;    // deterministic rows use base 4
+  const std::vector<RowSpec> rows{
+      {"no failures", "1",
+       [&](std::uint64_t n, std::size_t t, std::size_t m, std::uint64_t s) {
+         return measure_power_law(n, 1, 1.0, 0.0, t, m, s);
+       },
+       [](std::uint64_t n) { return analysis::upper_single_link(n); },
+       [](std::uint64_t n) { return analysis::lower_one_sided(n, 1.0); }},
+      {"no failures", "lg n",
+       [&](std::uint64_t n, std::size_t t, std::size_t m, std::uint64_t s) {
+         return measure_power_law(n, bench::lg_links(n), 1.0, 0.0, t, m, s);
+       },
+       [](std::uint64_t n) {
+         return analysis::upper_multi_link(n,
+                                           static_cast<double>(bench::lg_links(n)));
+       },
+       [](std::uint64_t n) {
+         return analysis::lower_one_sided(n,
+                                          static_cast<double>(bench::lg_links(n)));
+       }},
+      {"no failures", "(b-1)log_b n (det.)",
+       [&](std::uint64_t n, std::size_t t, std::size_t m, std::uint64_t s) {
+         return measure_base_b(n, base, false, 1.0, t, m, s);
+       },
+       [&](std::uint64_t n) { return analysis::expected_base_b_hops(n, base); },
+       [&](std::uint64_t n) {
+         const double links = 3.0 * std::log2(static_cast<double>(n)) / 2.0;
+         return analysis::lower_large_degree(n, links);
+       }},
+      {"link present w.p. p=0.5", "lg n",
+       [&](std::uint64_t n, std::size_t t, std::size_t m, std::uint64_t s) {
+         return measure_power_law(n, bench::lg_links(n), p, 0.0, t, m, s);
+       },
+       [&](std::uint64_t n) {
+         return analysis::upper_link_failures(
+             n, static_cast<double>(bench::lg_links(n)), p);
+       },
+       nullptr},
+      {"link present w.p. p=0.5", "log_b n (det. powers)",
+       [&](std::uint64_t n, std::size_t t, std::size_t m, std::uint64_t s) {
+         return measure_base_b(n, base, true, p, t, m, s);
+       },
+       [&](std::uint64_t n) { return analysis::upper_base_b_failures(n, base, p); },
+       nullptr},
+      {"node present w.p. p=0.5", "lg n",
+       [&](std::uint64_t n, std::size_t t, std::size_t m, std::uint64_t s) {
+         return measure_power_law(n, bench::lg_links(n), 1.0, 1.0 - p, t, m, s);
+       },
+       [&](std::uint64_t n) {
+         return analysis::upper_node_failures(
+             n, static_cast<double>(bench::lg_links(n)), 1.0 - p);
+       },
+       nullptr}};
+
+  util::Table summary({"model", "links", "fit_c_upper", "R2_upper",
+                       "measured(n_max)", "upper(n_max)", "lower(n_max)"});
+  std::size_t row_index = 0;
+  for (const RowSpec& row : rows) {
+    util::Table detail({"n", "measured_hops", "upper_bound", "c*upper",
+                        "lower_bound"});
+    std::vector<double> measured, upper;
+    for (const std::uint64_t n : ns) {
+      measured.push_back(row.measure(n, trials, messages,
+                                     opts.seed + row_index * 10007 + n));
+      upper.push_back(row.upper(n));
+    }
+    const analysis::ScaleFit fit = analysis::fit_scale(upper, measured);
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      detail.add_row({std::to_string(ns[i]), util::format_double(measured[i], 2),
+                      util::format_double(upper[i], 2),
+                      util::format_double(fit.scale * upper[i], 2),
+                      row.lower ? util::format_double(row.lower(ns[i]), 2) : "-"});
+    }
+    detail.emit(std::cout,
+                "Table 1 row: " + row.model + ", links = " + row.links_desc);
+    summary.add_row(
+        {row.model, row.links_desc, util::format_double(fit.scale, 3),
+         util::format_double(fit.r_squared, 3),
+         util::format_double(measured.back(), 2),
+         util::format_double(upper.back(), 2),
+         row.lower ? util::format_double(row.lower(ns.back()), 2) : "-"});
+    ++row_index;
+  }
+  summary.emit(std::cout, "Table 1 summary: fitted constants and shape fits");
+  std::cout << "\npaper shape: every measured curve should fit its upper "
+               "bound's shape (R2 near 1) with a constant c < 1, and sit "
+               "above the stated lower bounds.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Byzantine swarm — §7's future-work scenario: some peers look healthy but
+// sabotage routing. Demonstrates the redundant diverse-path router.
+//
+//   $ ./byzantine_swarm
+//
+// An overlay where 15% of the peers are blackholes (they accept messages and
+// silently drop them). Plain greedy routing loses a third of its searches;
+// redundant loop-free walks recover almost all of them, paying linearly in
+// messages — the classic reliability/cost trade-off.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/secure_router.h"
+#include "failure/byzantine.h"
+#include "failure/failure_model.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace p2p;
+  util::Rng rng(4242);
+
+  graph::BuildSpec spec;
+  spec.grid_size = 4096;
+  spec.long_links = 12;
+  spec.bidirectional = true;
+  const auto overlay = graph::build_overlay(spec, rng);
+  const auto view = failure::FailureView::all_alive(overlay);
+
+  const double fraction = 0.15;
+  const auto attackers = failure::ByzantineSet::random(overlay, fraction, rng);
+  std::cout << "swarm of " << overlay.size() << " peers; " << attackers.count()
+            << " (" << fraction * 100 << "%) are Byzantine blackholes\n\n";
+
+  util::Table table({"walks k", "served", "failed", "msgs/search"});
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    core::SecureRouterConfig cfg;
+    cfg.paths = k;
+    cfg.behavior = failure::ByzantineBehavior::kDrop;
+    const core::SecureRouter router(overlay, view, attackers, cfg);
+
+    std::size_t served = 0, messages = 0;
+    constexpr int kSearches = 500;
+    for (int i = 0; i < kSearches; ++i) {
+      graph::NodeId src, dst;
+      do {
+        src = static_cast<graph::NodeId>(rng.next_below(overlay.size()));
+      } while (attackers.is_byzantine(src));
+      do {
+        dst = static_cast<graph::NodeId>(rng.next_below(overlay.size()));
+      } while (attackers.is_byzantine(dst) || dst == src);
+      const auto res = router.route(src, overlay.position(dst), rng);
+      served += res.delivered ? 1 : 0;
+      messages += res.total_messages;
+    }
+    table.add_row({std::to_string(k), std::to_string(served) + "/500",
+                   std::to_string(500 - served),
+                   util::format_double(static_cast<double>(messages) / 500.0, 1)});
+  }
+  table.emit(std::cout, "Redundant diverse-path routing vs blackhole peers");
+  std::cout << "\nEach extra walk leaves the source over a different link and "
+               "never revisits a node, so walks fail independently: failures "
+               "drop roughly exponentially in k while cost grows linearly.\n";
+  return 0;
+}

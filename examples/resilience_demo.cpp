@@ -1,0 +1,83 @@
+// Resilience — the paper's §6 experiment as an interactive story, plus the
+// discrete-event simulator on a failure that happens *mid-search*.
+//
+//   $ ./resilience_demo
+//
+// Part 1 sweeps node-failure fractions and compares the three recovery
+// strategies side by side (a miniature Figure 6).
+// Part 2 uses the event-driven simulator: a search is in flight when a
+// failure wave hits, and the per-hop adaptive routing reacts.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/router.h"
+#include "failure/failure_model.h"
+#include "graph/graph_builder.h"
+#include "sim/hop_simulator.h"
+#include "sim/network_sim.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace p2p;
+  util::Rng rng(2002);
+
+  // Part 1: strategy comparison under increasing damage.
+  graph::BuildSpec spec;
+  spec.grid_size = 8192;
+  spec.long_links = 13;
+  const auto overlay = graph::build_overlay(spec, rng);
+
+  util::Table table({"failed_nodes", "terminate", "reroute", "backtrack"});
+  for (const double p : {0.2, 0.4, 0.6, 0.8}) {
+    auto view = failure::FailureView::with_node_failures(overlay, p, rng);
+    std::vector<std::string> row{util::format_double(p, 1)};
+    for (const auto policy :
+         {core::StuckPolicy::kTerminate, core::StuckPolicy::kRandomReroute,
+          core::StuckPolicy::kBacktrack}) {
+      core::RouterConfig cfg;
+      cfg.stuck_policy = policy;
+      const core::Router router(overlay, view, cfg);
+      const auto batch = sim::run_batch(router, 400, rng);
+      row.push_back(util::format_double(batch.failure_fraction(), 3) + " (" +
+                    util::format_double(batch.hops_success.mean(), 1) + "h)");
+    }
+    table.add_row(row);
+  }
+  table.emit(std::cout,
+             "Failed-search fraction (mean hops of successes) per strategy");
+
+  // Part 2: a failure wave strikes while searches are in flight.
+  std::cout << "\n-- event-driven: failure wave at t=25ms, searches in flight --\n";
+  auto view = failure::FailureView::all_alive(overlay);
+  core::RouterConfig cfg;
+  cfg.stuck_policy = core::StuckPolicy::kBacktrack;
+  sim::NetworkSimulator simulator(overlay, std::move(view), cfg,
+                                  sim::LatencyModel{5.0, 15.0}, /*seed=*/99);
+  // 20 searches start at t=0; at t=25 a tenth of the network dies at once.
+  for (int i = 0; i < 20; ++i) {
+    simulator.submit_search(0.0, static_cast<graph::NodeId>(rng.next_below(8192)),
+                            static_cast<metric::Point>(rng.next_below(8192)));
+  }
+  util::Rng wave(3);
+  for (graph::NodeId node = 0; node < 8192; ++node) {
+    if (wave.next_bool(0.1)) simulator.schedule_failure(25.0, node);
+  }
+  simulator.run();
+
+  std::size_t delivered = 0;
+  double worst_latency = 0.0;
+  for (const auto& record : simulator.records()) {
+    if (record.result.delivered()) {
+      ++delivered;
+      worst_latency = std::max(worst_latency, record.latency());
+    }
+  }
+  std::cout << delivered << "/20 searches delivered despite the wave; "
+            << "slowest took " << util::format_double(worst_latency, 1)
+            << " ms of simulated time.\n"
+            << "(RouteSession re-reads node liveness at every hop, so "
+               "searches adapt to failures that happen under them.)\n";
+  return 0;
+}

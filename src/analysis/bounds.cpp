@@ -1,0 +1,122 @@
+#include "analysis/bounds.h"
+
+#include <cmath>
+
+#include "util/harmonic.h"
+#include "util/require.h"
+
+namespace p2p::analysis {
+
+namespace {
+double log2d(std::uint64_t n) { return std::log2(static_cast<double>(n)); }
+}  // namespace
+
+double kuw_upper_bound(double x0, const std::function<double(double)>& drift,
+                       std::size_t grid) {
+  util::require(x0 >= 1.0, "kuw_upper_bound: x0 must be >= 1");
+  util::require(grid >= 2, "kuw_upper_bound: grid too small");
+  // Trapezoid rule on a geometric grid over [1, x0]: z_i = x0^(i/grid).
+  const double log_x0 = std::log(x0);
+  double total = 0.0;
+  double prev_z = 1.0;
+  double prev_f = 1.0 / drift(1.0);
+  for (std::size_t i = 1; i <= grid; ++i) {
+    const double z = std::exp(log_x0 * static_cast<double>(i) /
+                              static_cast<double>(grid));
+    const double mu = drift(z);
+    util::require(mu > 0.0, "kuw_upper_bound: drift must be positive");
+    const double f = 1.0 / mu;
+    total += 0.5 * (prev_f + f) * (z - prev_z);
+    prev_z = z;
+    prev_f = f;
+  }
+  return total;
+}
+
+double theorem2_lower_bound(double fx0, const std::function<double(double)>& m,
+                            double epsilon, std::size_t grid) {
+  util::require(fx0 > 0.0, "theorem2_lower_bound: f(x0) must be positive");
+  util::require(epsilon >= 0.0 && epsilon < 1.0,
+                "theorem2_lower_bound: epsilon must be in [0,1)");
+  // T = ∫_0^{fx0} dz / m(z), linear grid (the integrand is bounded).
+  double total = 0.0;
+  double prev_f = 1.0 / m(0.0);
+  const double step = fx0 / static_cast<double>(grid);
+  for (std::size_t i = 1; i <= grid; ++i) {
+    const double z = step * static_cast<double>(i);
+    const double mz = m(z);
+    util::require(mz > 0.0, "theorem2_lower_bound: m must be positive");
+    const double f = 1.0 / mz;
+    total += 0.5 * (prev_f + f) * step;
+    prev_f = f;
+  }
+  return total / (epsilon * total + (1.0 - epsilon));
+}
+
+double upper_single_link(std::uint64_t n) {
+  const double h = util::harmonic(n);
+  return 2.0 * h * h;
+}
+
+double upper_multi_link(std::uint64_t n, double links) {
+  util::require(links >= 1.0, "upper_multi_link: links must be >= 1");
+  return (1.0 + log2d(n)) * 8.0 * util::harmonic(n) / links;
+}
+
+double upper_base_b(std::uint64_t n, unsigned base) {
+  util::require(base >= 2, "upper_base_b: base must be >= 2");
+  return std::ceil(std::log(static_cast<double>(n)) /
+                   std::log(static_cast<double>(base)));
+}
+
+double expected_base_b_hops(std::uint64_t n, unsigned base) {
+  util::require(base >= 2, "expected_base_b_hops: base must be >= 2");
+  const double b = static_cast<double>(base);
+  // Smooth digit count: averaging over uniform distances washes out the
+  // ceiling in ⌈log_b n⌉.
+  const double digits = std::log(static_cast<double>(n)) / std::log(b);
+  return digits * (b - 1.0) / (b + 1.0);
+}
+
+double upper_link_failures(std::uint64_t n, double links, double p_present) {
+  util::require(p_present > 0.0 && p_present <= 1.0,
+                "upper_link_failures: p must be in (0,1]");
+  return upper_multi_link(n, links) / p_present;
+}
+
+double upper_base_b_failures(std::uint64_t n, unsigned base, double p_present) {
+  util::require(base >= 2, "upper_base_b_failures: base must be >= 2");
+  util::require(p_present > 0.0 && p_present <= 1.0,
+                "upper_base_b_failures: p must be in (0,1]");
+  const double q = 1.0 - p_present;
+  return 1.0 + 2.0 * (static_cast<double>(base) - q) * util::harmonic(n) / p_present;
+}
+
+double upper_binomial_presence(std::uint64_t n) { return upper_single_link(n); }
+
+double upper_node_failures(std::uint64_t n, double links, double p_fail) {
+  util::require(p_fail >= 0.0 && p_fail < 1.0,
+                "upper_node_failures: p must be in [0,1)");
+  return upper_multi_link(n, links) / (1.0 - p_fail);
+}
+
+double lower_large_degree(std::uint64_t n, double links) {
+  util::require(links > 1.0, "lower_large_degree: links must be > 1");
+  return std::log(static_cast<double>(n)) / std::log(links);
+}
+
+double lower_one_sided(std::uint64_t n, double links) {
+  util::require(links >= 1.0, "lower_one_sided: links must be >= 1");
+  const double ln = std::log(static_cast<double>(n));
+  const double lln = std::log(std::max(std::exp(1.0), ln));
+  return ln * ln / (links * lln);
+}
+
+double lower_two_sided(std::uint64_t n, double links) {
+  util::require(links >= 1.0, "lower_two_sided: links must be >= 1");
+  const double ln = std::log(static_cast<double>(n));
+  const double lln = std::log(std::max(std::exp(1.0), ln));
+  return ln * ln / (links * links * lln);
+}
+
+}  // namespace p2p::analysis

@@ -1,0 +1,77 @@
+// Closed-form delivery-time bounds from the paper, plus the
+// Karp–Upfal–Wigderson machinery behind them.
+//
+// Every bench prints the measured delivery time next to the matching bound
+// so the *shape* claim of each theorem (and of Table 1) can be checked
+// directly. Constants follow the proofs where the paper states them
+// (Theorems 12, 13, 15, 16, 18); lower bounds are asymptotic shapes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace p2p::analysis {
+
+/// Lemma 1 (Karp–Upfal–Wigderson): T(x0) <= ∫_1^{x0} dz / µ(z) for a
+/// nonincreasing chain with nondecreasing drift µ. Numerical evaluation by
+/// adaptive trapezoid on a log grid (µ varies slowly in log-space for every
+/// chain in the paper). Preconditions: x0 >= 1, µ(z) > 0 on [1, x0].
+[[nodiscard]] double kuw_upper_bound(double x0,
+                                     const std::function<double(double)>& drift,
+                                     std::size_t grid = 4096);
+
+/// Theorem 2's lower-bound integral T(x0) = ∫_0^{f(x0)} dz / m(z), with the
+/// final correction E[τ] >= T / (εT + (1-ε)).
+[[nodiscard]] double theorem2_lower_bound(double fx0,
+                                          const std::function<double(double)>& m,
+                                          double epsilon, std::size_t grid = 4096);
+
+// -- Upper bounds (Section 4.3) --------------------------------------------
+
+/// Theorem 12: single long link, no failures. T(n) = O(H_n²); the proof's
+/// integral gives Σ_{k=1..n} 2H_n/k = 2H_n². Returns 2·H_n².
+[[nodiscard]] double upper_single_link(std::uint64_t n);
+
+/// Theorem 13: ℓ ∈ [1, lg n] links. E[X] <= (1 + lg n)(8 H_n / ℓ).
+[[nodiscard]] double upper_multi_link(std::uint64_t n, double links);
+
+/// Theorem 14: deterministic base-b links. T(n) = O(log_b n): with every
+/// digit multiple j·bⁱ available, each hop eliminates one whole base-b digit
+/// of the remaining distance, so the bound is ⌈log_b n⌉ hops.
+[[nodiscard]] double upper_base_b(std::uint64_t n, unsigned base);
+
+/// Expected-case refinement of Theorem 14 for uniformly random targets under
+/// *two-sided* greedy routing: links in both directions realize the balanced
+/// (signed-digit) base-b representation, whose expected number of nonzero
+/// digits is ⌈log_b n⌉ · (b-1)/(b+1) — e.g. lg n / 3 for b = 2.
+[[nodiscard]] double expected_base_b_hops(std::uint64_t n, unsigned base);
+
+/// Theorem 15: link failures, each long link present with probability p.
+/// E[X] <= (1 + lg n)(8 H_n / (p ℓ)).
+[[nodiscard]] double upper_link_failures(std::uint64_t n, double links, double p_present);
+
+/// Theorem 16: deterministic power-of-b links with failures.
+/// T(n) = 1 + 2(b - q) H_n / p with q = 1 - p.
+[[nodiscard]] double upper_base_b_failures(std::uint64_t n, unsigned base,
+                                           double p_present);
+
+/// Theorem 17: binomial node presence — same bound as Theorem 12 (the
+/// surviving network is just a smaller random graph). Returns 2·H_n².
+[[nodiscard]] double upper_binomial_presence(std::uint64_t n);
+
+/// Theorem 18: node failures with probability p.
+/// E <= (1 + lg n)(8 H_n)/((1-p) ℓ).
+[[nodiscard]] double upper_node_failures(std::uint64_t n, double links, double p_fail);
+
+// -- Lower bounds (Section 4.2) ---------------------------------------------
+
+/// Theorem 3: ℓ ∈ (lg n, n^c] links: T = Ω(log n / log ℓ).
+[[nodiscard]] double lower_large_degree(std::uint64_t n, double links);
+
+/// Theorem 10, one-sided: Ω(log²n / (ℓ log log n)).
+[[nodiscard]] double lower_one_sided(std::uint64_t n, double links);
+
+/// Theorem 10, two-sided: Ω(log²n / (ℓ² log log n)).
+[[nodiscard]] double lower_two_sided(std::uint64_t n, double links);
+
+}  // namespace p2p::analysis

@@ -1,0 +1,197 @@
+#include "analysis/delta_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace p2p::analysis {
+
+DeltaModel::DeltaModel(std::vector<double> probabilities)
+    : probabilities_(std::move(probabilities)) {
+  const std::size_t size = probabilities_.size();
+  log_survival_.assign(size, 0.0);
+  double running = 0.0;
+  double expected_side = 0.0;
+  for (std::size_t d = 1; d < size; ++d) {
+    const double p = probabilities_[d];
+    expected_side += p;
+    if (p >= 1.0) {
+      if (d >= 2) always_included_.push_back(d);
+    } else if (p > 0.0) {
+      running += std::log1p(-p);
+    }
+    log_survival_[d] = running;
+  }
+  expected_degree_ = 2.0 * expected_side;
+}
+
+double DeltaModel::probability(std::uint64_t d) const {
+  util::require_in_range(d >= 1 && d < probabilities_.size(),
+                         "DeltaModel::probability: offset out of range");
+  return probabilities_[d];
+}
+
+DeltaModel DeltaModel::power_law(std::uint64_t max_offset, double links,
+                                 double exponent) {
+  util::require(max_offset >= 2, "DeltaModel: max_offset must be >= 2");
+  util::require(links > 2.0, "DeltaModel: links must exceed the two ±1 offsets");
+  util::require(exponent >= 0.0, "DeltaModel: exponent must be >= 0");
+  const double target_per_side = (links - 2.0) / 2.0;
+
+  std::vector<double> weights(max_offset + 1, 0.0);
+  for (std::uint64_t d = 2; d <= max_offset; ++d) {
+    weights[d] = std::pow(static_cast<double>(d), -exponent);
+  }
+  // Calibrate c so that Σ min(1, c·w_d) = target_per_side. The sum is
+  // monotone in c: binary search.
+  const auto mass = [&](double c) {
+    double total = 0.0;
+    for (std::uint64_t d = 2; d <= max_offset; ++d) {
+      total += std::min(1.0, c * weights[d]);
+    }
+    return total;
+  };
+  double lo = 0.0, hi = 1.0;
+  while (mass(hi) < target_per_side &&
+         hi < 1e18) {  // hi large enough even for steep exponents
+    hi *= 2.0;
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (mass(mid) < target_per_side ? lo : hi) = mid;
+  }
+  const double c = 0.5 * (lo + hi);
+
+  std::vector<double> probabilities(max_offset + 1, 0.0);
+  probabilities[1] = 1.0;
+  for (std::uint64_t d = 2; d <= max_offset; ++d) {
+    probabilities[d] = std::min(1.0, c * weights[d]);
+  }
+  return DeltaModel(std::move(probabilities));
+}
+
+DeltaModel DeltaModel::uniform(std::uint64_t max_offset, double links) {
+  return power_law(max_offset, links, 0.0);
+}
+
+DeltaModel DeltaModel::base_b(std::uint64_t max_offset, unsigned base) {
+  util::require(max_offset >= 2, "DeltaModel: max_offset must be >= 2");
+  util::require(base >= 2, "DeltaModel: base must be >= 2");
+  std::vector<double> probabilities(max_offset + 1, 0.0);
+  probabilities[1] = 1.0;
+  for (std::uint64_t power = base; power <= max_offset && power >= base;
+       power *= base) {
+    probabilities[power] = 1.0;
+    if (power > max_offset / base) break;
+  }
+  return DeltaModel(std::move(probabilities));
+}
+
+std::vector<std::uint64_t> DeltaModel::sample_side(util::Rng& rng) const {
+  std::vector<std::uint64_t> side{1};
+  side.insert(side.end(), always_included_.begin(), always_included_.end());
+  // Skip sampling over the p < 1 entries: from position d, the next included
+  // offset is the smallest d' > d with L[d'] <= L[d] + ln(u). L is the
+  // nonincreasing prefix of ln(1-p) over fractional entries.
+  const std::size_t max_d = probabilities_.size() - 1;
+  std::uint64_t d = 1;
+  while (d < max_d) {
+    double u = rng.next_double();
+    if (u <= 0.0) u = 1e-300;
+    const double target = log_survival_[d] + std::log(u);
+    // Binary search: first index in (d, max_d] with L[idx] <= target.
+    std::uint64_t lo = d + 1, hi = max_d + 1;
+    if (log_survival_[max_d] > target) break;  // survives past the end
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (log_survival_[mid] <= target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    if (lo > max_d) break;
+    // lo is the next included fractional offset (p_lo < 1 entries move L).
+    if (probabilities_[lo] < 1.0 && probabilities_[lo] > 0.0) side.push_back(lo);
+    d = lo;
+  }
+  std::sort(side.begin(), side.end());
+  side.erase(std::unique(side.begin(), side.end()), side.end());
+  return side;
+}
+
+std::size_t greedy_walk(const DeltaModel& model, GreedySide side,
+                        std::int64_t start, util::Rng& rng) {
+  util::require(start >= 0, "greedy_walk: start must be non-negative");
+  std::uint64_t distance = static_cast<std::uint64_t>(start);
+  std::size_t steps = 0;
+  while (distance > 0) {
+    const auto offsets = model.sample_side(rng);  // sorted ascending
+    // Only offsets toward the target matter: the mandatory 1 already beats
+    // any move away from it.
+    std::uint64_t next = distance - 1;  // fallback: the ±1 link
+    if (side == GreedySide::kOneSided) {
+      // Largest offset <= distance (never past the target).
+      const auto it = std::upper_bound(offsets.begin(), offsets.end(), distance);
+      const std::uint64_t best = *std::prev(it);  // offsets[0] == 1 exists
+      next = distance - best;
+    } else {
+      // Offset minimising |distance - δ| — overshoot allowed (§4.2.1).
+      const auto it = std::lower_bound(offsets.begin(), offsets.end(), distance);
+      std::uint64_t best_gap = distance;  // staying put is never chosen
+      if (it != offsets.end()) {
+        best_gap = std::min(best_gap, *it - distance);
+      }
+      if (it != offsets.begin()) {
+        best_gap = std::min(best_gap, distance - *std::prev(it));
+      }
+      next = best_gap;
+    }
+    distance = next;
+    ++steps;
+  }
+  return steps;
+}
+
+double simulate_greedy_time(const DeltaModel& model, GreedySide side,
+                            std::uint64_t n, std::size_t trials, util::Rng& rng) {
+  util::require(n >= 1, "simulate_greedy_time: n must be >= 1");
+  util::require(trials >= 1, "simulate_greedy_time: trials must be >= 1");
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto start = static_cast<std::int64_t>(rng.next_below(n) + 1);
+    total += static_cast<double>(greedy_walk(model, side, start, rng));
+  }
+  return total / static_cast<double>(trials);
+}
+
+AggregateChain::AggregateChain(const DeltaModel& model, std::uint64_t n)
+    : model_(&model), size_(n) {
+  util::require(n >= 1, "AggregateChain: n must be >= 1");
+}
+
+void AggregateChain::step(util::Rng& rng) {
+  if (absorbed_) return;
+  // One-sided aggregate transition (Lemma 5: states are {0} or {1..k}).
+  // Drawing a uniform representative x in {1..k} and following its block
+  // realizes the size-proportional block choice of equation (14).
+  const auto offsets = model_->sample_side(rng);
+  const std::uint64_t x = rng.next_below(size_) + 1;
+  const auto it = std::upper_bound(offsets.begin(), offsets.end(), x);
+  const std::uint64_t delta = *std::prev(it);  // largest offset <= x
+  if (x == delta) {
+    // x lands exactly on the target: the chosen block is S_Δi0 = {δ} → {0}.
+    absorbed_ = true;
+    size_ = 1;
+    return;
+  }
+  // Block S_Δi+ = [δ+1, min(next_offset - 1, k)] shifted down by δ.
+  std::uint64_t block_end = size_;
+  if (it != offsets.end()) {
+    block_end = std::min<std::uint64_t>(size_, *it - 1);
+  }
+  size_ = block_end - delta;
+}
+
+}  // namespace p2p::analysis

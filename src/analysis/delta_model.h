@@ -1,0 +1,107 @@
+// The §4.2 lower-bound model, made executable.
+//
+// §4.2.2 models each node's outgoing links as a random offset set Δ: each
+// integer offset δ is included independently with probability p_δ, where p
+// is symmetric (p_δ = p_-δ), unimodal, p_±1 = 1, and inclusions are pairwise
+// independent. Greedy routing walks the integer line from a uniform start in
+// {1..n} toward 0 (§4.2.1), one-sided (never past the target) or two-sided.
+//
+// This module provides:
+//  * DeltaModel — p_δ families (inverse power law with exponent r, uniform,
+//    deterministic base-b) with the expected out-degree E|Δ| calibrated to a
+//    target ℓ, plus O(ℓ log n) sampling of a fresh Δ set via skip sampling;
+//  * simulate_greedy_time — the E[τ] of Theorem 10's walks, measured;
+//  * AggregateChain — the S^t interval chain of §4.2.3 (used by tests to
+//    check Lemma 4's equivalence and Lemma 6's drop bound).
+//
+// bench/lower_bound_frontier sweeps the power-law exponent r against the
+// Theorem 10 bound, exhibiting the paper's headline theory claim: the
+// r = 1 distribution is within a log-log factor of optimal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace p2p::analysis {
+
+/// Greedy variant of §4.2.1.
+enum class GreedySide { kOneSided, kTwoSided };
+
+/// A symmetric random offset-set distribution (the Δ of §4.2.2).
+class DeltaModel {
+ public:
+  /// Inverse power law: p_d ∝ d^-r for 2 <= d <= max_offset, calibrated so
+  /// that the expected number of long offsets per side is (links-2)/2
+  /// (E|Δ| ≈ links, counting the mandatory ±1).
+  /// Preconditions: max_offset >= 2, links > 2, r >= 0.
+  [[nodiscard]] static DeltaModel power_law(std::uint64_t max_offset, double links,
+                                            double exponent);
+
+  /// Uniform: p_d constant over 2 <= d <= max_offset (power law with r = 0).
+  [[nodiscard]] static DeltaModel uniform(std::uint64_t max_offset, double links);
+
+  /// Deterministic base-b offsets {b^i}: p_d = 1 on powers of b, else 0.
+  [[nodiscard]] static DeltaModel base_b(std::uint64_t max_offset, unsigned base);
+
+  /// Expected |Δ| (including the two mandatory ±1 offsets).
+  [[nodiscard]] double expected_degree() const noexcept { return expected_degree_; }
+
+  [[nodiscard]] std::uint64_t max_offset() const noexcept {
+    return probabilities_.size() - 1;
+  }
+
+  /// Inclusion probability of offset ±d (d >= 1; p_1 = 1).
+  [[nodiscard]] double probability(std::uint64_t d) const;
+
+  /// Draws a fresh positive-offset set (the negative side is a second
+  /// independent draw, per pairwise independence + symmetry). Always
+  /// contains 1. Cost O(E|Δ| log max_offset).
+  [[nodiscard]] std::vector<std::uint64_t> sample_side(util::Rng& rng) const;
+
+ private:
+  explicit DeltaModel(std::vector<double> probabilities);
+
+  std::vector<double> probabilities_;  // index d; [0] unused, [1] = 1.0
+  // log_survival_[d] = sum_{i<=d} ln(1 - p_i) over i with p_i < 1, used for
+  // skip sampling; entries where p_i == 1 are handled separately.
+  std::vector<double> log_survival_;
+  std::vector<std::uint64_t> always_included_;  // offsets with p == 1 (d >= 2)
+  double expected_degree_ = 0.0;
+};
+
+/// One greedy trajectory of the §4.2 model: start at `start`, target 0.
+/// Returns the number of steps taken (τ). Each visited node draws a fresh Δ
+/// (legitimate because the ±1 offsets prevent revisits, §4.2.3).
+[[nodiscard]] std::size_t greedy_walk(const DeltaModel& model, GreedySide side,
+                                      std::int64_t start, util::Rng& rng);
+
+/// Mean of `trials` walks from uniform starts in {1..n} (E[τ] of Theorem 10).
+[[nodiscard]] double simulate_greedy_time(const DeltaModel& model, GreedySide side,
+                                          std::uint64_t n, std::size_t trials,
+                                          util::Rng& rng);
+
+/// The aggregate interval chain S^t of §4.2.3 (one-sided variant: states are
+/// {0} or {1..k}). Exposed for tests of Lemma 4 (distributional equivalence
+/// with the single-point chain) and Lemma 6 (bounded multiplicative drops).
+class AggregateChain {
+ public:
+  /// Starts at S^0 = {1..n}.
+  AggregateChain(const DeltaModel& model, std::uint64_t n);
+
+  /// Current interval size |S^t| (1 and at position 0 means absorbed).
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool absorbed() const noexcept { return absorbed_; }
+
+  /// One transition per equation (14): draws Δ, splits S by the greedy
+  /// successor function, picks a block size-proportionally.
+  void step(util::Rng& rng);
+
+ private:
+  const DeltaModel* model_;
+  std::uint64_t size_;
+  bool absorbed_ = false;
+};
+
+}  // namespace p2p::analysis

@@ -1,0 +1,70 @@
+#include "analysis/fit.h"
+
+#include "util/require.h"
+
+namespace p2p::analysis {
+
+ScaleFit fit_scale(const std::vector<double>& model, const std::vector<double>& y) {
+  util::require(model.size() == y.size() && !y.empty(),
+                "fit_scale: need equal non-empty inputs");
+  double mm = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    mm += model[i] * model[i];
+    my += model[i] * y[i];
+  }
+  util::require(mm > 0.0, "fit_scale: model is identically zero");
+  ScaleFit fit;
+  fit.scale = my / mm;
+
+  double mean = 0.0;
+  for (const double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double r = y[i] - fit.scale * model[i];
+    ss_res += r * r;
+    const double d = y[i] - mean;
+    ss_tot += d * d;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+ScaleFit fit_scale(const std::vector<double>& xs, const std::vector<double>& ys,
+                   const std::function<double(double)>& model) {
+  std::vector<double> m;
+  m.reserve(xs.size());
+  for (const double x : xs) m.push_back(model(x));
+  return fit_scale(m, ys);
+}
+
+LineFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys) {
+  util::require(xs.size() == ys.size() && xs.size() >= 2,
+                "fit_line: need >= 2 points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  util::require(denom != 0.0, "fit_line: xs are degenerate");
+  LineFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double mean = sy / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    ss_res += r * r;
+    const double d = ys[i] - mean;
+    ss_tot += d * d;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace p2p::analysis

@@ -1,0 +1,38 @@
+// Least-squares shape fitting.
+//
+// The benches check Table 1's *shapes*: measured delivery times should track
+// c · bound(n) for a constant c. fit_scale finds the best c and reports R²
+// so "who wins / how it scales" is a number, not a visual impression.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace p2p::analysis {
+
+/// Result of fitting y ≈ c · m(x).
+struct ScaleFit {
+  double scale = 0.0;      ///< best-fit c
+  double r_squared = 0.0;  ///< 1 - SS_res / SS_tot (1 = perfect shape match)
+};
+
+/// Fits y_i ≈ c · model_i by least squares.
+/// Preconditions: equal non-zero lengths; some model_i != 0.
+[[nodiscard]] ScaleFit fit_scale(const std::vector<double>& model,
+                                 const std::vector<double>& y);
+
+/// Convenience: evaluates `model` over xs, then fits.
+[[nodiscard]] ScaleFit fit_scale(const std::vector<double>& xs,
+                                 const std::vector<double>& ys,
+                                 const std::function<double(double)>& model);
+
+/// Ordinary least squares line y = a + b·x; returns {a, b, R²}.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] LineFit fit_line(const std::vector<double>& xs,
+                               const std::vector<double>& ys);
+
+}  // namespace p2p::analysis

@@ -1,0 +1,104 @@
+#include "baselines/chord.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace p2p::baselines {
+
+ChordNetwork::ChordNetwork(unsigned m, std::vector<std::uint64_t> ids)
+    : m_(m), ring_size_(1ULL << m), ids_(std::move(ids)) {
+  util::require(m >= 1 && m <= 63, "ChordNetwork: m must be in [1, 63]");
+  util::require(!ids_.empty(), "ChordNetwork: need at least one node");
+  util::require(std::is_sorted(ids_.begin(), ids_.end()),
+                "ChordNetwork: ids must be sorted");
+  util::require(std::adjacent_find(ids_.begin(), ids_.end()) == ids_.end(),
+                "ChordNetwork: ids must be unique");
+  util::require(ids_.back() < ring_size_, "ChordNetwork: id exceeds the ring");
+
+  fingers_.resize(ids_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    fingers_[i].resize(m_);
+    for (unsigned k = 0; k < m_; ++k) {
+      const std::uint64_t start = (ids_[i] + (1ULL << k)) & (ring_size_ - 1);
+      fingers_[i][k] = static_cast<std::uint32_t>(successor_index(start));
+    }
+  }
+}
+
+ChordNetwork ChordNetwork::random(unsigned m, std::size_t n, util::Rng& rng) {
+  util::require(m >= 1 && m <= 63, "ChordNetwork::random: m must be in [1, 63]");
+  util::require(n >= 1 && n <= (1ULL << m), "ChordNetwork::random: too many nodes");
+  std::vector<std::uint64_t> ids;
+  ids.reserve(n);
+  while (ids.size() < n) {
+    ids.push_back(rng.next_below(1ULL << m));
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+  return ChordNetwork(m, std::move(ids));
+}
+
+std::size_t ChordNetwork::successor_index(std::uint64_t id) const noexcept {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end()) return 0;  // wrap to the smallest id
+  return static_cast<std::size_t>(it - ids_.begin());
+}
+
+bool ChordNetwork::in_clockwise(std::uint64_t x, std::uint64_t a,
+                                std::uint64_t b) const noexcept {
+  // x ∈ (a, b] walking clockwise (increasing ids, wrapping).
+  if (a == b) return false;  // empty interval
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;
+}
+
+ChordNetwork::Result ChordNetwork::route(std::size_t src_index,
+                                         std::uint64_t target_id,
+                                         const std::vector<std::uint8_t>* dead) const {
+  util::require_in_range(src_index < ids_.size(), "route: src out of range");
+  util::require(target_id < ring_size_, "route: target id exceeds the ring");
+
+  const std::size_t owner = successor_index(target_id);
+  const auto alive = [&](std::size_t idx) {
+    return dead == nullptr || (*dead)[idx] == 0;
+  };
+
+  Result result;
+  std::size_t current = src_index;
+  // Any successful Chord route takes <= m hops; a generous budget guards
+  // against pathological failure patterns.
+  std::size_t budget = static_cast<std::size_t>(m_) * 4 + 16;
+  while (budget-- > 0) {
+    if (current == owner) {
+      result.ok = true;
+      return result;
+    }
+    // Farthest live finger that does not overshoot the target: finger id in
+    // (current, target]. Scan from the longest finger down.
+    const std::uint64_t cur_id = ids_[current];
+    std::size_t next = static_cast<std::size_t>(-1);
+    for (unsigned k = m_; k-- > 0;) {
+      const std::size_t f = fingers_[current][k];
+      if (f == current) continue;
+      if (!in_clockwise(ids_[f], cur_id, target_id)) continue;
+      if (!alive(f)) continue;
+      next = f;
+      break;
+    }
+    if (next == static_cast<std::size_t>(-1)) {
+      // No finger lands in (current, target]: current is the predecessor of
+      // the target, so its immediate successor *is* the owner.
+      const std::size_t succ = fingers_[current][0];
+      if (succ == current || !alive(succ)) {
+        return result;  // stuck: the final hop is dead
+      }
+      next = succ;
+    }
+    current = next;
+    ++result.hops;
+  }
+  return result;  // budget exhausted (counts as failure)
+}
+
+}  // namespace p2p::baselines

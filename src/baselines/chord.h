@@ -1,0 +1,64 @@
+// Chord baseline (§3).
+//
+// "Chord maps nodes to identities of m bits placed around a modulo 2^m
+// identifier circle. ... the i-th entry stores the key of the first node
+// succeeding it by at least 2^{i-1} on the identifier circle. Routing is done
+// greedily to the farthest possible node in the routing table" — implemented
+// here with full finger tables and clockwise greedy routing, plus optional
+// dead-node skipping so it can run under the same failure sweeps as the
+// paper's overlay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace p2p::baselines {
+
+/// A static Chord ring with complete finger tables.
+class ChordNetwork {
+ public:
+  /// Nodes at the given identifiers on a 2^m ring.
+  /// Preconditions: 1 <= m <= 63, ids non-empty, sorted, unique, < 2^m.
+  ChordNetwork(unsigned m, std::vector<std::uint64_t> ids);
+
+  /// n nodes at distinct uniformly random identifiers.
+  [[nodiscard]] static ChordNetwork random(unsigned m, std::size_t n, util::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] unsigned bits() const noexcept { return m_; }
+  [[nodiscard]] std::uint64_t id_of(std::size_t index) const { return ids_.at(index); }
+
+  /// Index of the first node whose id is >= `id` (mod 2^m) — the node that
+  /// owns identifier `id`.
+  [[nodiscard]] std::size_t successor_index(std::uint64_t id) const noexcept;
+
+  /// Finger table of a node: entry i is the index of successor(id + 2^i).
+  [[nodiscard]] const std::vector<std::uint32_t>& fingers_of(std::size_t index) const {
+    return fingers_.at(index);
+  }
+
+  struct Result {
+    bool ok = false;
+    std::size_t hops = 0;
+  };
+
+  /// Routes from the node at `src_index` to the owner of `target_id`.
+  /// `dead`, when given, flags failed nodes (by index); routing skips dead
+  /// fingers and fails when no live finger makes progress.
+  [[nodiscard]] Result route(std::size_t src_index, std::uint64_t target_id,
+                             const std::vector<std::uint8_t>* dead = nullptr) const;
+
+ private:
+  /// True when id x lies in the clockwise-open interval (a, b] on the ring.
+  [[nodiscard]] bool in_clockwise(std::uint64_t x, std::uint64_t a,
+                                  std::uint64_t b) const noexcept;
+
+  unsigned m_;
+  std::uint64_t ring_size_;
+  std::vector<std::uint64_t> ids_;               // sorted
+  std::vector<std::vector<std::uint32_t>> fingers_;
+};
+
+}  // namespace p2p::baselines

@@ -1,0 +1,50 @@
+#include "baselines/flood.h"
+
+#include <vector>
+
+#include "util/require.h"
+
+namespace p2p::baselines {
+
+FloodResult flood_search(const graph::OverlayGraph& g,
+                         const failure::FailureView& view, graph::NodeId src,
+                         graph::NodeId target, std::size_t ttl) {
+  util::require_in_range(src < g.size() && target < g.size(),
+                         "flood_search: node out of range");
+  FloodResult result;
+  if (!view.node_alive(src)) return result;
+
+  std::vector<std::uint8_t> seen(g.size(), 0);
+  std::vector<graph::NodeId> frontier{src};
+  seen[src] = 1;
+  result.nodes_touched = 1;
+  if (src == target) {
+    result.found = true;
+    return result;
+  }
+
+  for (std::size_t depth = 1; depth <= ttl && !frontier.empty(); ++depth) {
+    std::vector<graph::NodeId> next;
+    for (const graph::NodeId u : frontier) {
+      const auto neigh = g.neighbors(u);
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        if (!view.link_alive(u, i)) continue;
+        ++result.messages;  // the query is transmitted regardless
+        const graph::NodeId v = neigh[i];
+        if (!view.node_alive(v) || seen[v]) continue;
+        seen[v] = 1;
+        ++result.nodes_touched;
+        if (v == target) {
+          result.found = true;
+          result.depth = depth;
+          return result;
+        }
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace p2p::baselines

@@ -1,0 +1,33 @@
+// Gnutella-style flooding baseline (§3).
+//
+// "Gnutella floods the network to locate a resource. Flooding creates a
+// trade-off between overloading every node in the network for each request
+// and cutting off searches before completion." flood_search measures both
+// sides of that trade-off: message count and success, as a function of TTL.
+#pragma once
+
+#include <cstddef>
+
+#include "failure/failure_model.h"
+#include "graph/overlay_graph.h"
+
+namespace p2p::baselines {
+
+struct FloodResult {
+  bool found = false;
+  /// Total messages sent (every edge traversal from an expanded node).
+  std::size_t messages = 0;
+  /// Hop radius at which the target was found (<= ttl).
+  std::size_t depth = 0;
+  /// Distinct nodes that handled the query.
+  std::size_t nodes_touched = 0;
+};
+
+/// Breadth-first flood from `src` looking for `target`, expanding live nodes
+/// over live links up to `ttl` hops.
+[[nodiscard]] FloodResult flood_search(const graph::OverlayGraph& g,
+                                       const failure::FailureView& view,
+                                       graph::NodeId src, graph::NodeId target,
+                                       std::size_t ttl);
+
+}  // namespace p2p::baselines

@@ -1,0 +1,52 @@
+// Kleinberg small-world grid baseline (§2, [5]).
+//
+// Nodes at every point of a 2-D torus, each connected to its four lattice
+// neighbours plus q long-range links drawn with P ∝ d^-r (Manhattan
+// distance). Greedy routing forwards to the neighbour closest to the
+// target. Sweeping r reproduces Kleinberg's classic result that r = 2 (the
+// grid dimension) is the unique efficient exponent — the paper's motivation
+// for using exponent 1 on a 1-D space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/link_distribution.h"
+#include "metric/grid2d.h"
+#include "util/rng.h"
+
+namespace p2p::baselines {
+
+/// A fully populated Kleinberg torus with stored long-range links.
+class KleinbergGrid {
+ public:
+  /// side × side torus, `long_links` long-range links per node, exponent r.
+  /// Preconditions: side >= 2, exponent >= 0.
+  KleinbergGrid(std::uint32_t side, std::size_t long_links, double exponent,
+                util::Rng& rng);
+
+  [[nodiscard]] const metric::Torus2D& torus() const noexcept { return torus_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(torus_.size());
+  }
+  [[nodiscard]] const std::vector<metric::Point>& long_links_of(std::size_t u) const {
+    return long_links_.at(u);
+  }
+
+  struct Result {
+    bool ok = false;
+    std::size_t hops = 0;
+  };
+
+  /// Greedy route src -> dst. `dead` (by node index) marks failed nodes to
+  /// skip; routing fails when no live neighbour is strictly closer.
+  [[nodiscard]] Result route(metric::Point src, metric::Point dst,
+                             const std::vector<std::uint8_t>* dead = nullptr,
+                             std::size_t ttl = 0) const;
+
+ private:
+  metric::Torus2D torus_;
+  std::vector<std::vector<metric::Point>> long_links_;
+};
+
+}  // namespace p2p::baselines

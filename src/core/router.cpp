@@ -1,0 +1,179 @@
+#include "core/router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace p2p::core {
+
+Router::Router(const graph::OverlayGraph& g, const failure::FailureView& view,
+               RouterConfig config)
+    : graph_(&g), view_(&view), config_(config) {
+  util::require(&view.graph() == &g, "Router: view must be over the same graph");
+  util::require(config_.backtrack_window >= 1, "Router: backtrack_window must be >= 1");
+}
+
+std::size_t Router::effective_ttl() const noexcept {
+  if (config_.ttl != 0) return config_.ttl;
+  const double lg = std::ceil(std::log2(static_cast<double>(graph_->size()) + 1.0));
+  const auto budget = static_cast<std::size_t>(8.0 * lg * lg);
+  return budget < 64 ? 64 : budget;
+}
+
+std::vector<graph::NodeId> Router::candidates(graph::NodeId u,
+                                              metric::Point target) const {
+  const metric::Space1D& space = graph_->space();
+  const metric::Point up = graph_->position(u);
+  const metric::Distance du = space.distance(up, target);
+  const auto neigh = graph_->neighbors(u);
+
+  std::vector<std::pair<metric::Distance, graph::NodeId>> ranked;
+  ranked.reserve(neigh.size());
+  for (std::size_t i = 0; i < neigh.size(); ++i) {
+    const graph::NodeId v = neigh[i];
+    if (v == u) continue;
+    if (config_.knowledge == Knowledge::kLiveness) {
+      if (!view_->hop_usable(u, i)) continue;
+    } else {
+      // Stale mode: a failed link transmits nothing, so the sender can rule
+      // it out, but the far node's aliveness is discovered only after
+      // committing to the choice.
+      if (!view_->link_alive(u, i)) continue;
+    }
+    const metric::Point vp = graph_->position(v);
+    const metric::Distance dv = space.distance(vp, target);
+    if (dv >= du) continue;  // greedy: strictly closer only
+    if (config_.sidedness == Sidedness::kOneSided &&
+        !space.between(vp, up, target)) {
+      continue;  // would overshoot the target
+    }
+    ranked.emplace_back(dv, v);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<graph::NodeId> result;
+  result.reserve(ranked.size());
+  for (const auto& [d, v] : ranked) {
+    if (result.empty() || result.back() != v) result.push_back(v);  // drop dup links
+  }
+  return result;
+}
+
+graph::NodeId Router::next_hop(graph::NodeId u, metric::Point target) const {
+  util::require_in_range(u < graph_->size(), "next_hop: node out of range");
+  util::require(graph_->space().contains(target), "next_hop: target outside space");
+  const auto cands = candidates(u, target);
+  if (cands.empty()) return graph::kInvalidNode;
+  if (config_.knowledge == Knowledge::kStale && !view_->node_alive(cands.front())) {
+    return graph::kInvalidNode;
+  }
+  return cands.front();
+}
+
+RouteResult Router::route(graph::NodeId src, metric::Point target,
+                          util::Rng& rng) const {
+  RouteSession session(*this, src, target);
+  while (session.step(rng)) {
+  }
+  return session.progress();
+}
+
+RouteSession::RouteSession(const Router& router, graph::NodeId src,
+                           metric::Point target)
+    : router_(&router), current_(src) {
+  const graph::OverlayGraph& g = router.graph();
+  util::require_in_range(src < g.size(), "RouteSession: src out of range");
+  util::require(g.space().contains(target), "RouteSession: target outside space");
+  target_node_ = g.node_nearest(target);
+  final_goal_ = g.position(target_node_);
+  budget_ = router.effective_ttl();
+  if (router.config().record_path) result_.path.push_back(current_);
+}
+
+std::optional<graph::NodeId> RouteSession::step(util::Rng& rng) {
+  if (state_ != State::kInTransit) return std::nullopt;
+  const RouterConfig& cfg = router_->config();
+  const graph::OverlayGraph& g = router_->graph();
+
+  while (budget_ > 0) {
+    --budget_;
+    if (current_ == target_node_) {
+      state_ = State::kDelivered;
+      result_.status = RouteResult::Status::kDelivered;
+      return std::nullopt;
+    }
+    if (interim_ && current_ == interim_node_) {
+      interim_.reset();  // reached the detour node; resume toward the target
+      cursor_ = 0;
+      continue;
+    }
+    const metric::Point goal = interim_ ? *interim_ : final_goal_;
+    const auto cands = router_->candidates(current_, goal);
+
+    graph::NodeId next = graph::kInvalidNode;
+    if (cursor_ < cands.size()) {
+      const graph::NodeId cand = cands[cursor_];
+      if (cfg.knowledge == Knowledge::kStale &&
+          !router_->view().node_alive(cand)) {
+        // §6: "once a node chooses its best neighbour, it does not send the
+        // message to any other link" — a dead pick means this node is stuck.
+        next = graph::kInvalidNode;
+      } else {
+        next = cand;
+      }
+    }
+
+    if (next != graph::kInvalidNode) {
+      if (cfg.stuck_policy == StuckPolicy::kBacktrack) {
+        trail_.emplace_back(current_, cursor_ + 1);
+        if (trail_.size() > cfg.backtrack_window) trail_.pop_front();
+      }
+      current_ = next;
+      cursor_ = 0;
+      ++result_.hops;
+      if (cfg.record_path) result_.path.push_back(current_);
+      return current_;
+    }
+
+    // Stuck: no (further) live neighbour strictly closer to the goal.
+    switch (cfg.stuck_policy) {
+      case StuckPolicy::kTerminate:
+        state_ = State::kStuck;
+        result_.status = RouteResult::Status::kStuck;
+        return std::nullopt;
+      case StuckPolicy::kRandomReroute: {
+        if (result_.reroutes >= cfg.max_reroutes ||
+            router_->view().alive_count() == 0) {
+          state_ = State::kStuck;
+          result_.status = RouteResult::Status::kStuck;
+          return std::nullopt;
+        }
+        ++result_.reroutes;
+        interim_node_ = router_->view().random_alive(rng);
+        interim_ = g.position(interim_node_);
+        cursor_ = 0;
+        continue;
+      }
+      case StuckPolicy::kBacktrack: {
+        if (trail_.empty()) {
+          state_ = State::kStuck;
+          result_.status = RouteResult::Status::kStuck;
+          return std::nullopt;
+        }
+        const auto [prev, next_rank] = trail_.back();
+        trail_.pop_back();
+        current_ = prev;
+        cursor_ = next_rank;
+        ++result_.hops;  // the message physically travels back
+        ++result_.backtracks;
+        if (cfg.record_path) result_.path.push_back(current_);
+        return current_;
+      }
+    }
+  }
+  state_ = State::kTtlExpired;
+  result_.status = RouteResult::Status::kTtlExpired;
+  return std::nullopt;
+}
+
+}  // namespace p2p::core

@@ -1,0 +1,166 @@
+// Greedy routing over the overlay, with the paper's failure-recovery
+// strategies.
+//
+// §4.2.1 defines two greedy variants:
+//  * two-sided — move to the neighbour minimising distance to the target,
+//    regardless of which side of the target it lands on (the default);
+//  * one-sided — never traverse a link that would take the message past the
+//    target (models Chord-style unidirectional routing and is the variant
+//    with the stronger lower bound).
+//
+// §6 studies three ways to recover when a node has no live neighbour closer
+// to the target than itself:
+//  * terminate      — the search fails;
+//  * random reroute — deliver the message to a uniformly random live node,
+//    then retry toward the original destination (Valiant-style [14]);
+//  * backtracking   — keep the last `backtrack_window` (paper: 5) visited
+//    nodes; when stuck, return to the most recent one and have it try its
+//    next-best neighbour.
+//
+// Knowledge models: by default a node knows which of its neighbours are
+// alive (kLiveness) and picks the best live one; the kStale ablation picks
+// the best neighbour obliviously and triggers recovery when that single
+// choice turns out dead, matching §6's remark that "once a node chooses its
+// best neighbour, it does not send the message to any other link".
+//
+// Two entry points share one implementation: Router::route() walks a search
+// synchronously (hop counting, the paper's measurements), and RouteSession
+// exposes the same walk one message-transmission at a time for the
+// discrete-event simulator.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "failure/failure_model.h"
+#include "graph/overlay_graph.h"
+#include "metric/space1d.h"
+#include "util/rng.h"
+
+namespace p2p::core {
+
+enum class Sidedness { kTwoSided, kOneSided };
+enum class StuckPolicy { kTerminate, kRandomReroute, kBacktrack };
+enum class Knowledge { kLiveness, kStale };
+
+/// Routing behaviour knobs; value type, cheap to copy.
+struct RouterConfig {
+  Sidedness sidedness = Sidedness::kTwoSided;
+  StuckPolicy stuck_policy = StuckPolicy::kTerminate;
+  Knowledge knowledge = Knowledge::kLiveness;
+  /// Number of recently visited nodes kept for backtracking (paper: 5).
+  std::size_t backtrack_window = 5;
+  /// Random-reroute attempts before giving up (the paper reroutes once).
+  std::size_t max_reroutes = 1;
+  /// Hop budget; 0 selects an automatic budget of max(64, 8·⌈lg n⌉²) hops,
+  /// far above any successful search.
+  std::size_t ttl = 0;
+  /// Record the sequence of visited nodes in RouteResult::path.
+  bool record_path = false;
+};
+
+/// Outcome of one routed search.
+struct RouteResult {
+  enum class Status { kDelivered, kStuck, kTtlExpired };
+  Status status = Status::kStuck;
+  /// Messages sent: every forward hop, reroute hop and backtrack return.
+  std::size_t hops = 0;
+  /// Backtrack returns taken (subset of hops).
+  std::size_t backtracks = 0;
+  /// Random reroutes consumed.
+  std::size_t reroutes = 0;
+  /// Visited nodes, when RouterConfig::record_path is set (src first).
+  std::vector<graph::NodeId> path;
+
+  [[nodiscard]] bool delivered() const noexcept {
+    return status == Status::kDelivered;
+  }
+};
+
+/// Stateless greedy router over a graph + failure view.
+///
+/// The router never mutates the graph or the view, so a single (graph, view)
+/// pair can serve any number of concurrent route() calls (one Rng per
+/// caller).
+class Router {
+ public:
+  /// The referenced graph and view must outlive the router.
+  Router(const graph::OverlayGraph& g, const failure::FailureView& view,
+         RouterConfig config = {});
+
+  /// Routes a message from node `src` to the node nearest `target`.
+  ///
+  /// Preconditions: src < graph size, space contains target. The result is
+  /// kDelivered only if the message reached the node whose position is
+  /// nearest to `target` among all nodes (dead or alive — callers pick live
+  /// targets; a dead target makes delivery impossible by definition).
+  [[nodiscard]] RouteResult route(graph::NodeId src, metric::Point target,
+                                  util::Rng& rng) const;
+
+  /// The single best next hop from `u` toward `target` under this
+  /// configuration, or kInvalidNode when u is stuck. Ignores the stuck
+  /// policy; used by the DHT layer for hop-at-a-time forwarding.
+  [[nodiscard]] graph::NodeId next_hop(graph::NodeId u, metric::Point target) const;
+
+  /// Live neighbours of u strictly closer to `target`, best first (ties by
+  /// position). With Knowledge::kStale, candidates ignore node aliveness.
+  [[nodiscard]] std::vector<graph::NodeId> candidates(graph::NodeId u,
+                                                      metric::Point target) const;
+
+  [[nodiscard]] const RouterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const graph::OverlayGraph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const failure::FailureView& view() const noexcept { return *view_; }
+
+  [[nodiscard]] std::size_t effective_ttl() const noexcept;
+
+ private:
+  const graph::OverlayGraph* graph_;
+  const failure::FailureView* view_;
+  RouterConfig config_;
+};
+
+/// One in-flight search, advanced a single message transmission at a time.
+///
+/// The session re-reads the failure view on every step, so views mutated
+/// between steps (churn during a search) are honoured — exactly what the
+/// discrete-event simulator needs.
+class RouteSession {
+ public:
+  /// Preconditions as Router::route.
+  RouteSession(const Router& router, graph::NodeId src, metric::Point target);
+
+  enum class State { kInTransit, kDelivered, kStuck, kTtlExpired };
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool finished() const noexcept { return state_ != State::kInTransit; }
+  [[nodiscard]] graph::NodeId current() const noexcept { return current_; }
+  [[nodiscard]] graph::NodeId target_node() const noexcept { return target_node_; }
+
+  /// Advances until the next physical message transmission or a terminal
+  /// state. Returns the node the message moved to, or std::nullopt when the
+  /// session ended (check state()). Each returned hop is one unit of
+  /// delivery time.
+  std::optional<graph::NodeId> step(util::Rng& rng);
+
+  /// Hops, backtracks, reroutes and status so far (status meaningful once
+  /// finished()).
+  [[nodiscard]] const RouteResult& progress() const noexcept { return result_; }
+
+ private:
+  const Router* router_;
+  graph::NodeId current_;
+  graph::NodeId target_node_;
+  metric::Point final_goal_;
+  std::optional<metric::Point> interim_;
+  graph::NodeId interim_node_ = graph::kInvalidNode;
+  std::deque<std::pair<graph::NodeId, std::size_t>> trail_;
+  std::size_t cursor_ = 0;
+  std::size_t budget_;
+  State state_ = State::kInTransit;
+  RouteResult result_;
+};
+
+}  // namespace p2p::core

@@ -1,0 +1,118 @@
+#include "core/secure_router.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace p2p::core {
+
+SecureRouter::SecureRouter(const graph::OverlayGraph& g,
+                           const failure::FailureView& view,
+                           const failure::ByzantineSet& byzantine,
+                           SecureRouterConfig config)
+    : graph_(&g),
+      view_(&view),
+      byzantine_(&byzantine),
+      greedy_(g, view, RouterConfig{}),
+      config_(config) {
+  util::require(&view.graph() == &g, "SecureRouter: view must be over the graph");
+  util::require(&byzantine.graph() == &g,
+                "SecureRouter: byzantine set must be over the graph");
+  util::require(config_.paths >= 1, "SecureRouter: need at least one path");
+}
+
+SecureRouter::WalkResult SecureRouter::walk(graph::NodeId src,
+                                            graph::NodeId target_node,
+                                            metric::Point goal,
+                                            std::size_t first_hop_rank,
+                                            util::Rng& rng) const {
+  WalkResult result;
+  std::size_t budget = config_.ttl != 0 ? config_.ttl : greedy_.effective_ttl();
+  graph::NodeId current = src;
+  bool first = true;
+  // Walks are loop-free: an honest node never forwards to a node this walk
+  // has already visited, so diverse walks cannot remerge through distance
+  // ties (misrouted hops are exempt — attackers do not cooperate).
+  std::vector<std::uint8_t> visited(graph_->size(), 0);
+  visited[src] = 1;
+  while (budget-- > 0) {
+    if (current == target_node) {
+      result.delivered = true;
+      return result;
+    }
+    graph::NodeId next = graph::kInvalidNode;
+    if (current != src && byzantine_->is_byzantine(current)) {
+      // The source itself is assumed honest (it originates the search);
+      // intermediate Byzantine nodes misbehave.
+      if (config_.behavior == failure::ByzantineBehavior::kDrop) {
+        return result;  // blackholed
+      }
+      // Misroute: forward to a uniformly random live neighbour.
+      const auto neigh = graph_->neighbors(current);
+      for (int tries = 0; tries < 16 && next == graph::kInvalidNode; ++tries) {
+        const std::size_t i = static_cast<std::size_t>(rng.next_below(neigh.size()));
+        if (view_->hop_usable(current, i)) next = neigh[i];
+      }
+      if (next == graph::kInvalidNode) return result;  // isolated attacker
+    } else if (first) {
+      // Diverse egress: the first hop of walk i is the i-th *usable*
+      // neighbour ranked by distance to the goal — including neighbours
+      // farther than the source, so walks can leave in genuinely different
+      // directions (a ring source has only one strictly-closer neighbour).
+      const auto neigh = graph_->neighbors(current);
+      std::vector<std::pair<metric::Distance, graph::NodeId>> ranked;
+      ranked.reserve(neigh.size());
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        if (!view_->hop_usable(current, i)) continue;
+        if (neigh[i] == current || visited[neigh[i]]) continue;
+        ranked.emplace_back(
+            graph_->space().distance(graph_->position(neigh[i]), goal), neigh[i]);
+      }
+      if (ranked.empty()) return result;  // isolated source
+      std::sort(ranked.begin(), ranked.end());
+      ranked.erase(std::unique(ranked.begin(), ranked.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.second == b.second;
+                               }),
+                   ranked.end());
+      next = ranked[std::min(first_hop_rank, ranked.size() - 1)].second;
+    } else {
+      for (const graph::NodeId cand : greedy_.candidates(current, goal)) {
+        if (!visited[cand]) {
+          next = cand;
+          break;
+        }
+      }
+      if (next == graph::kInvalidNode) return result;  // honest but stuck
+    }
+    first = false;
+    current = next;
+    visited[current] = 1;
+    ++result.hops;
+  }
+  return result;  // TTL exhausted (e.g. misrouted into a loop)
+}
+
+SecureRouteResult SecureRouter::route(graph::NodeId src, metric::Point target,
+                                      util::Rng& rng) const {
+  util::require_in_range(src < graph_->size(), "route: src out of range");
+  util::require(graph_->space().contains(target), "route: target outside space");
+  const graph::NodeId target_node = graph_->node_nearest(target);
+  const metric::Point goal = graph_->position(target_node);
+
+  SecureRouteResult result;
+  for (std::size_t path = 0; path < config_.paths; ++path) {
+    const WalkResult w = walk(src, target_node, goal, path, rng);
+    result.total_messages += w.hops;
+    if (w.delivered) {
+      ++result.successful_walks;
+      if (result.best_hops == 0 || w.hops < result.best_hops) {
+        result.best_hops = w.hops;
+      }
+    }
+  }
+  result.delivered = result.successful_walks > 0;
+  return result;
+}
+
+}  // namespace p2p::core

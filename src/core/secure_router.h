@@ -1,0 +1,86 @@
+// Byzantine-tolerant routing by redundancy (§7 future work, realized).
+//
+// A greedy sender cannot distinguish a Byzantine next hop from an honest
+// one, so any single greedy walk is hostage to every node on its path. The
+// classic mitigation (cf. S/Kademlia's disjoint-path lookups) is to launch
+// k walks over *diverse first hops*: walk i leaves the source over its i-th
+// best candidate, so the walks tend to traverse disjoint regions, and the
+// search succeeds if any walk reaches the target.
+//
+// The walk semantics under attack:
+//  * an honest node forwards greedily (best live candidate);
+//  * a kDrop Byzantine node swallows the message — the walk dies silently;
+//  * a kMisroute Byzantine node forwards to a uniformly random neighbour;
+//    the walk continues but its progress is destroyed (it still counts
+//    against the TTL, and may never recover).
+//
+// The destination validates content by key (§2's metric-space invariant:
+// the *location* of a resource is checkable by anyone), so a Byzantine node
+// cannot forge a successful delivery — it can only prevent one.
+#pragma once
+
+#include <cstddef>
+
+#include "core/router.h"
+#include "failure/byzantine.h"
+#include "failure/failure_model.h"
+#include "graph/overlay_graph.h"
+#include "metric/space1d.h"
+#include "util/rng.h"
+
+namespace p2p::core {
+
+/// Redundant-routing knobs.
+struct SecureRouterConfig {
+  /// Number of parallel walks (1 = plain greedy).
+  std::size_t paths = 3;
+  /// Per-walk hop budget; 0 = automatic (same rule as RouterConfig::ttl).
+  std::size_t ttl = 0;
+  /// What Byzantine nodes do to messages they should forward.
+  failure::ByzantineBehavior behavior = failure::ByzantineBehavior::kDrop;
+};
+
+/// Outcome of a redundant search.
+struct SecureRouteResult {
+  bool delivered = false;
+  /// Walks that reached the target.
+  std::size_t successful_walks = 0;
+  /// Total messages across all walks (the redundancy cost).
+  std::size_t total_messages = 0;
+  /// Hops of the fastest successful walk (0 when none succeeded).
+  std::size_t best_hops = 0;
+};
+
+/// Greedy router hardened with k diverse redundant walks.
+class SecureRouter {
+ public:
+  /// All referenced objects must outlive the router; `byzantine` must be
+  /// over the same graph as `view`.
+  SecureRouter(const graph::OverlayGraph& g, const failure::FailureView& view,
+               const failure::ByzantineSet& byzantine, SecureRouterConfig config);
+
+  /// Launches config.paths walks from src toward the node nearest `target`.
+  [[nodiscard]] SecureRouteResult route(graph::NodeId src, metric::Point target,
+                                        util::Rng& rng) const;
+
+  [[nodiscard]] const SecureRouterConfig& config() const noexcept { return config_; }
+
+ private:
+  /// One walk; `first_hop_rank` indexes the source's candidate list so that
+  /// different walks leave over different links.
+  struct WalkResult {
+    bool delivered = false;
+    std::size_t hops = 0;
+  };
+  [[nodiscard]] WalkResult walk(graph::NodeId src, graph::NodeId target_node,
+                                metric::Point goal, std::size_t first_hop_rank,
+                                util::Rng& rng) const;
+
+  const graph::OverlayGraph* graph_;
+  const failure::FailureView* view_;
+  const failure::ByzantineSet* byzantine_;
+  Router greedy_;  // candidate machinery reused from the plain router
+  SecureRouterConfig config_;
+};
+
+}  // namespace p2p::core

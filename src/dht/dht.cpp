@@ -1,0 +1,320 @@
+#include "dht/dht.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dht/hash.h"
+#include "util/require.h"
+
+namespace p2p::dht {
+
+Dht::Dht(metric::Space1D space, DhtConfig cfg, std::uint64_t seed)
+    : space_(space),
+      config_(cfg),
+      overlay_(space, cfg.overlay),
+      rng_(util::splitmix64(seed)) {
+  util::require(cfg.replication >= 1, "Dht: replication must be >= 1");
+}
+
+std::size_t Dht::effective_ttl() const noexcept {
+  if (config_.ttl != 0) return config_.ttl;
+  const double lg =
+      std::ceil(std::log2(static_cast<double>(overlay_.node_count()) + 2.0));
+  const auto budget = static_cast<std::size_t>(8.0 * lg * lg);
+  return budget < 64 ? 64 : budget;
+}
+
+metric::Point Dht::key_point(const std::string& key) const {
+  return point_for_key(key, space_.size());
+}
+
+std::vector<metric::Point> Dht::owners_of_point(metric::Point kp) const {
+  // The owner is the nearest member; further replicas are the next-closest
+  // members, found by expanding outward through successors/predecessors.
+  std::vector<metric::Point> owners;
+  if (overlay_.node_count() == 0) return owners;
+  const std::size_t want = std::min(config_.replication, overlay_.node_count());
+  metric::Point right = overlay_.occupied(kp) ? kp : overlay_.successor(kp);
+  metric::Point left = overlay_.predecessor(kp);
+  while (owners.size() < want) {
+    const bool right_ok = right >= 0 &&
+                          std::find(owners.begin(), owners.end(), right) == owners.end();
+    const bool left_ok = left >= 0 &&
+                         std::find(owners.begin(), owners.end(), left) == owners.end();
+    if (!right_ok && !left_ok) break;
+    if (right_ok &&
+        (!left_ok || space_.distance(right, kp) <= space_.distance(left, kp))) {
+      owners.push_back(right);
+      right = overlay_.successor(right);
+    } else {
+      owners.push_back(left);
+      left = overlay_.predecessor(left);
+    }
+  }
+  return owners;
+}
+
+std::vector<metric::Point> Dht::owners_of(const std::string& key) const {
+  return owners_of_point(key_point(key));
+}
+
+Dht::RouteOutcome Dht::route_to(metric::Point from, metric::Point target) {
+  RouteOutcome out;
+  util::require(overlay_.occupied(from), "route_to: origin is not a member");
+  const metric::Point owner = overlay_.nearest_member(target, /*exclude=*/-1);
+  if (owner < 0) return out;
+
+  // Route toward the owner's position (the paper routes "to v itself", but
+  // the search ends at the closest occupied vertex; aiming at the owner
+  // avoids distance ties against the raw key point).
+  metric::Point current = from;
+  std::size_t budget = effective_ttl();
+  while (budget-- > 0) {
+    if (current == owner) {
+      out.ok = true;
+      out.arrived = current;
+      return out;
+    }
+    const metric::Distance here = space_.distance(current, owner);
+    metric::Point best = -1;
+    metric::Distance best_d = here;
+    const auto consider = [&](metric::Point v) {
+      if (v < 0 || v == current || !overlay_.occupied(v)) return;
+      const metric::Distance d = space_.distance(v, owner);
+      if (d < best_d || (d == best_d && best >= 0 && v < best)) {
+        best = v;
+        best_d = d;
+      }
+    };
+    consider(overlay_.successor(current));
+    consider(overlay_.predecessor(current));
+    bool saw_dangling = false;
+    for (const metric::Point v : overlay_.long_links_of(current)) {
+      if (!overlay_.occupied(v)) {
+        saw_dangling = true;
+        continue;
+      }
+      consider(v);
+    }
+    if (saw_dangling && config_.self_heal) {
+      // Amortized, localized repair: the routing node fixes its own dangling
+      // links now that a search has discovered them.
+      overlay_.repair_node(current, rng_);
+    }
+    if (best < 0) {
+      out.arrived = current;
+      return out;  // stuck
+    }
+    current = best;
+    ++out.hops;
+  }
+  out.arrived = current;
+  return out;  // budget exhausted
+}
+
+void Dht::store_copy(metric::Point holder, const std::string& key,
+                     const std::string& value) {
+  auto& bucket = store_[holder];
+  const bool fresh = !bucket.contains(key);
+  bucket[key] = value;
+  if (fresh) holders_[key].push_back(holder);
+}
+
+void Dht::drop_copy(metric::Point holder, const std::string& key) {
+  const auto node_it = store_.find(holder);
+  if (node_it == store_.end()) return;
+  if (node_it->second.erase(key) == 0) return;
+  auto& hv = holders_[key];
+  const auto it = std::find(hv.begin(), hv.end(), holder);
+  if (it != hv.end()) {
+    *it = hv.back();
+    hv.pop_back();
+  }
+}
+
+OpResult Dht::put(metric::Point origin, const std::string& key, std::string value) {
+  OpResult res;
+  const metric::Point kp = key_point(key);
+  const RouteOutcome route = route_to(origin, kp);
+  res.hops = route.hops;
+  if (!route.ok) return res;
+
+  keys_by_point_[kp].insert(key);
+  for (const metric::Point holder : owners_of_point(kp)) {
+    store_copy(holder, key, value);
+    if (holder != route.arrived) ++res.hops;  // replica copy message
+  }
+  res.ok = true;
+  res.value = std::move(value);
+  return res;
+}
+
+OpResult Dht::get(metric::Point origin, const std::string& key) {
+  OpResult res;
+  const metric::Point kp = key_point(key);
+  const RouteOutcome route = route_to(origin, kp);
+  res.hops = route.hops;
+  if (!route.ok) return res;
+
+  // The owner answers directly; on a miss, probe the rest of the owner set
+  // (one message each) — replicas cover an owner that crashed after a put.
+  const auto answer_from = [&](metric::Point holder) -> bool {
+    const auto node_it = store_.find(holder);
+    if (node_it == store_.end()) return false;
+    const auto it = node_it->second.find(key);
+    if (it == node_it->second.end()) return false;
+    res.ok = true;
+    res.value = it->second;
+    return true;
+  };
+  if (answer_from(route.arrived)) return res;
+  for (const metric::Point holder : owners_of_point(kp)) {
+    if (holder == route.arrived) continue;
+    ++res.hops;
+    if (answer_from(holder)) return res;
+  }
+  return res;  // routed fine, but no replica holds the key
+}
+
+OpResult Dht::erase(metric::Point origin, const std::string& key) {
+  OpResult res;
+  const metric::Point kp = key_point(key);
+  const RouteOutcome route = route_to(origin, kp);
+  res.hops = route.hops;
+  if (!route.ok) return res;
+
+  // Erase every live copy (the holder index knows them all).
+  const auto hv_it = holders_.find(key);
+  if (hv_it != holders_.end()) {
+    const std::vector<metric::Point> holders = hv_it->second;  // copy: mutation
+    for (const metric::Point holder : holders) {
+      if (holder != route.arrived) ++res.hops;
+      drop_copy(holder, key);
+    }
+  }
+  holders_.erase(key);
+  const auto kb_it = keys_by_point_.find(kp);
+  if (kb_it != keys_by_point_.end()) {
+    kb_it->second.erase(key);
+    if (kb_it->second.empty()) keys_by_point_.erase(kb_it);
+  }
+  res.ok = true;
+  return res;
+}
+
+bool Dht::fix_key(const std::string& key, metric::Point kp) {
+  const auto owners = owners_of_point(kp);
+  if (owners.empty()) return false;
+  const auto hv_it = holders_.find(key);
+  if (hv_it == holders_.end() || hv_it->second.empty()) return false;  // lost
+
+  // Any surviving copy serves as the source.
+  const metric::Point source = hv_it->second.front();
+  const std::string value = store_[source][key];
+
+  // Copy to owners that lack it, then drop stragglers.
+  for (const metric::Point holder : owners) store_copy(holder, key, value);
+  const std::vector<metric::Point> holders = holders_[key];  // copy: mutation
+  for (const metric::Point holder : holders) {
+    if (std::find(owners.begin(), owners.end(), holder) == owners.end()) {
+      drop_copy(holder, key);
+    }
+  }
+  return true;
+}
+
+void Dht::rebalance_near(metric::Point p) {
+  // Only keys hashing into the neighbourhood spanned by the `replication`
+  // members on each side of p can change owner sets. Walk that span, then
+  // fix every key whose point falls inside it.
+  if (overlay_.node_count() == 0 || keys_by_point_.empty()) return;
+
+  metric::Point lo = p, hi = p;
+  for (std::size_t i = 0; i <= config_.replication; ++i) {
+    const metric::Point prev = overlay_.predecessor(lo);
+    if (prev < 0 || prev == hi) break;  // wrapped all the way around
+    lo = prev;
+    const metric::Point next = overlay_.successor(hi);
+    if (next < 0 || next == lo) break;
+    hi = next;
+  }
+
+  const auto fix_range = [&](metric::Point a, metric::Point b) {
+    for (auto it = keys_by_point_.lower_bound(a);
+         it != keys_by_point_.end() && it->first <= b; ++it) {
+      for (const std::string& key : it->second) fix_key(key, it->first);
+    }
+  };
+  if (lo <= hi) {
+    fix_range(lo, hi);
+  } else {
+    // Ring wraparound: two sub-ranges.
+    fix_range(lo, static_cast<metric::Point>(space_.size()) - 1);
+    fix_range(0, hi);
+  }
+}
+
+void Dht::add_node(metric::Point p) {
+  overlay_.join(p, rng_);
+  rebalance_near(p);
+}
+
+void Dht::remove_node(metric::Point p) {
+  util::require(overlay_.occupied(p), "remove_node: position not occupied");
+  overlay_.leave(p, rng_);
+  // Graceful: the departing node's copies are still readable during handoff.
+  rebalance_near(p);
+  // Drop whatever it still holds, maintaining the holder index.
+  const auto it = store_.find(p);
+  if (it != store_.end()) {
+    std::vector<std::string> keys;
+    keys.reserve(it->second.size());
+    for (const auto& [key, value] : it->second) keys.push_back(key);
+    for (const std::string& key : keys) drop_copy(p, key);
+    store_.erase(p);
+  }
+}
+
+void Dht::crash_node(metric::Point p) {
+  util::require(overlay_.occupied(p), "crash_node: position not occupied");
+  overlay_.crash(p);
+  // Its data is gone *before* anyone can copy from it.
+  const auto it = store_.find(p);
+  if (it != store_.end()) {
+    std::vector<std::string> keys;
+    keys.reserve(it->second.size());
+    for (const auto& [key, value] : it->second) keys.push_back(key);
+    for (const std::string& key : keys) drop_copy(p, key);
+    store_.erase(p);
+  }
+  rebalance_near(p);
+}
+
+std::size_t Dht::stored_copies() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [node, bucket] : store_) total += bucket.size();
+  return total;
+}
+
+std::vector<std::string> Dht::keys_at(metric::Point p) const {
+  std::vector<std::string> keys;
+  const auto it = store_.find(p);
+  if (it == store_.end()) return keys;
+  keys.reserve(it->second.size());
+  for (const auto& [key, value] : it->second) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::size_t Dht::lost_keys() const {
+  std::size_t lost = 0;
+  for (const auto& [point, keys] : keys_by_point_) {
+    for (const std::string& key : keys) {
+      const auto it = holders_.find(key);
+      if (it == holders_.end() || it->second.empty()) ++lost;
+    }
+  }
+  return lost;
+}
+
+}  // namespace p2p::dht

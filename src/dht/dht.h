@@ -1,0 +1,157 @@
+// Distributed hash table on top of the dynamic overlay.
+//
+// This is the "hash table-like functionality" §1 promises: resources are
+// mapped to grid points by hashing their keys (dht/hash.h); the node whose
+// position is closest to a key's point *owns* that key; lookups are greedy
+// routes to the key's point (§2's resource-location protocol).
+//
+// Fault tolerance beyond the paper's routing story:
+//  * replication — each key is stored at the `replication` members closest
+//    to its point, so a crashed owner does not lose the value;
+//  * handoff — joins and graceful leaves move keys so the owner-set
+//    invariant ("the `replication` closest members hold the key") is
+//    restored immediately;
+//  * self-healing — routes that traverse dangling links (left by crashes)
+//    repair them on the way, amortizing repair over searches exactly as §1
+//    proposes ("we expect to amortize these costs over the search and
+//    insert operations").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/construction.h"
+#include "metric/space1d.h"
+#include "util/rng.h"
+
+namespace p2p::dht {
+
+/// Result of one DHT operation.
+struct OpResult {
+  bool ok = false;
+  /// Overlay messages consumed (route hops + replica probes/copies).
+  std::size_t hops = 0;
+  /// The value, for successful get().
+  std::optional<std::string> value;
+};
+
+/// DHT configuration.
+struct DhtConfig {
+  core::ConstructionConfig overlay;  ///< §5 heuristic knobs
+  std::size_t replication = 1;       ///< copies per key (>= 1)
+  bool self_heal = true;             ///< repair dangling links during routes
+  std::size_t ttl = 0;               ///< route hop budget; 0 = automatic
+};
+
+/// A peer-to-peer key-value store addressed by greedy routing.
+///
+/// Nodes are identified by their grid position. All randomness (overlay
+/// maintenance, repairs) flows from the seed given at construction.
+class Dht {
+ public:
+  /// Preconditions: space.size() >= 2, cfg.replication >= 1.
+  Dht(metric::Space1D space, DhtConfig cfg, std::uint64_t seed);
+
+  // -- membership ----------------------------------------------------------
+
+  /// Joins a node at vacant position p (§5 protocol) and hands off any keys
+  /// it now owns. Throws std::invalid_argument if p is occupied.
+  void add_node(metric::Point p);
+
+  /// Graceful departure: keys are handed to their new owners first.
+  void remove_node(metric::Point p);
+
+  /// Abrupt crash: the node's stored values are lost; surviving replicas
+  /// re-establish the replication factor.
+  void crash_node(metric::Point p);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return overlay_.node_count();
+  }
+  [[nodiscard]] bool has_node(metric::Point p) const noexcept {
+    return overlay_.occupied(p);
+  }
+  [[nodiscard]] const core::DynamicOverlay& overlay() const noexcept {
+    return overlay_;
+  }
+
+  // -- data operations (issued from an origin node) -------------------------
+
+  /// Stores key → value. Fails (ok = false) when routing to the key's owner
+  /// gets stuck.
+  OpResult put(metric::Point origin, const std::string& key, std::string value);
+
+  /// Fetches a key's value; probes the owner first, then its replicas.
+  OpResult get(metric::Point origin, const std::string& key);
+
+  /// Removes a key from all replicas.
+  OpResult erase(metric::Point origin, const std::string& key);
+
+  /// Grid point the key hashes to.
+  [[nodiscard]] metric::Point key_point(const std::string& key) const;
+
+  /// The members that should hold `key` (owner first, then the next closest
+  /// members, `replication` in total).
+  [[nodiscard]] std::vector<metric::Point> owners_of(const std::string& key) const;
+
+  /// Total key copies stored across all nodes (replicas counted).
+  [[nodiscard]] std::size_t stored_copies() const noexcept;
+
+  /// Keys held by the node at p (empty when p is vacant or stores nothing).
+  [[nodiscard]] std::vector<std::string> keys_at(metric::Point p) const;
+
+  /// Number of registered keys whose value no longer exists on any node
+  /// (lost to crashes that outran the replication factor).
+  [[nodiscard]] std::size_t lost_keys() const;
+
+ private:
+  struct RouteOutcome {
+    bool ok = false;
+    metric::Point arrived = -1;
+    std::size_t hops = 0;
+  };
+
+  /// Greedy two-sided walk over the live overlay toward `target`; repairs
+  /// dangling links on the way when self_heal is on.
+  RouteOutcome route_to(metric::Point from, metric::Point target);
+
+  /// Owner set of a grid point: the `replication` members closest to it.
+  [[nodiscard]] std::vector<metric::Point> owners_of_point(metric::Point kp) const;
+
+  /// Stores a copy and maintains the holder index.
+  void store_copy(metric::Point holder, const std::string& key,
+                  const std::string& value);
+  /// Drops a copy and maintains the holder index.
+  void drop_copy(metric::Point holder, const std::string& key);
+
+  /// Re-establishes the owner-set invariant for every key hashing into the
+  /// neighbourhood of position p (called after membership changes at p).
+  void rebalance_near(metric::Point p);
+
+  /// Restores the invariant for one key; returns false when the value was
+  /// lost entirely.
+  bool fix_key(const std::string& key, metric::Point kp);
+
+  [[nodiscard]] std::size_t effective_ttl() const noexcept;
+
+  metric::Space1D space_;
+  DhtConfig config_;
+  core::DynamicOverlay overlay_;
+  util::Rng rng_;
+  /// Per-node storage: node position -> (key -> value).
+  std::unordered_map<metric::Point, std::unordered_map<std::string, std::string>>
+      store_;
+  /// key -> positions currently holding a copy (kept exactly in sync with
+  /// store_ by store_copy/drop_copy).
+  std::unordered_map<std::string, std::vector<metric::Point>> holders_;
+  /// key point -> keys hashing there (drives neighbourhood rebalancing).
+  std::map<metric::Point, std::set<std::string>> keys_by_point_;
+};
+
+}  // namespace p2p::dht

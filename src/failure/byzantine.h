@@ -1,0 +1,58 @@
+// Byzantine failure model (§7: "study the security properties of greedy
+// routing schemes to see how they can be adapted to provide desirable
+// properties like ... robustness against Byzantine failures").
+//
+// A Byzantine node participates in the protocol but misbehaves when asked to
+// forward a message:
+//  * kDrop     — silently discards it (blackhole);
+//  * kMisroute — forwards it to a uniformly random neighbour instead of the
+//    greedy choice, wasting the sender's progress (wormhole/detour attack).
+//
+// Crash-faulty nodes are visibly dead; Byzantine nodes look healthy, so a
+// greedy sender cannot route around them proactively. The countermeasure in
+// core/secure_router.h is redundant routing over diverse first hops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/overlay_graph.h"
+#include "util/rng.h"
+
+namespace p2p::failure {
+
+enum class ByzantineBehavior { kDrop, kMisroute };
+
+/// The (adversary-chosen) set of Byzantine nodes over one graph.
+class ByzantineSet {
+ public:
+  /// No Byzantine nodes.
+  [[nodiscard]] static ByzantineSet none(const graph::OverlayGraph& g);
+
+  /// Each node turns Byzantine independently with probability `fraction`.
+  [[nodiscard]] static ByzantineSet random(const graph::OverlayGraph& g,
+                                           double fraction, util::Rng& rng);
+
+  /// An explicit set of corrupted nodes (targeted placement).
+  [[nodiscard]] static ByzantineSet of(const graph::OverlayGraph& g,
+                                       const std::vector<graph::NodeId>& nodes);
+
+  [[nodiscard]] bool is_byzantine(graph::NodeId u) const noexcept {
+    return !flags_.empty() && flags_[u] != 0;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] const graph::OverlayGraph& graph() const noexcept { return *graph_; }
+
+  void corrupt(graph::NodeId u);
+  void heal(graph::NodeId u);
+
+ private:
+  explicit ByzantineSet(const graph::OverlayGraph& g) : graph_(&g) {}
+
+  const graph::OverlayGraph* graph_;
+  std::vector<std::uint8_t> flags_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace p2p::failure

@@ -1,0 +1,95 @@
+#include "failure/failure_model.h"
+
+#include "util/require.h"
+
+namespace p2p::failure {
+
+FailureView FailureView::all_alive(const graph::OverlayGraph& g) {
+  FailureView view(g);
+  view.alive_count_ = g.size();
+  return view;
+}
+
+FailureView FailureView::with_node_failures(const graph::OverlayGraph& g, double p_fail,
+                                            util::Rng& rng) {
+  util::require(p_fail >= 0.0 && p_fail <= 1.0,
+                "with_node_failures: p_fail must be in [0,1]");
+  FailureView view(g);
+  view.node_dead_.assign(g.size(), 0);
+  view.alive_count_ = g.size();
+  for (graph::NodeId u = 0; u < g.size(); ++u) {
+    if (rng.next_bool(p_fail)) {
+      view.node_dead_[u] = 1;
+      --view.alive_count_;
+    }
+  }
+  return view;
+}
+
+FailureView FailureView::with_link_failures(const graph::OverlayGraph& g,
+                                            double p_present, util::Rng& rng) {
+  util::require(p_present >= 0.0 && p_present <= 1.0,
+                "with_link_failures: p_present must be in [0,1]");
+  FailureView view(g);
+  view.alive_count_ = g.size();
+  view.link_dead_.resize(g.size());
+  for (graph::NodeId u = 0; u < g.size(); ++u) {
+    const std::size_t degree = g.out_degree(u);
+    const std::size_t shorts = g.short_degree(u);
+    view.link_dead_[u].assign(degree, 0);
+    for (std::size_t i = shorts; i < degree; ++i) {
+      if (!rng.next_bool(p_present)) view.link_dead_[u][i] = 1;
+    }
+  }
+  return view;
+}
+
+graph::NodeId FailureView::random_alive(util::Rng& rng) const {
+  util::require(alive_count_ > 0, "random_alive: no alive nodes");
+  // Rejection sampling is O(n/alive) expected; fall back to a scan when the
+  // alive fraction is tiny so the draw stays bounded.
+  const std::size_t n = graph_->size();
+  if (alive_count_ * 8 >= n) {
+    for (;;) {
+      const auto u = static_cast<graph::NodeId>(rng.next_below(n));
+      if (node_alive(u)) return u;
+    }
+  }
+  std::size_t index = static_cast<std::size_t>(rng.next_below(alive_count_));
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (node_alive(u)) {
+      if (index == 0) return u;
+      --index;
+    }
+  }
+  return graph::kInvalidNode;  // unreachable: alive_count_ > 0
+}
+
+void FailureView::kill_node(graph::NodeId u) {
+  util::require_in_range(u < graph_->size(), "kill_node: node out of range");
+  if (node_dead_.empty()) node_dead_.assign(graph_->size(), 0);
+  if (node_dead_[u] == 0) {
+    node_dead_[u] = 1;
+    --alive_count_;
+  }
+}
+
+void FailureView::revive_node(graph::NodeId u) {
+  util::require_in_range(u < graph_->size(), "revive_node: node out of range");
+  if (node_dead_.empty()) return;
+  if (node_dead_[u] == 1) {
+    node_dead_[u] = 0;
+    ++alive_count_;
+  }
+}
+
+void FailureView::kill_link(graph::NodeId u, std::size_t link_index) {
+  util::require_in_range(u < graph_->size(), "kill_link: node out of range");
+  util::require_in_range(link_index < graph_->out_degree(u),
+                         "kill_link: link index out of range");
+  if (link_dead_.empty()) link_dead_.resize(graph_->size());
+  if (link_dead_[u].empty()) link_dead_[u].assign(graph_->out_degree(u), 0);
+  link_dead_[u][link_index] = 1;
+}
+
+}  // namespace p2p::failure

@@ -1,0 +1,82 @@
+// Failure models over an overlay graph (§4.3.3–§4.3.4, §6).
+//
+// A FailureView is an immutable-graph overlay recording which nodes and which
+// individual links are currently dead. Views are cheap relative to graph
+// construction, so one built network can serve many failure draws (exactly
+// how the paper's experiments run: "the network is set up afresh, and a
+// fraction p of the nodes fail").
+//
+// Three factory models:
+//  * with_link_failures(p)  — each *long-distance* link is independently dead
+//    with probability 1-p_present; ±1 links never fail (§4.3.3 assumes "the
+//    links to the immediate neighbours are always present").
+//  * with_node_failures(p)  — each node is dead independently with
+//    probability p (§4.3.4.2 / §6).
+//  * all_alive()            — the failure-free baseline.
+//
+// Binomial node presence (§4.3.4.1) is *not* a view: absent nodes never join
+// the graph at all, so it lives in graph::GraphBuilder (BuildSpec::presence).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/overlay_graph.h"
+#include "util/rng.h"
+
+namespace p2p::failure {
+
+/// Records node/link aliveness for one failure scenario over a fixed graph.
+class FailureView {
+ public:
+  /// Everything alive.
+  [[nodiscard]] static FailureView all_alive(const graph::OverlayGraph& g);
+
+  /// Each node dead independently with probability `p_fail` in [0,1].
+  [[nodiscard]] static FailureView with_node_failures(const graph::OverlayGraph& g,
+                                                      double p_fail, util::Rng& rng);
+
+  /// Each long link dead independently with probability 1 - `p_present`;
+  /// short (immediate-neighbour) links always survive.
+  [[nodiscard]] static FailureView with_link_failures(const graph::OverlayGraph& g,
+                                                      double p_present, util::Rng& rng);
+
+  [[nodiscard]] const graph::OverlayGraph& graph() const noexcept { return *graph_; }
+
+  [[nodiscard]] bool node_alive(graph::NodeId u) const noexcept {
+    return node_dead_.empty() || node_dead_[u] == 0;
+  }
+
+  /// Aliveness of the link at `link_index` within neighbors(u).
+  [[nodiscard]] bool link_alive(graph::NodeId u, std::size_t link_index) const noexcept {
+    return link_dead_.empty() || link_dead_[u].empty() || link_dead_[u][link_index] == 0;
+  }
+
+  /// True when the hop u -> neighbors(u)[link_index] is usable: the link is
+  /// up and the far node is alive.
+  [[nodiscard]] bool hop_usable(graph::NodeId u, std::size_t link_index) const noexcept {
+    return link_alive(u, link_index) &&
+           node_alive(graph_->neighbors(u)[link_index]);
+  }
+
+  [[nodiscard]] std::size_t alive_count() const noexcept { return alive_count_; }
+
+  /// Draws a uniformly random alive node. Precondition: alive_count() > 0.
+  [[nodiscard]] graph::NodeId random_alive(util::Rng& rng) const;
+
+  /// Manual failure injection (tests, churn simulations).
+  void kill_node(graph::NodeId u);
+  void revive_node(graph::NodeId u);
+  void kill_link(graph::NodeId u, std::size_t link_index);
+
+ private:
+  explicit FailureView(const graph::OverlayGraph& g) : graph_(&g) {}
+
+  const graph::OverlayGraph* graph_;
+  std::vector<std::uint8_t> node_dead_;               // empty = all alive
+  std::vector<std::vector<std::uint8_t>> link_dead_;  // empty = all alive
+  std::size_t alive_count_ = 0;
+};
+
+}  // namespace p2p::failure

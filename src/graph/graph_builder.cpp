@@ -1,0 +1,144 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace p2p::graph {
+
+void wire_short_links(OverlayGraph& g) {
+  const std::size_t n = g.size();
+  if (n < 2) return;
+  const bool ring = g.space().kind() == metric::Space1D::Kind::kRing;
+  for (NodeId u = 0; u < n; ++u) {
+    // Node order equals position order, so index neighbours are the nearest
+    // occupied grid points on either side.
+    if (u + 1 < n) {
+      g.add_short_link(u, u + 1);
+    } else if (ring && n > 2) {
+      g.add_short_link(u, 0);
+    }
+    if (u > 0) {
+      g.add_short_link(u, u - 1);
+    } else if (ring && n > 2) {
+      // n == 2 is excluded: the u+1 branch already wired 0 <-> 1 once.
+      g.add_short_link(u, static_cast<NodeId>(n - 1));
+    }
+  }
+}
+
+namespace {
+
+std::vector<metric::Point> draw_present_positions(std::uint64_t grid_size,
+                                                  double presence, util::Rng& rng) {
+  std::vector<metric::Point> positions;
+  positions.reserve(static_cast<std::size_t>(static_cast<double>(grid_size) * presence) + 16);
+  // Re-draw until at least two nodes exist; with any sane presence this runs
+  // once. (Theorem 17's analysis assumes a non-degenerate network.)
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    positions.clear();
+    for (std::uint64_t p = 0; p < grid_size; ++p) {
+      if (rng.next_bool(presence)) positions.push_back(static_cast<metric::Point>(p));
+    }
+    if (positions.size() >= 2) return positions;
+  }
+  util::require(false, "build_overlay: presence too small to populate the grid");
+  return positions;  // unreachable
+}
+
+void add_power_law_links(OverlayGraph& g, const BuildSpec& spec, util::Rng& rng) {
+  const PowerLawLinkSampler sampler(g.space(), spec.exponent);
+  const bool sparse = spec.presence < 1.0;
+  constexpr int kMaxRejections = 256;
+  for (NodeId u = 0; u < g.size(); ++u) {
+    const metric::Point src = g.position(u);
+    for (std::size_t k = 0; k < spec.long_links; ++k) {
+      NodeId target = kInvalidNode;
+      if (!sparse) {
+        target = g.node_at(sampler.sample_target(rng, src));
+      } else if (spec.sparse_mode == BuildSpec::SparseLinkMode::kRejection) {
+        for (int tries = 0; tries < kMaxRejections; ++tries) {
+          const NodeId candidate = g.node_at(sampler.sample_target(rng, src));
+          if (candidate != kInvalidNode) {
+            target = candidate;
+            break;
+          }
+        }
+        if (target == kInvalidNode) {
+          // Degenerate sparsity: fall back to snapping so the build finishes.
+          target = g.node_nearest(sampler.sample_target(rng, src));
+        }
+      } else {
+        target = g.node_nearest(sampler.sample_target(rng, src));
+      }
+      if (target != kInvalidNode && target != u) g.add_long_link(u, target);
+    }
+  }
+}
+
+void add_base_b_links(OverlayGraph& g, const BuildSpec& spec) {
+  const std::uint64_t n = g.space().size();
+  const auto offsets = spec.link_model == BuildSpec::LinkModel::kBaseBFull
+                           ? base_b_full_offsets(n, spec.base)
+                           : base_b_power_offsets(n, spec.base);
+  const bool sparse = spec.presence < 1.0;
+  for (NodeId u = 0; u < g.size(); ++u) {
+    const metric::Point src = g.position(u);
+    for (const std::uint64_t off : offsets) {
+      for (const int sign : {+1, -1}) {
+        const auto target_pos =
+            g.space().offset(src, sign * static_cast<std::int64_t>(off));
+        if (!target_pos) continue;  // fell off the line
+        NodeId target = g.node_at(*target_pos);
+        if (target == kInvalidNode && sparse &&
+            spec.sparse_mode == BuildSpec::SparseLinkMode::kSnap) {
+          target = g.node_nearest(*target_pos);
+        }
+        if (target != kInvalidNode && target != u && !g.has_link(u, target)) {
+          g.add_long_link(u, target);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng) {
+  util::require(spec.grid_size >= 2, "build_overlay: grid_size must be >= 2");
+  util::require(spec.presence > 0.0 && spec.presence <= 1.0,
+                "build_overlay: presence must be in (0,1]");
+  util::require(spec.exponent >= 0.0, "build_overlay: exponent must be >= 0");
+  util::require(spec.base >= 2 || spec.link_model == BuildSpec::LinkModel::kPowerLaw,
+                "build_overlay: base must be >= 2");
+
+  const metric::Space1D space = spec.topology == metric::Space1D::Kind::kRing
+                                    ? metric::Space1D::ring(spec.grid_size)
+                                    : metric::Space1D::line(spec.grid_size);
+
+  OverlayGraph g = spec.presence < 1.0
+                       ? OverlayGraph(space, draw_present_positions(spec.grid_size,
+                                                                    spec.presence, rng))
+                       : OverlayGraph(space);
+  wire_short_links(g);
+  if (spec.link_model == BuildSpec::LinkModel::kPowerLaw) {
+    add_power_law_links(g, spec, rng);
+  } else {
+    add_base_b_links(g, spec);
+  }
+  if (spec.bidirectional) make_bidirectional(g);
+  return g;
+}
+
+void make_bidirectional(OverlayGraph& g) {
+  for (NodeId u = 0; u < g.size(); ++u) {
+    // Snapshot u's current long neighbours before mutating anything.
+    const auto longs = g.long_neighbors(u);
+    const std::vector<NodeId> targets(longs.begin(), longs.end());
+    for (const NodeId v : targets) {
+      if (!g.has_link(v, u)) g.add_long_link(v, u);
+    }
+  }
+}
+
+}  // namespace p2p::graph

@@ -1,0 +1,80 @@
+// Ideal (one-shot) overlay construction.
+//
+// Builds the random graph of §4.3 directly: every node links to its nearest
+// neighbour on either side plus ℓ long-distance neighbours drawn from the
+// configured distribution. This is the "ideal network" of Figure 7; the
+// incremental §5 heuristic lives in core/construction.h.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/link_distribution.h"
+#include "graph/overlay_graph.h"
+#include "metric/space1d.h"
+#include "util/rng.h"
+
+namespace p2p::graph {
+
+/// Parameters of an ideal overlay build.
+struct BuildSpec {
+  /// Number of grid points of the metric space.
+  std::uint64_t grid_size = 1024;
+
+  metric::Space1D::Kind topology = metric::Space1D::Kind::kRing;
+
+  /// How long-distance links are generated.
+  enum class LinkModel {
+    kPowerLaw,    ///< ℓ links, P ∝ d^-exponent (the paper's main model)
+    kBaseBFull,   ///< offsets {j·bⁱ} both directions (Theorem 14)
+    kBaseBPowers  ///< offsets {bⁱ} both directions (Theorem 16)
+  };
+  LinkModel link_model = LinkModel::kPowerLaw;
+
+  /// Long links per node for kPowerLaw (drawn independently with
+  /// replacement, as in Theorem 13).
+  std::size_t long_links = 1;
+
+  /// Power-law exponent r (1 = the paper's distribution; 0 = uniform).
+  double exponent = 1.0;
+
+  /// Base b of the deterministic strategies.
+  unsigned base = 2;
+
+  /// Binomial node presence (§4.3.4.1): each grid point holds a node
+  /// independently with this probability. 1.0 = fully populated.
+  double presence = 1.0;
+
+  /// How long links resolve when the sampled grid point has no node
+  /// (only relevant when presence < 1).
+  enum class SparseLinkMode {
+    kRejection,  ///< re-draw until an occupied point is hit: the distribution
+                 ///< conditioned on existence (Theorem 17's model)
+    kSnap        ///< connect to the node closest to the sampled point
+                 ///< (§5's basin-of-attraction behaviour)
+  };
+  SparseLinkMode sparse_mode = SparseLinkMode::kRejection;
+
+  /// When set, every long link is usable in both directions (the reverse
+  /// link is added unless already present). §2 models links as "n knows m's
+  /// network address"; once contacted, both endpoints know each other, so
+  /// the §6 experiments treat the overlay as bidirectional. The §4 theorems
+  /// analyze directed out-links, so the analytical benches keep this off.
+  bool bidirectional = false;
+};
+
+/// Builds an overlay per `spec`. All randomness comes from `rng`.
+///
+/// Throws std::invalid_argument on malformed specs (grid_size < 2,
+/// presence outside (0,1], exponent < 0, base < 2).
+[[nodiscard]] OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng);
+
+/// Wires only the immediate-neighbour (short) links of g: every node to its
+/// nearest neighbour on each side (wrapping on a ring). Exposed for the
+/// incremental construction and for tests.
+void wire_short_links(OverlayGraph& g);
+
+/// Adds the reverse of every long link not already present (in place), making
+/// the whole overlay usable in both directions. See BuildSpec::bidirectional.
+void make_bidirectional(OverlayGraph& g);
+
+}  // namespace p2p::graph

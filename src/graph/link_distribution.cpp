@@ -1,0 +1,193 @@
+#include "graph/link_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace p2p::graph {
+
+PowerLawLinkSampler::PowerLawLinkSampler(metric::Space1D space, double exponent)
+    : space_(space), exponent_(exponent) {
+  util::require(space_.size() >= 2, "PowerLawLinkSampler: need >= 2 grid points");
+  util::require(exponent >= 0.0, "PowerLawLinkSampler: exponent must be >= 0");
+  const metric::Distance diam = space_.diameter();
+  prefix_.resize(diam + 1);
+  prefix_[0] = 0.0;
+  for (metric::Distance d = 1; d <= diam; ++d) {
+    prefix_[d] = prefix_[d - 1] + std::pow(static_cast<double>(d), -exponent_);
+  }
+}
+
+metric::Distance PowerLawLinkSampler::sample_magnitude(util::Rng& rng,
+                                                       metric::Distance limit) const {
+  // Inverse CDF over weights w(d) = d^-r for d in [1, limit].
+  const double u = rng.next_double() * prefix_[limit];
+  const auto first = prefix_.begin() + 1;
+  const auto last = prefix_.begin() + static_cast<std::ptrdiff_t>(limit) + 1;
+  const auto it = std::upper_bound(first, last, u);
+  auto d = static_cast<metric::Distance>(it - prefix_.begin());
+  return d > limit ? limit : d;
+}
+
+metric::Point PowerLawLinkSampler::sample_target(util::Rng& rng,
+                                                 metric::Point source) const {
+  util::require(space_.contains(source), "sample_target: source outside space");
+  if (space_.kind() == metric::Space1D::Kind::kLine) {
+    const auto left = static_cast<metric::Distance>(source);
+    const auto right = space_.size() - 1 - static_cast<metric::Distance>(source);
+    const double mass_left = prefix_[left];
+    const double mass_right = prefix_[right];
+    const bool go_left = rng.next_double() * (mass_left + mass_right) < mass_left;
+    const metric::Distance limit = go_left ? left : right;
+    const metric::Distance d = sample_magnitude(rng, limit);
+    return go_left ? source - static_cast<metric::Point>(d)
+                   : source + static_cast<metric::Point>(d);
+  }
+  // Ring: every magnitude 1..floor(n/2) exists on both sides, except that for
+  // even n the antipodal magnitude n/2 names a single node. Sampling by
+  // magnitude with doubled weights and halving the antipodal weight keeps the
+  // per-node distribution exact.
+  const std::uint64_t n = space_.size();
+  const metric::Distance half = n / 2;
+  const bool even = (n % 2 == 0);
+  // Total mass = 2 * prefix[half] minus the double-counted antipode.
+  const double antipode_w =
+      even ? std::pow(static_cast<double>(half), -exponent_) : 0.0;
+  const double total = 2.0 * prefix_[half] - antipode_w;
+  const double u = rng.next_double() * total;
+  metric::Distance d;
+  bool clockwise;
+  if (u < prefix_[half]) {
+    // Clockwise side carries full weight for each magnitude.
+    const double v = u;
+    const auto it = std::upper_bound(prefix_.begin() + 1,
+                                     prefix_.begin() + static_cast<std::ptrdiff_t>(half) + 1, v);
+    d = static_cast<metric::Distance>(it - prefix_.begin());
+    if (d > half) d = half;
+    clockwise = true;
+  } else {
+    // Counter-clockwise side, excluding the antipode when n is even.
+    const metric::Distance limit = even ? half - 1 : half;
+    const double v = u - prefix_[half];
+    const auto it = std::upper_bound(prefix_.begin() + 1,
+                                     prefix_.begin() + static_cast<std::ptrdiff_t>(limit) + 1, v);
+    d = static_cast<metric::Distance>(it - prefix_.begin());
+    if (d > limit) d = limit;
+    clockwise = false;
+  }
+  const auto delta = clockwise ? static_cast<std::int64_t>(d) : -static_cast<std::int64_t>(d);
+  return *space_.offset(source, delta);
+}
+
+double PowerLawLinkSampler::probability(metric::Point source, metric::Point target) const {
+  util::require(space_.contains(source) && space_.contains(target),
+                "probability: point outside space");
+  if (source == target) return 0.0;
+  const double w = std::pow(static_cast<double>(space_.distance(source, target)),
+                            -exponent_);
+  if (space_.kind() == metric::Space1D::Kind::kLine) {
+    const auto left = static_cast<metric::Distance>(source);
+    const auto right = space_.size() - 1 - static_cast<metric::Distance>(source);
+    return w / (prefix_[left] + prefix_[right]);
+  }
+  const std::uint64_t n = space_.size();
+  const metric::Distance half = n / 2;
+  const double antipode_w =
+      (n % 2 == 0) ? std::pow(static_cast<double>(half), -exponent_) : 0.0;
+  return w / (2.0 * prefix_[half] - antipode_w);
+}
+
+std::vector<std::uint64_t> base_b_full_offsets(std::uint64_t n, unsigned base) {
+  util::require(base >= 2, "base_b_full_offsets: base must be >= 2");
+  util::require(n >= 2, "base_b_full_offsets: n must be >= 2");
+  std::vector<std::uint64_t> offsets;
+  for (std::uint64_t power = 1; power < n; power *= base) {
+    for (std::uint64_t digit = 1; digit < base; ++digit) {
+      const std::uint64_t off = digit * power;
+      if (off < n) offsets.push_back(off);
+    }
+    if (power > n / base) break;  // next multiplication would overflow past n
+  }
+  std::sort(offsets.begin(), offsets.end());
+  return offsets;
+}
+
+std::vector<std::uint64_t> base_b_power_offsets(std::uint64_t n, unsigned base) {
+  util::require(base >= 2, "base_b_power_offsets: base must be >= 2");
+  util::require(n >= 2, "base_b_power_offsets: n must be >= 2");
+  std::vector<std::uint64_t> offsets;
+  for (std::uint64_t power = 1; power < n; power *= base) {
+    offsets.push_back(power);
+    if (power > n / base) break;
+  }
+  return offsets;
+}
+
+KleinbergGridSampler::KleinbergGridSampler(metric::Torus2D torus, double exponent)
+    : torus_(torus), exponent_(exponent) {
+  util::require(torus_.size() >= 2, "KleinbergGridSampler: need >= 2 grid points");
+  util::require(exponent >= 0.0, "KleinbergGridSampler: exponent must be >= 0");
+  const metric::Distance diam = torus_.diameter();
+  radius_prefix_.resize(diam + 1);
+  radius_prefix_[0] = 0.0;
+  for (metric::Distance d = 1; d <= diam; ++d) {
+    const double w = static_cast<double>(torus_.ring_size(d)) *
+                     std::pow(static_cast<double>(d), -exponent_);
+    radius_prefix_[d] = radius_prefix_[d - 1] + w;
+  }
+}
+
+metric::Point KleinbergGridSampler::sample_target(util::Rng& rng,
+                                                  metric::Point source) const {
+  util::require(torus_.contains(source), "sample_target: source outside torus");
+  // Draw the radius first (P ∝ ring_size(d) * d^-r), then a uniform point at
+  // that radius.
+  const double u = rng.next_double() * radius_prefix_.back();
+  const auto it = std::upper_bound(radius_prefix_.begin() + 1, radius_prefix_.end(), u);
+  auto d = static_cast<metric::Distance>(it - radius_prefix_.begin());
+  if (d >= radius_prefix_.size()) d = radius_prefix_.size() - 1;
+
+  const auto s = static_cast<std::int64_t>(torus_.side());
+  const std::uint64_t half = static_cast<std::uint64_t>(s) / 2;
+  // Count of offsets at wrapped axis-distance `x` within one period.
+  const auto axis_count = [&](std::uint64_t x) -> std::uint64_t {
+    if (x == 0) return 1;
+    if (x < half) return 2;
+    if (x == half) return (s % 2 == 0) ? 1 : 2;
+    return 0;
+  };
+  const std::uint64_t max_axis = (s % 2 == 0) ? half : half;  // floor(s/2)
+  // Choose the row component rd of the Manhattan distance with weight
+  // axis_count(rd) * axis_count(d - rd).
+  double total = 0.0;
+  const std::uint64_t rd_max = std::min<std::uint64_t>(d, max_axis);
+  for (std::uint64_t rd = 0; rd <= rd_max; ++rd) {
+    total += static_cast<double>(axis_count(rd) * axis_count(d - rd));
+  }
+  double pick = rng.next_double() * total;
+  std::uint64_t rd = 0;
+  for (std::uint64_t r = 0; r <= rd_max; ++r) {
+    const double w = static_cast<double>(axis_count(r) * axis_count(d - r));
+    if (pick < w) {
+      rd = r;
+      break;
+    }
+    pick -= w;
+    rd = r;  // fall back to the last valid radius on FP underflow
+  }
+  const std::uint64_t cd = d - rd;
+  const auto signed_offset = [&](std::uint64_t dist) -> std::int64_t {
+    const std::uint64_t options = axis_count(dist);
+    if (options == 1) {
+      return dist == 0 ? 0 : static_cast<std::int64_t>(dist);
+    }
+    return rng.next_bool(0.5) ? static_cast<std::int64_t>(dist)
+                              : -static_cast<std::int64_t>(dist);
+  };
+  const auto [row, col] = torus_.coords(source);
+  return torus_.at(static_cast<std::int64_t>(row) + signed_offset(rd),
+                   static_cast<std::int64_t>(col) + signed_offset(cd));
+}
+
+}  // namespace p2p::graph

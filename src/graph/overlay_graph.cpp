@@ -1,0 +1,131 @@
+#include "graph/overlay_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace p2p::graph {
+
+OverlayGraph::OverlayGraph(metric::Space1D space)
+    : space_(space),
+      dense_(true),
+      adjacency_(space.size()),
+      short_degree_(space.size(), 0) {}
+
+OverlayGraph::OverlayGraph(metric::Space1D space, std::vector<metric::Point> positions)
+    : space_(space), dense_(false), positions_(std::move(positions)) {
+  util::require(!positions_.empty(), "OverlayGraph: need at least one node");
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    util::require(space_.contains(positions_[i]),
+                  "OverlayGraph: position outside the space");
+    if (i > 0) {
+      util::require(positions_[i - 1] < positions_[i],
+                    "OverlayGraph: positions must be strictly increasing");
+    }
+  }
+  adjacency_.resize(positions_.size());
+  short_degree_.assign(positions_.size(), 0);
+}
+
+NodeId OverlayGraph::node_at(metric::Point p) const noexcept {
+  if (dense_) {
+    return space_.contains(p) ? static_cast<NodeId>(p) : kInvalidNode;
+  }
+  const auto it = std::lower_bound(positions_.begin(), positions_.end(), p);
+  if (it == positions_.end() || *it != p) return kInvalidNode;
+  return static_cast<NodeId>(it - positions_.begin());
+}
+
+NodeId OverlayGraph::node_nearest(metric::Point p) const noexcept {
+  if (dense_) {
+    return space_.contains(p) ? static_cast<NodeId>(p) : kInvalidNode;
+  }
+  if (positions_.empty()) return kInvalidNode;
+  const auto it = std::lower_bound(positions_.begin(), positions_.end(), p);
+  // Candidate indices around the insertion point; on a ring also the two ends
+  // (wraparound neighbours).
+  NodeId best = kInvalidNode;
+  metric::Distance best_d = 0;
+  const auto consider = [&](std::size_t idx) {
+    const auto id = static_cast<NodeId>(idx);
+    const metric::Distance d = space_.distance(positions_[idx], p);
+    if (best == kInvalidNode || d < best_d ||
+        (d == best_d && positions_[idx] < positions_[best])) {
+      best = id;
+      best_d = d;
+    }
+  };
+  if (it != positions_.end()) consider(static_cast<std::size_t>(it - positions_.begin()));
+  if (it != positions_.begin())
+    consider(static_cast<std::size_t>(it - positions_.begin()) - 1);
+  if (space_.kind() == metric::Space1D::Kind::kRing) {
+    consider(0);
+    consider(positions_.size() - 1);
+  }
+  return best;
+}
+
+void OverlayGraph::check_node(NodeId u) const {
+  util::require_in_range(u < adjacency_.size(), "OverlayGraph: node id out of range");
+}
+
+void OverlayGraph::add_short_link(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  if (short_degree_[u] != adjacency_[u].size()) {
+    throw std::logic_error("OverlayGraph: short links must precede long links");
+  }
+  adjacency_[u].push_back(v);
+  ++short_degree_[u];
+  ++link_count_;
+}
+
+void OverlayGraph::add_long_link(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  adjacency_[u].push_back(v);
+  ++link_count_;
+}
+
+void OverlayGraph::replace_long_link(NodeId u, std::size_t long_index, NodeId v) {
+  check_node(u);
+  check_node(v);
+  const std::size_t idx = short_degree_[u] + long_index;
+  util::require_in_range(idx < adjacency_[u].size(),
+                         "OverlayGraph::replace_long_link: index out of range");
+  adjacency_[u][idx] = v;
+}
+
+void OverlayGraph::clear_links(NodeId u) {
+  check_node(u);
+  link_count_ -= adjacency_[u].size();
+  adjacency_[u].clear();
+  short_degree_[u] = 0;
+}
+
+bool OverlayGraph::has_link(NodeId u, NodeId v) const noexcept {
+  const auto& adj = adjacency_[u];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+std::vector<std::uint32_t> OverlayGraph::in_degrees() const {
+  std::vector<std::uint32_t> degrees(size(), 0);
+  for (const auto& adj : adjacency_) {
+    for (NodeId v : adj) ++degrees[v];
+  }
+  return degrees;
+}
+
+std::vector<metric::Distance> OverlayGraph::long_link_lengths() const {
+  std::vector<metric::Distance> lengths;
+  lengths.reserve(link_count_);
+  for (NodeId u = 0; u < size(); ++u) {
+    for (NodeId v : long_neighbors(u)) {
+      lengths.push_back(node_distance(u, v));
+    }
+  }
+  return lengths;
+}
+
+}  // namespace p2p::graph

@@ -1,0 +1,115 @@
+// The virtual overlay network: a directed graph over grid positions of a
+// one-dimensional metric space.
+//
+// Nodes are identified by dense indices (NodeId); node i occupies grid
+// position positions()[i]. In the common fully-populated case position ==
+// NodeId; under binomial presence (§4.3.4.1) positions form a sparse sorted
+// subset of the grid. Each node's adjacency list stores its *short* links
+// (immediate neighbours, always first) followed by its long-distance links —
+// the split is what lets failure models keep ±1 links alive (§4.3.3 assumes
+// "links to the immediate neighbours are always present").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "metric/space1d.h"
+
+namespace p2p::graph {
+
+/// Dense node index within an OverlayGraph.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Directed overlay graph embedded in a Space1D.
+class OverlayGraph {
+ public:
+  /// A graph whose node i sits at grid position i (fully populated grid).
+  explicit OverlayGraph(metric::Space1D space);
+
+  /// A graph over a sparse, strictly increasing set of occupied positions.
+  /// Preconditions: positions sorted strictly increasing, all within space.
+  OverlayGraph(metric::Space1D space, std::vector<metric::Point> positions);
+
+  [[nodiscard]] const metric::Space1D& space() const noexcept { return space_; }
+
+  /// Number of nodes (not grid points).
+  [[nodiscard]] std::size_t size() const noexcept { return adjacency_.size(); }
+
+  /// Grid position of node u. Precondition: u < size().
+  [[nodiscard]] metric::Point position(NodeId u) const noexcept {
+    return dense_ ? static_cast<metric::Point>(u) : positions_[u];
+  }
+
+  /// The node occupying grid position p exactly, or kInvalidNode.
+  [[nodiscard]] NodeId node_at(metric::Point p) const noexcept;
+
+  /// The node whose position is closest to p (ties break to the lower
+  /// position). Precondition: size() > 0 and space().contains(p).
+  [[nodiscard]] NodeId node_nearest(metric::Point p) const noexcept;
+
+  /// All out-neighbours of u: short links first, then long links.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
+    return adjacency_[u];
+  }
+
+  /// Long-distance out-neighbours of u only.
+  [[nodiscard]] std::span<const NodeId> long_neighbors(NodeId u) const noexcept {
+    return std::span<const NodeId>(adjacency_[u]).subspan(short_degree_[u]);
+  }
+
+  /// Number of short (immediate-neighbour) links of u.
+  [[nodiscard]] std::size_t short_degree(NodeId u) const noexcept {
+    return short_degree_[u];
+  }
+
+  [[nodiscard]] std::size_t out_degree(NodeId u) const noexcept {
+    return adjacency_[u].size();
+  }
+
+  /// Total number of directed links in the graph.
+  [[nodiscard]] std::size_t link_count() const noexcept { return link_count_; }
+
+  /// Appends a short (immediate-neighbour) link u -> v. Short links must be
+  /// added before any long link of u. Throws std::logic_error otherwise.
+  void add_short_link(NodeId u, NodeId v);
+
+  /// Appends a long-distance link u -> v.
+  void add_long_link(NodeId u, NodeId v);
+
+  /// Replaces the long link at `long_index` (index into long_neighbors(u))
+  /// with a link to v. Precondition: long_index < long degree of u.
+  void replace_long_link(NodeId u, std::size_t long_index, NodeId v);
+
+  /// Removes every link of u (short and long).
+  void clear_links(NodeId u);
+
+  /// True when u has any link to v.
+  [[nodiscard]] bool has_link(NodeId u, NodeId v) const noexcept;
+
+  /// Metric distance between two nodes' positions.
+  [[nodiscard]] metric::Distance node_distance(NodeId u, NodeId v) const noexcept {
+    return space_.distance(position(u), position(v));
+  }
+
+  /// In-degrees of every node (O(links) scan).
+  [[nodiscard]] std::vector<std::uint32_t> in_degrees() const;
+
+  /// Lengths of every long-distance link (for Figure 5 style histograms).
+  [[nodiscard]] std::vector<metric::Distance> long_link_lengths() const;
+
+ private:
+  void check_node(NodeId u) const;
+
+  metric::Space1D space_;
+  bool dense_;
+  std::vector<metric::Point> positions_;        // empty when dense_
+  std::vector<std::vector<NodeId>> adjacency_;  // short links first
+  std::vector<std::uint32_t> short_degree_;
+  std::size_t link_count_ = 0;
+};
+
+}  // namespace p2p::graph

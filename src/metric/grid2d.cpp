@@ -1,0 +1,54 @@
+#include "metric/grid2d.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/require.h"
+
+namespace p2p::metric {
+
+Torus2D::Torus2D(std::uint32_t side) : side_(side) {
+  util::require(side >= 1, "Torus2D: side must be >= 1");
+}
+
+Distance Torus2D::distance(Point a, Point b) const noexcept {
+  const auto [ar, ac] = coords(a);
+  const auto [br, bc] = coords(b);
+  const auto axis = [&](std::uint32_t x, std::uint32_t y) -> Distance {
+    const std::uint32_t direct = x > y ? x - y : y - x;
+    return std::min<Distance>(direct, side_ - direct);
+  };
+  return axis(ar, br) + axis(ac, bc);
+}
+
+std::uint64_t Torus2D::ring_size(Distance d) const noexcept {
+  if (d == 0) return 1;
+  if (d > diameter()) return 0;
+  // Count points (dr, dc) with wrapped |dr| + wrapped |dc| == d by direct
+  // enumeration over the row offset. side_ is at most ~2^16 in practice, and
+  // the result is cached by callers, so O(side) is fine.
+  const auto s = static_cast<std::int64_t>(side_);
+  std::uint64_t count = 0;
+  for (std::int64_t dr = -(s / 2); dr <= s - 1 - s / 2; ++dr) {
+    const auto row_dist = static_cast<std::uint64_t>(std::min<std::int64_t>(
+        std::abs(dr), s - std::abs(dr)));
+    if (row_dist > d) continue;
+    const std::uint64_t need = d - row_dist;
+    // Count column offsets dc in one full period with wrapped |dc| == need.
+    std::uint64_t cols;
+    const auto half = static_cast<std::uint64_t>(s) / 2;
+    if (need == 0) {
+      cols = 1;
+    } else if (need < half || (need == half && s % 2 == 1)) {
+      cols = 2;
+    } else if (need == half && s % 2 == 0) {
+      cols = 1;
+    } else {
+      cols = 0;
+    }
+    count += cols;
+  }
+  return count;
+}
+
+}  // namespace p2p::metric

@@ -1,0 +1,65 @@
+// Two-dimensional torus grid with Manhattan (lattice) distance.
+//
+// Used by the Kleinberg small-world baseline (§2 of the paper compares
+// against Kleinberg's two-dimensional grid model [5]). Positions are
+// flattened row-major: p = row * side + col.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "metric/space1d.h"
+
+namespace p2p::metric {
+
+/// side × side torus of grid points under Manhattan distance with wraparound.
+class Torus2D {
+ public:
+  /// Precondition: side >= 1.
+  explicit Torus2D(std::uint32_t side);
+
+  [[nodiscard]] std::uint32_t side() const noexcept { return side_; }
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return static_cast<std::uint64_t>(side_) * side_;
+  }
+
+  [[nodiscard]] bool contains(Point p) const noexcept {
+    return p >= 0 && static_cast<std::uint64_t>(p) < size();
+  }
+
+  /// (row, col) of a flattened position.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> coords(Point p) const noexcept {
+    const auto v = static_cast<std::uint64_t>(p);
+    return {static_cast<std::uint32_t>(v / side_), static_cast<std::uint32_t>(v % side_)};
+  }
+
+  /// Flattened position of (row, col); coordinates are taken modulo side.
+  [[nodiscard]] Point at(std::int64_t row, std::int64_t col) const noexcept {
+    const auto s = static_cast<std::int64_t>(side_);
+    row %= s;
+    if (row < 0) row += s;
+    col %= s;
+    if (col < 0) col += s;
+    return row * s + col;
+  }
+
+  /// Manhattan distance with wraparound in both axes.
+  [[nodiscard]] Distance distance(Point a, Point b) const noexcept;
+
+  /// Largest possible distance between any two points.
+  [[nodiscard]] Distance diameter() const noexcept {
+    return 2 * static_cast<Distance>(side_ / 2);
+  }
+
+  /// Number of grid points at exactly distance d > 0 from any point.
+  ///
+  /// On a torus this count is position independent, which lets the Kleinberg
+  /// link sampler draw a radius first and then a point uniformly at that
+  /// radius (O(1) per draw after an O(side) table build).
+  [[nodiscard]] std::uint64_t ring_size(Distance d) const noexcept;
+
+ private:
+  std::uint32_t side_;
+};
+
+}  // namespace p2p::metric

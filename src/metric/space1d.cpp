@@ -1,0 +1,81 @@
+#include "metric/space1d.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace p2p::metric {
+
+Space1D Space1D::line(std::uint64_t n) {
+  util::require(n >= 1, "Space1D::line: need at least one grid point");
+  return Space1D(Kind::kLine, n);
+}
+
+Space1D Space1D::ring(std::uint64_t n) {
+  util::require(n >= 1, "Space1D::ring: need at least one grid point");
+  return Space1D(Kind::kRing, n);
+}
+
+Distance Space1D::max_distance(Point x) const noexcept {
+  if (kind_ == Kind::kRing) return size_ / 2;
+  const auto left = static_cast<std::uint64_t>(x);
+  const auto right = size_ - 1 - static_cast<std::uint64_t>(x);
+  return std::max(left, right);
+}
+
+std::optional<Point> Space1D::offset(Point x, std::int64_t delta) const noexcept {
+  if (kind_ == Kind::kLine) {
+    const Point y = x + delta;
+    if (!contains(y)) return std::nullopt;
+    return y;
+  }
+  const auto n = static_cast<std::int64_t>(size_);
+  std::int64_t y = (x + delta) % n;
+  if (y < 0) y += n;
+  return y;
+}
+
+int Space1D::direction(Point from, Point to) const noexcept {
+  if (from == to) return 0;
+  if (kind_ == Kind::kLine) return to > from ? 1 : -1;
+  const auto n = static_cast<std::int64_t>(size_);
+  std::int64_t forward = (to - from) % n;
+  if (forward < 0) forward += n;
+  // forward steps clockwise (+1); n - forward steps counter-clockwise.
+  return forward <= n - forward ? 1 : -1;
+}
+
+bool Space1D::between(Point v, Point u, Point t) const noexcept {
+  if (u == t) return v == t;
+  if (v == t) return true;
+  if (kind_ == Kind::kLine) {
+    return (t < v && v < u) || (u < v && v < t);
+  }
+  // Ring: v must lie strictly inside the shortest arc from u to t, walked in
+  // the canonical direction. With antipodal ties either arc is shortest; we
+  // accept membership of whichever arc contains v without overshooting.
+  const auto n = static_cast<std::int64_t>(size_);
+  const auto arc_contains = [&](int dir) {
+    std::int64_t steps_to_t = (dir > 0 ? t - u : u - t) % n;
+    if (steps_to_t < 0) steps_to_t += n;
+    std::int64_t steps_to_v = (dir > 0 ? v - u : u - v) % n;
+    if (steps_to_v < 0) steps_to_v += n;
+    return steps_to_v > 0 && steps_to_v < steps_to_t;
+  };
+  const Distance d_ut = distance(u, t);
+  const std::int64_t forward = [&] {
+    std::int64_t f = (t - u) % n;
+    return f < 0 ? f + n : f;
+  }();
+  const bool clockwise_shortest = static_cast<std::uint64_t>(forward) == d_ut;
+  const bool counter_shortest =
+      static_cast<std::uint64_t>(n - forward) % static_cast<std::uint64_t>(n) == d_ut;
+  return (clockwise_shortest && arc_contains(+1)) ||
+         (counter_shortest && arc_contains(-1));
+}
+
+std::string Space1D::to_string() const {
+  return (kind_ == Kind::kLine ? "line(" : "ring(") + std::to_string(size_) + ")";
+}
+
+}  // namespace p2p::metric

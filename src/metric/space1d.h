@@ -1,0 +1,91 @@
+// One-dimensional metric spaces: the line and the ring (circle).
+//
+// The paper embeds nodes at grid points of a one-dimensional real line
+// (§4.3); Chord-style systems correspond to the ring, where distance is
+// measured along the circumference (§3). Both are represented by the value
+// type Space1D: grid positions are the integers 0..size-1 and the metric is
+// |a-b| on the line or min(|a-b|, size-|a-b|) on the ring.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace p2p::metric {
+
+/// A grid position in a metric space. Positions are non-negative; the signed
+/// type keeps offset arithmetic (position - delta) natural, matching the
+/// paper's notation x - Δi.
+using Point = std::int64_t;
+
+/// A distance between two grid positions.
+using Distance = std::uint64_t;
+
+/// One-dimensional metric space over grid points 0..size()-1.
+///
+/// Constructed via the factories line(n) / ring(n). The class is a small
+/// value type: copying is cheap and all queries are O(1) and noexcept.
+class Space1D {
+ public:
+  enum class Kind : std::uint8_t { kLine, kRing };
+
+  /// A line segment of n grid points. Precondition: n >= 1.
+  [[nodiscard]] static Space1D line(std::uint64_t n);
+
+  /// A ring (circle) of n grid points. Precondition: n >= 1.
+  [[nodiscard]] static Space1D ring(std::uint64_t n);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+  /// True when p is a valid grid position of this space.
+  [[nodiscard]] bool contains(Point p) const noexcept {
+    return p >= 0 && static_cast<std::uint64_t>(p) < size_;
+  }
+
+  /// Metric distance between two grid positions.
+  /// Preconditions: contains(a) && contains(b).
+  [[nodiscard]] Distance distance(Point a, Point b) const noexcept {
+    const auto direct =
+        static_cast<std::uint64_t>(a > b ? a - b : b - a);
+    if (kind_ == Kind::kLine) return direct;
+    return direct <= size_ - direct ? direct : size_ - direct;
+  }
+
+  /// Largest possible distance from position x to any other position.
+  [[nodiscard]] Distance max_distance(Point x) const noexcept;
+
+  /// Largest distance between any two positions (the diameter).
+  [[nodiscard]] Distance diameter() const noexcept {
+    return kind_ == Kind::kLine ? size_ - 1 : size_ / 2;
+  }
+
+  /// The position reached from x by the signed offset `delta`.
+  ///
+  /// On the ring the result wraps modulo size(); on the line the result is
+  /// std::nullopt when it would fall off either end.
+  [[nodiscard]] std::optional<Point> offset(Point x, std::int64_t delta) const noexcept;
+
+  /// Signed step (+1 or -1) that moves from `from` toward `to` along a
+  /// shortest path; 0 when from == to. Ring ties (antipodal points) resolve
+  /// to +1.
+  [[nodiscard]] int direction(Point from, Point to) const noexcept;
+
+  /// True when position v lies on a shortest path from u to the target t
+  /// *without passing t* — i.e. v is an acceptable next position under
+  /// one-sided greedy routing (§4.2.1: "never traverses a link that would
+  /// take it past its target").
+  [[nodiscard]] bool between(Point v, Point u, Point t) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Space1D&, const Space1D&) = default;
+
+ private:
+  Space1D(Kind kind, std::uint64_t size) noexcept : kind_(kind), size_(size) {}
+
+  Kind kind_;
+  std::uint64_t size_;
+};
+
+}  // namespace p2p::metric

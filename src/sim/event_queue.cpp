@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include "util/require.h"
+
+namespace p2p::sim {
+
+void EventQueue::schedule(SimTime when, std::function<void()> action) {
+  util::require(when >= now_, "EventQueue: cannot schedule into the past");
+  heap_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the action is moved out via const_cast,
+  // which is safe because the entry is popped immediately after.
+  auto& top = const_cast<Entry&>(heap_.top());
+  now_ = top.when;
+  auto action = std::move(top.action);
+  heap_.pop();
+  action();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t limit) {
+  std::size_t executed = 0;
+  while (executed < limit && step()) ++executed;
+  return executed;
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().when <= until && step()) ++executed;
+  return executed;
+}
+
+}  // namespace p2p::sim

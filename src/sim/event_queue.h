@@ -1,0 +1,60 @@
+// Discrete-event core: a virtual clock plus an ordered callback queue.
+//
+// Events at equal timestamps fire in submission order (a monotonically
+// increasing sequence number breaks ties), which keeps simulations
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace p2p::sim {
+
+/// Virtual time in milliseconds.
+using SimTime = double;
+
+/// Min-heap of timed callbacks with a stable tie-break.
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute virtual time `when`.
+  /// Precondition: when >= now() (no scheduling into the past).
+  void schedule(SimTime when, std::function<void()> action);
+
+  /// Schedules `action` `delay` after the current time.
+  void schedule_in(SimTime delay, std::function<void()> action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Pops and executes the earliest event; advances the clock to its time.
+  /// Returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue drains or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = static_cast<std::size_t>(-1));
+
+  /// Runs events with time <= `until` (events beyond stay queued).
+  std::size_t run_until(SimTime until);
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> action;
+    bool operator>(const Entry& other) const noexcept {
+      return when != other.when ? when > other.when : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace p2p::sim

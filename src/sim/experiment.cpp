@@ -1,0 +1,39 @@
+#include "sim/experiment.h"
+
+#include "util/require.h"
+
+namespace p2p::sim {
+
+std::vector<double> run_trials(util::ThreadPool& pool, std::size_t trials,
+                               std::uint64_t seed,
+                               const std::function<double(std::size_t, util::Rng&)>& fn) {
+  std::vector<double> results(trials, 0.0);
+  pool.parallel_for(trials, [&](std::size_t trial) {
+    util::Rng rng(util::splitmix64(seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1))));
+    results[trial] = fn(trial, rng);
+  });
+  return results;
+}
+
+std::vector<std::vector<double>> run_trials_multi(
+    util::ThreadPool& pool, std::size_t trials, std::uint64_t seed,
+    const std::function<std::vector<double>(std::size_t, util::Rng&)>& fn) {
+  std::vector<std::vector<double>> results(trials);
+  pool.parallel_for(trials, [&](std::size_t trial) {
+    util::Rng rng(util::splitmix64(seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1))));
+    results[trial] = fn(trial, rng);
+  });
+  return results;
+}
+
+std::vector<util::Accumulator> accumulate_columns(
+    const std::vector<std::vector<double>>& rows) {
+  std::vector<util::Accumulator> columns;
+  for (const auto& row : rows) {
+    if (columns.size() < row.size()) columns.resize(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) columns[c].add(row[c]);
+  }
+  return columns;
+}
+
+}  // namespace p2p::sim

@@ -1,0 +1,38 @@
+// Multi-trial experiment driver.
+//
+// The paper's experiments repeat each configuration over many freshly built
+// networks ("for each value of p, we ran 1000 simulations") and average.
+// run_trials fans trials across a thread pool with one independent,
+// deterministic Rng stream per trial; results come back in trial order so
+// output is reproducible regardless of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace p2p::sim {
+
+/// Runs `fn(trial_index, rng)` for each trial on `pool`, collecting scalar
+/// results in trial order. Each trial's Rng stream derives from `seed` and
+/// the trial index, so results are independent of thread scheduling.
+[[nodiscard]] std::vector<double> run_trials(
+    util::ThreadPool& pool, std::size_t trials, std::uint64_t seed,
+    const std::function<double(std::size_t, util::Rng&)>& fn);
+
+/// As run_trials, but each trial yields a vector of metrics (e.g. failure
+/// fraction and mean hops). All trials must return the same length.
+[[nodiscard]] std::vector<std::vector<double>> run_trials_multi(
+    util::ThreadPool& pool, std::size_t trials, std::uint64_t seed,
+    const std::function<std::vector<double>(std::size_t, util::Rng&)>& fn);
+
+/// Column-wise accumulation of run_trials_multi output.
+[[nodiscard]] std::vector<util::Accumulator> accumulate_columns(
+    const std::vector<std::vector<double>>& rows);
+
+}  // namespace p2p::sim

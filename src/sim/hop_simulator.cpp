@@ -1,0 +1,52 @@
+#include "sim/hop_simulator.h"
+
+#include "util/require.h"
+
+namespace p2p::sim {
+
+void BatchResult::merge(const BatchResult& other) noexcept {
+  messages += other.messages;
+  delivered += other.delivered;
+  stuck += other.stuck;
+  ttl_expired += other.ttl_expired;
+  hops_success.merge(other.hops_success);
+  hops_failed.merge(other.hops_failed);
+  backtracks.merge(other.backtracks);
+  reroutes.merge(other.reroutes);
+}
+
+BatchResult run_batch(const core::Router& router, std::size_t messages,
+                      util::Rng& rng) {
+  const failure::FailureView& view = router.view();
+  util::require(view.alive_count() >= 2, "run_batch: need at least two live nodes");
+
+  BatchResult batch;
+  for (std::size_t m = 0; m < messages; ++m) {
+    const graph::NodeId src = view.random_alive(rng);
+    graph::NodeId dst = src;
+    while (dst == src) dst = view.random_alive(rng);
+
+    const core::RouteResult result =
+        router.route(src, router.graph().position(dst), rng);
+    ++batch.messages;
+    batch.backtracks.add(static_cast<double>(result.backtracks));
+    batch.reroutes.add(static_cast<double>(result.reroutes));
+    switch (result.status) {
+      case core::RouteResult::Status::kDelivered:
+        ++batch.delivered;
+        batch.hops_success.add(static_cast<double>(result.hops));
+        break;
+      case core::RouteResult::Status::kStuck:
+        ++batch.stuck;
+        batch.hops_failed.add(static_cast<double>(result.hops));
+        break;
+      case core::RouteResult::Status::kTtlExpired:
+        ++batch.ttl_expired;
+        batch.hops_failed.add(static_cast<double>(result.hops));
+        break;
+    }
+  }
+  return batch;
+}
+
+}  // namespace p2p::sim

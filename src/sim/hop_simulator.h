@@ -1,0 +1,43 @@
+// Synchronous hop-level batch driver — the paper's measurement harness.
+//
+// §6: "we repeatedly choose random source and destination nodes that have
+// not failed and route a message between them", averaging the number of hops
+// of successful searches and the number of failed searches. run_batch does
+// exactly that over one (graph, failure view, router) triple.
+#pragma once
+
+#include <cstddef>
+
+#include "core/router.h"
+#include "failure/failure_model.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace p2p::sim {
+
+/// Aggregate of one batch of searches.
+struct BatchResult {
+  std::size_t messages = 0;
+  std::size_t delivered = 0;
+  std::size_t stuck = 0;
+  std::size_t ttl_expired = 0;
+  util::Accumulator hops_success;   ///< hops of delivered searches only
+  util::Accumulator hops_failed;    ///< hops consumed by failed searches
+  util::Accumulator backtracks;     ///< backtrack returns per search
+  util::Accumulator reroutes;       ///< reroutes per search
+
+  [[nodiscard]] std::size_t failed() const noexcept { return stuck + ttl_expired; }
+  [[nodiscard]] double failure_fraction() const noexcept {
+    return messages == 0 ? 0.0
+                         : static_cast<double>(failed()) / static_cast<double>(messages);
+  }
+
+  void merge(const BatchResult& other) noexcept;
+};
+
+/// Routes `messages` searches between uniformly random distinct *live*
+/// src/dst pairs. Preconditions: the view has at least two live nodes.
+[[nodiscard]] BatchResult run_batch(const core::Router& router, std::size_t messages,
+                                    util::Rng& rng);
+
+}  // namespace p2p::sim

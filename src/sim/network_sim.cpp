@@ -1,0 +1,58 @@
+#include "sim/network_sim.h"
+
+#include <memory>
+
+namespace p2p::sim {
+
+NetworkSimulator::NetworkSimulator(const graph::OverlayGraph& g,
+                                   failure::FailureView view,
+                                   core::RouterConfig router_config,
+                                   LatencyModel latency, std::uint64_t seed)
+    : graph_(&g),
+      view_(std::move(view)),
+      router_(g, view_, router_config),
+      latency_(latency),
+      rng_(seed) {}
+
+void NetworkSimulator::submit_search(SimTime when, graph::NodeId src,
+                                     metric::Point target) {
+  const std::size_t index = records_.size();
+  SearchRecord record;
+  record.id = index;
+  record.src = src;
+  record.target = target;
+  record.submitted = when;
+  records_.push_back(record);
+  events_.schedule(when, [this, index, src, target] {
+    auto session = std::make_shared<core::RouteSession>(router_, src, target);
+    advance_search(index, std::move(session));
+  });
+}
+
+void NetworkSimulator::schedule_failure(SimTime when, graph::NodeId node) {
+  events_.schedule(when, [this, node] { view_.kill_node(node); });
+}
+
+void NetworkSimulator::schedule_recovery(SimTime when, graph::NodeId node) {
+  events_.schedule(when, [this, node] { view_.revive_node(node); });
+}
+
+void NetworkSimulator::advance_search(std::size_t record_index,
+                                      std::shared_ptr<core::RouteSession> session) {
+  const auto hop = session->step(rng_);
+  if (!hop) {
+    SearchRecord& record = records_[record_index];
+    record.completed = events_.now();
+    record.result = session->progress();
+    if (completion_callback_) completion_callback_(record);
+    return;
+  }
+  events_.schedule_in(latency_.sample(rng_),
+                      [this, record_index, session = std::move(session)]() mutable {
+                        advance_search(record_index, std::move(session));
+                      });
+}
+
+void NetworkSimulator::run(std::size_t max_events) { events_.run(max_events); }
+
+}  // namespace p2p::sim

@@ -1,0 +1,40 @@
+// Harmonic numbers H_n = 1 + 1/2 + ... + 1/n.
+//
+// The inverse power-law link distribution with exponent 1 is normalized by
+// harmonic sums, and every delivery-time bound in the paper is stated in
+// terms of H_n, so these helpers are used by graph sampling, the analysis
+// library and the benches alike.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace p2p::util {
+
+/// Euler–Mascheroni constant.
+inline constexpr double kEulerGamma = 0.5772156649015328606;
+
+/// Exact H_n by summation for small n, asymptotic expansion for large n.
+///
+/// The switchover keeps absolute error below 1e-12 everywhere.
+[[nodiscard]] inline double harmonic(std::uint64_t n) noexcept {
+  if (n == 0) return 0.0;
+  if (n <= 128) {
+    double h = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+    return h;
+  }
+  const double x = static_cast<double>(n);
+  // H_n ~ ln n + γ + 1/(2n) - 1/(12n^2) + 1/(120n^4)
+  return std::log(x) + kEulerGamma + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x) +
+         1.0 / (120.0 * x * x * x * x);
+}
+
+/// Generalized harmonic number H_{n,r} = Σ_{i=1..n} i^-r (exact summation).
+[[nodiscard]] inline double harmonic_general(std::uint64_t n, double r) noexcept {
+  double h = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) h += std::pow(static_cast<double>(i), -r);
+  return h;
+}
+
+}  // namespace p2p::util

@@ -1,0 +1,112 @@
+#include "util/histogram.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace p2p::util {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  require(lo < hi, "LinearHistogram: lo must be < hi");
+  require(bins >= 1, "LinearHistogram: need at least one bin");
+}
+
+void LinearHistogram::add(double x, std::uint64_t weight) noexcept {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    overflow_ += weight;
+    return;
+  }
+  counts_[idx] += weight;
+}
+
+double LinearHistogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double LinearHistogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+ExactCounter::ExactCounter(std::uint64_t max_value) : counts_(max_value + 1, 0) {}
+
+void ExactCounter::add(std::uint64_t value, std::uint64_t weight) noexcept {
+  total_ += weight;
+  if (value >= counts_.size()) {
+    overflow_ += weight;
+    return;
+  }
+  counts_[value] += weight;
+}
+
+void ExactCounter::merge(const ExactCounter& other) {
+  require(counts_.size() == other.counts_.size(),
+          "ExactCounter::merge: incompatible sizes");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+std::uint64_t ExactCounter::count(std::uint64_t value) const {
+  require_in_range(value < counts_.size(), "ExactCounter::count: value out of range");
+  return counts_[value];
+}
+
+double ExactCounter::probability(std::uint64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+LogHistogram::LogHistogram(double base, std::uint64_t max_value) : base_(base) {
+  require(base > 1.0, "LogHistogram: base must be > 1");
+  require(max_value >= 1, "LogHistogram: max_value must be >= 1");
+  std::uint64_t edge = 1;
+  while (edge <= max_value) {
+    edges_.push_back(edge);
+    const auto next = static_cast<std::uint64_t>(std::ceil(static_cast<double>(edge) * base_));
+    edge = next > edge ? next : edge + 1;
+  }
+  edges_.push_back(edge);  // sentinel upper edge
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+std::size_t LogHistogram::bin_index(std::uint64_t value) const noexcept {
+  // Binary search for the last edge <= value.
+  std::size_t lo = 0, hi = edges_.size() - 1;
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (edges_[mid] <= value)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+void LogHistogram::add(std::uint64_t value, std::uint64_t weight) noexcept {
+  if (value == 0) value = 1;
+  total_ += weight;
+  if (value >= edges_.back()) {
+    counts_.back() += weight;
+    return;
+  }
+  counts_[bin_index(value)] += weight;
+}
+
+std::uint64_t LogHistogram::bin_lo(std::size_t i) const {
+  require_in_range(i < counts_.size(), "LogHistogram::bin_lo: out of range");
+  return edges_[i];
+}
+
+std::uint64_t LogHistogram::bin_hi(std::size_t i) const {
+  require_in_range(i < counts_.size(), "LogHistogram::bin_hi: out of range");
+  return edges_[i + 1] - 1;
+}
+
+}  // namespace p2p::util

@@ -1,0 +1,89 @@
+// Histograms used to measure link-length distributions (Figure 5) and hop
+// distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace p2p::util {
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples are
+/// counted in saturating under/overflow bins.
+class LinearHistogram {
+ public:
+  /// Preconditions: lo < hi, bins >= 1 (throws std::invalid_argument).
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact per-integer-value counter: bin i counts samples equal to i.
+///
+/// This is what Figure 5 needs: the probability that a long-distance link has
+/// length exactly d, for every d in [1, n/2]. Memory is one counter per
+/// possible length, which is fine for n <= 2^20.
+class ExactCounter {
+ public:
+  /// Counts values in [0, max_value]; larger values go to overflow.
+  explicit ExactCounter(std::uint64_t max_value);
+
+  void add(std::uint64_t value, std::uint64_t weight = 1) noexcept;
+  void merge(const ExactCounter& other);
+
+  [[nodiscard]] std::uint64_t count(std::uint64_t value) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t max_value() const noexcept { return counts_.size() - 1; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Empirical probability mass at `value` (0 when no samples recorded).
+  [[nodiscard]] double probability(std::uint64_t value) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Geometric (log-spaced) histogram over positive integers: bin k covers
+/// [base^k, base^(k+1)). Used for compact log-log plots of link lengths.
+class LogHistogram {
+ public:
+  /// Preconditions: base > 1, max_value >= 1.
+  LogHistogram(double base, std::uint64_t max_value);
+
+  void add(std::uint64_t value, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  /// Inclusive integer bounds of bin i.
+  [[nodiscard]] std::uint64_t bin_lo(std::size_t i) const;
+  [[nodiscard]] std::uint64_t bin_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  [[nodiscard]] std::size_t bin_index(std::uint64_t value) const noexcept;
+
+  double base_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> edges_;  // edges_[k] = first value of bin k
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace p2p::util

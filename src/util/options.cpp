@@ -1,0 +1,65 @@
+#include "util/options.h"
+
+#include <cstdlib>
+
+namespace p2p::util {
+
+std::uint64_t env_u64(const std::string& name, std::uint64_t dflt) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return dflt;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return dflt;
+  return static_cast<std::uint64_t>(value);
+}
+
+namespace {
+ScaleOptions::Preset preset_from_env() {
+  const char* raw = std::getenv("P2P_SCALE");
+  if (raw == nullptr) return ScaleOptions::Preset::kDefault;
+  const std::string v(raw);
+  if (v == "smoke") return ScaleOptions::Preset::kSmoke;
+  if (v == "paper") return ScaleOptions::Preset::kPaper;
+  return ScaleOptions::Preset::kDefault;
+}
+
+std::size_t resolve(std::size_t explicit_value, ScaleOptions::Preset preset,
+                    std::size_t dflt, std::size_t paper) {
+  if (explicit_value != 0) return explicit_value;
+  switch (preset) {
+    case ScaleOptions::Preset::kSmoke: {
+      const std::size_t scaled = dflt / 8;
+      return scaled > 0 ? scaled : 1;
+    }
+    case ScaleOptions::Preset::kPaper:
+      return paper;
+    case ScaleOptions::Preset::kDefault:
+    default:
+      return dflt;
+  }
+}
+}  // namespace
+
+ScaleOptions scale_options_from_env() {
+  ScaleOptions opts;
+  opts.preset = preset_from_env();
+  opts.nodes = static_cast<std::size_t>(env_u64("P2P_NODES", 0));
+  opts.trials = static_cast<std::size_t>(env_u64("P2P_TRIALS", 0));
+  opts.messages = static_cast<std::size_t>(env_u64("P2P_MESSAGES", 0));
+  opts.seed = env_u64("P2P_SEED", opts.seed);
+  return opts;
+}
+
+std::size_t ScaleOptions::resolve_nodes(std::size_t dflt, std::size_t paper) const {
+  return resolve(nodes, preset, dflt, paper);
+}
+
+std::size_t ScaleOptions::resolve_trials(std::size_t dflt, std::size_t paper) const {
+  return resolve(trials, preset, dflt, paper);
+}
+
+std::size_t ScaleOptions::resolve_messages(std::size_t dflt, std::size_t paper) const {
+  return resolve(messages, preset, dflt, paper);
+}
+
+}  // namespace p2p::util

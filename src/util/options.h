@@ -1,0 +1,43 @@
+// Environment-driven experiment scaling.
+//
+// The paper's headline experiment uses n = 2^17 nodes and 1000 simulations of
+// 100 messages each — hours of CPU on one core. Bench binaries therefore run
+// a scaled-down default that preserves every qualitative result, and honour:
+//
+//   P2P_SCALE=smoke|default|paper   overall preset
+//   P2P_NODES=<int>                 override node count
+//   P2P_TRIALS=<int>                override simulation count
+//   P2P_MESSAGES=<int>              override messages per simulation
+//   P2P_SEED=<int>                  override master seed
+//   P2P_CSV=1                       CSV output (see util/table.h)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace p2p::util {
+
+/// Global knobs resolved from the environment once per process.
+struct ScaleOptions {
+  std::size_t nodes = 0;      ///< 0 = use the bench's own default
+  std::size_t trials = 0;     ///< 0 = use the bench's own default
+  std::size_t messages = 0;   ///< 0 = use the bench's own default
+  std::uint64_t seed = 0x5eed'0000'2002ULL;
+  /// Multiplier applied to a bench's default sizes: 1.0 for "default",
+  /// <1 for "smoke", and the paper's exact sizes for "paper".
+  enum class Preset { kSmoke, kDefault, kPaper } preset = Preset::kDefault;
+
+  /// Resolves a size: explicit override > preset-scaled default.
+  [[nodiscard]] std::size_t resolve_nodes(std::size_t dflt, std::size_t paper) const;
+  [[nodiscard]] std::size_t resolve_trials(std::size_t dflt, std::size_t paper) const;
+  [[nodiscard]] std::size_t resolve_messages(std::size_t dflt, std::size_t paper) const;
+};
+
+/// Parses the P2P_* environment variables (no caching; cheap).
+[[nodiscard]] ScaleOptions scale_options_from_env();
+
+/// Parses a non-negative integer env var; returns `dflt` if unset/invalid.
+[[nodiscard]] std::uint64_t env_u64(const std::string& name, std::uint64_t dflt);
+
+}  // namespace p2p::util

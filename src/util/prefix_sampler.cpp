@@ -1,0 +1,80 @@
+#include "util/prefix_sampler.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/require.h"
+
+namespace p2p::util {
+
+PrefixSampler::PrefixSampler(const std::vector<double>& weights) {
+  require(!weights.empty(), "PrefixSampler: weights must be non-empty");
+  prefix_.reserve(weights.size());
+  double running = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "PrefixSampler: weights must be non-negative");
+    running += w;
+    prefix_.push_back(running);
+  }
+  require(running > 0.0, "PrefixSampler: total weight must be positive");
+}
+
+std::size_t PrefixSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.next_double() * prefix_.back();
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - prefix_.begin());
+  return idx < prefix_.size() ? idx : prefix_.size() - 1;
+}
+
+double PrefixSampler::probability(std::size_t i) const {
+  require_in_range(i < prefix_.size(), "PrefixSampler::probability: out of range");
+  const double lo = i == 0 ? 0.0 : prefix_[i - 1];
+  return (prefix_[i] - lo) / prefix_.back();
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  require(!weights.empty(), "AliasSampler: weights must be non-empty");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "AliasSampler: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "AliasSampler: total weight must be positive");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Scaled weights; "small" columns (< 1) are topped up from "large" ones.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Remaining columns are exactly 1 up to rounding.
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const noexcept {
+  const std::size_t col = static_cast<std::size_t>(rng.next_below(prob_.size()));
+  return rng.next_double() < prob_[col] ? col : alias_[col];
+}
+
+}  // namespace p2p::util

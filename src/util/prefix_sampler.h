@@ -1,0 +1,55 @@
+// Discrete samplers for arbitrary weight vectors.
+//
+// The core overlay draws long-distance link lengths from P(d) ∝ 1/d over a
+// range of up to n/2 distinct lengths. Two implementations are provided:
+//
+//  * PrefixSampler — exact inverse-CDF sampling via binary search on a prefix
+//    sum table. O(n) build, O(log n) draw. This is the reference sampler.
+//  * AliasSampler — Walker/Vose alias method. O(n) build, O(1) draw. Used by
+//    the large sweeps where sampling dominates the run time.
+//
+// Both samplers draw index i with probability w[i] / Σw exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace p2p::util {
+
+/// Exact inverse-CDF sampler over a fixed weight vector.
+class PrefixSampler {
+ public:
+  /// Preconditions: weights non-empty, all weights >= 0, at least one > 0.
+  explicit PrefixSampler(const std::vector<double>& weights);
+
+  /// Draws index i with probability weights[i] / total_weight().
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] double total_weight() const noexcept { return prefix_.back(); }
+  [[nodiscard]] std::size_t size() const noexcept { return prefix_.size(); }
+
+  /// Probability mass assigned to index i.
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prefix_;  // prefix_[i] = w[0] + ... + w[i]
+};
+
+/// O(1)-per-draw alias sampler (Vose's stable construction).
+class AliasSampler {
+ public:
+  /// Preconditions: weights non-empty, all weights >= 0, at least one > 0.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;        // threshold within each column
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace p2p::util

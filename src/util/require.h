@@ -1,0 +1,22 @@
+// Precondition helpers for public API boundaries.
+//
+// Per the error-handling strategy (DESIGN.md §4): public entry points
+// validate their arguments and throw; internal invariants use assert().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace p2p::util {
+
+/// Throws std::invalid_argument with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Throws std::out_of_range with `message` unless `condition` holds.
+inline void require_in_range(bool condition, const std::string& message) {
+  if (!condition) throw std::out_of_range(message);
+}
+
+}  // namespace p2p::util

@@ -1,0 +1,64 @@
+// Streaming and batch statistics used by every experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace p2p::util {
+
+/// Numerically stable streaming accumulator (Welford's algorithm).
+///
+/// Tracks count, mean, variance, min and max of a stream of doubles without
+/// storing the samples.
+class Accumulator {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standard error of the mean; 0 when fewer than two observations.
+  [[nodiscard]] double stderror() const noexcept;
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector: quantiles plus the Accumulator moments.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary; `samples` is copied so the caller's order is kept.
+[[nodiscard]] Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolated quantile (q in [0,1]) of *sorted* data.
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace p2p::util

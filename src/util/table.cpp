@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace p2p::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  require(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double x : cells) out.push_back(format_double(x, precision));
+  add_row(std::move(out));
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  require_in_range(row < rows_.size() && col < headers_.size(),
+                   "Table::cell: out of range");
+  return rows_[row][col];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 2 * headers_.size();
+  for (std::size_t w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::emit(std::ostream& os, const std::string& title) const {
+  if (csv_requested()) {
+    os << "# " << title << '\n';
+    print_csv(os);
+  } else {
+    os << "\n== " << title << " ==\n";
+    print(os);
+  }
+}
+
+std::string format_double(double x, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << x;
+  return oss.str();
+}
+
+bool csv_requested() noexcept {
+  const char* v = std::getenv("P2P_CSV");
+  return v != nullptr && v[0] == '1';
+}
+
+}  // namespace p2p::util

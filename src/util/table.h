@@ -1,0 +1,52 @@
+// Aligned console tables and CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints the series a paper figure/table reports. The
+// default output is a human-readable aligned table; setting the environment
+// variable P2P_CSV=1 switches to machine-readable CSV on stdout.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace p2p::util {
+
+/// Column-aligned table builder.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Renders as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+  /// Prints CSV when P2P_CSV=1 is set in the environment, else the aligned
+  /// form. A `title` line precedes aligned output.
+  void emit(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `x` with fixed `precision` decimals.
+[[nodiscard]] std::string format_double(double x, int precision = 4);
+
+/// True when the environment requests CSV output (P2P_CSV=1).
+[[nodiscard]] bool csv_requested() noexcept;
+
+}  // namespace p2p::util

@@ -1,0 +1,157 @@
+// Unit tests for the analysis library: bound formulas, the KUW integral and
+// least-squares shape fitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/bounds.h"
+#include "analysis/fit.h"
+#include "util/harmonic.h"
+
+namespace p2p::analysis {
+namespace {
+
+TEST(KuwBound, ConstantDriftIsLinear) {
+  // µ(z) = 1: T(x0) = ∫_1^{x0} dz = x0 - 1.
+  const double t = kuw_upper_bound(100.0, [](double) { return 1.0; });
+  EXPECT_NEAR(t, 99.0, 0.1);
+}
+
+TEST(KuwBound, LinearDriftIsLogarithmic) {
+  // µ(z) = z: T(x0) = ln x0 — the classic "halving" recurrence.
+  const double t = kuw_upper_bound(1000.0, [](double z) { return z; });
+  EXPECT_NEAR(t, std::log(1000.0), 0.01);
+}
+
+TEST(KuwBound, MatchesTheorem12Shape) {
+  // µ(k) = k / (2 H_n): T <= sum 2H_n/k = 2H_n² (paper, Theorem 12).
+  const std::uint64_t n = 4096;
+  const double hn = util::harmonic(n);
+  const double t = kuw_upper_bound(
+      static_cast<double>(n), [&](double z) { return z / (2.0 * hn); });
+  // The continuous integral is 2 H_n ln n, slightly below the discrete sum
+  // 2 H_n²; allow the integral-vs-sum gap.
+  EXPECT_NEAR(t, 2.0 * hn * hn, 0.10 * 2.0 * hn * hn);
+}
+
+TEST(KuwBound, RejectsBadInput) {
+  EXPECT_THROW(static_cast<void>(kuw_upper_bound(0.5, [](double) { return 1.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(kuw_upper_bound(10.0, [](double) { return 0.0; })),
+               std::invalid_argument);
+}
+
+TEST(Theorem2Bound, ReducesToPlainIntegralWithoutLongJumps) {
+  // m(z) = 1, ε = 0: bound = f(x0).
+  const double t = theorem2_lower_bound(50.0, [](double) { return 1.0; }, 0.0);
+  EXPECT_NEAR(t, 50.0, 0.01);
+}
+
+TEST(Theorem2Bound, EpsilonDampsTheBound) {
+  const auto m = [](double) { return 1.0; };
+  const double strict = theorem2_lower_bound(50.0, m, 0.0);
+  const double damped = theorem2_lower_bound(50.0, m, 0.1);
+  EXPECT_LT(damped, strict);
+  // ε = 0.1, T = 50: bound = 50 / (5 + 0.9) ≈ 8.47.
+  EXPECT_NEAR(damped, 50.0 / 5.9, 0.05);
+}
+
+TEST(UpperBounds, SingleLinkIsHarmonicSquared) {
+  const double h10 = util::harmonic(1024);
+  EXPECT_DOUBLE_EQ(upper_single_link(1024), 2.0 * h10 * h10);
+  EXPECT_DOUBLE_EQ(upper_binomial_presence(1024), upper_single_link(1024));
+}
+
+TEST(UpperBounds, MultiLinkScalesInverselyWithLinks) {
+  const double one = upper_multi_link(4096, 1.0);
+  const double six = upper_multi_link(4096, 6.0);
+  EXPECT_NEAR(one / six, 6.0, 1e-9);
+}
+
+TEST(UpperBounds, FailureBoundsInflateCorrectly) {
+  EXPECT_NEAR(upper_link_failures(4096, 4, 0.5), 2.0 * upper_multi_link(4096, 4),
+              1e-9);
+  EXPECT_NEAR(upper_node_failures(4096, 4, 0.5), 2.0 * upper_multi_link(4096, 4),
+              1e-9);
+  EXPECT_GT(upper_base_b_failures(4096, 2, 0.5),
+            upper_base_b_failures(4096, 2, 1.0));
+}
+
+TEST(UpperBounds, BaseBCountsDigits) {
+  // ⌈log_b n⌉: 16 base-2 digits, 4 base-16 digits for n = 65536.
+  EXPECT_DOUBLE_EQ(upper_base_b(65536, 2), 16.0);
+  EXPECT_DOUBLE_EQ(upper_base_b(65536, 16), 4.0);
+  EXPECT_DOUBLE_EQ(upper_base_b(1000, 10), 3.0);
+  // Expected case: nonzero digits of the balanced (signed-digit) form.
+  EXPECT_NEAR(expected_base_b_hops(65536, 2), 16.0 / 3.0, 1e-12);
+  EXPECT_NEAR(expected_base_b_hops(65536, 16), 4.0 * 15.0 / 17.0, 1e-12);
+}
+
+TEST(UpperBounds, RejectBadParameters) {
+  EXPECT_THROW(static_cast<void>(upper_multi_link(16, 0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(upper_link_failures(16, 2, 0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(upper_node_failures(16, 2, 1.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(upper_base_b(16, 1)), std::invalid_argument);
+}
+
+TEST(LowerBounds, ShapesOrderCorrectly) {
+  // More links -> smaller lower bound; larger n -> larger bound.
+  EXPECT_GT(lower_one_sided(1 << 20, 1), lower_one_sided(1 << 20, 8));
+  EXPECT_GT(lower_one_sided(1 << 20, 4), lower_one_sided(1 << 10, 4));
+  // Two-sided bound is weaker (divides by ℓ² instead of ℓ).
+  EXPECT_GT(lower_one_sided(1 << 20, 8), lower_two_sided(1 << 20, 8));
+  EXPECT_GT(lower_large_degree(1 << 20, 16.0), 1.0);
+}
+
+TEST(FitScale, RecoversAKnownConstant) {
+  std::vector<double> xs, ys;
+  for (double x = 1.0; x <= 32.0; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(3.5 * x * x);
+  }
+  const ScaleFit fit = fit_scale(xs, ys, [](double x) { return x * x; });
+  EXPECT_NEAR(fit.scale, 3.5, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitScale, PoorModelHasLowR2) {
+  std::vector<double> xs, ys;
+  for (double x = 1.0; x <= 32.0; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(x * x);
+  }
+  const ScaleFit quadratic = fit_scale(xs, ys, [](double x) { return x * x; });
+  const ScaleFit constant = fit_scale(xs, ys, [](double) { return 1.0; });
+  EXPECT_GT(quadratic.r_squared, constant.r_squared);
+  EXPECT_LT(constant.r_squared, 0.5);
+}
+
+TEST(FitScale, RejectsDegenerateInput) {
+  EXPECT_THROW(static_cast<void>(fit_scale(std::vector<double>{}, std::vector<double>{})),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(fit_scale({0.0, 0.0}, {1.0, 2.0})),
+               std::invalid_argument);
+}
+
+TEST(FitLine, RecoversSlopeAndIntercept) {
+  std::vector<double> xs, ys;
+  for (double x = 0.0; x < 10.0; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(2.0 * x + 1.0);
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  EXPECT_THROW(static_cast<void>(fit_line({1.0}, {1.0})), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(fit_line({2.0, 2.0}, {1.0, 5.0})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2p::analysis

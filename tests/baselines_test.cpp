@@ -1,0 +1,219 @@
+// Unit tests for the baselines: Chord, Kleinberg grid, flooding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/chord.h"
+#include "baselines/flood.h"
+#include "baselines/kleinberg_grid.h"
+#include "failure/failure_model.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace p2p::baselines {
+namespace {
+
+TEST(Chord, SuccessorIndexWrapsTheRing) {
+  const ChordNetwork chord(6, {5, 20, 40});  // ring of 64
+  EXPECT_EQ(chord.successor_index(5), 0u);
+  EXPECT_EQ(chord.successor_index(6), 1u);
+  EXPECT_EQ(chord.successor_index(41), 0u);  // wraps to id 5
+  EXPECT_EQ(chord.successor_index(0), 0u);
+}
+
+TEST(Chord, FingersPointAtSuccessors) {
+  const ChordNetwork chord(6, {0, 16, 32, 48});
+  // Node 0's finger k targets successor(2^k): 1..16 -> node 16, 32 -> 32...
+  const auto& fingers = chord.fingers_of(0);
+  ASSERT_EQ(fingers.size(), 6u);
+  EXPECT_EQ(chord.id_of(fingers[0]), 16u);  // successor(1)
+  EXPECT_EQ(chord.id_of(fingers[4]), 16u);  // successor(16)
+  EXPECT_EQ(chord.id_of(fingers[5]), 32u);  // successor(32)
+}
+
+TEST(Chord, RoutesToTheOwner) {
+  util::Rng rng(1);
+  const auto chord = ChordNetwork::random(12, 200, rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto src = static_cast<std::size_t>(rng.next_below(chord.size()));
+    const std::uint64_t target = rng.next_below(1ULL << 12);
+    const auto res = chord.route(src, target);
+    EXPECT_TRUE(res.ok);
+  }
+}
+
+TEST(Chord, HopCountIsLogarithmic) {
+  util::Rng rng(2);
+  const auto chord = ChordNetwork::random(16, 1024, rng);
+  util::Accumulator hops;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto src = static_cast<std::size_t>(rng.next_below(chord.size()));
+    const auto res = chord.route(src, rng.next_below(1ULL << 16));
+    ASSERT_TRUE(res.ok);
+    hops.add(static_cast<double>(res.hops));
+  }
+  // Expected ~ (1/2) lg n = 5; assert the right ballpark.
+  EXPECT_GT(hops.mean(), 2.0);
+  EXPECT_LT(hops.mean(), 10.0);
+}
+
+TEST(Chord, ZeroHopsWhenSourceOwnsTheKey) {
+  const ChordNetwork chord(6, {10, 30});
+  const auto res = chord.route(0, 7);  // successor(7) = node 10 = src
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.hops, 0u);
+}
+
+TEST(Chord, DeadFingersCauseFailuresOrDetours) {
+  util::Rng rng(3);
+  const auto chord = ChordNetwork::random(12, 256, rng);
+  std::vector<std::uint8_t> dead(chord.size(), 0);
+  for (std::size_t i = 0; i < chord.size(); ++i) dead[i] = rng.next_bool(0.5);
+  std::size_t failures = 0, deliveries = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::size_t src = 0;
+    do {
+      src = static_cast<std::size_t>(rng.next_below(chord.size()));
+    } while (dead[src]);
+    const auto res = chord.route(src, rng.next_below(1ULL << 12), &dead);
+    (res.ok ? deliveries : failures) += 1;
+  }
+  EXPECT_GT(failures, 0u);   // one-sided routing is brittle under failures
+  EXPECT_GT(deliveries, 0u);
+}
+
+TEST(Chord, RejectsMalformedNetworks) {
+  EXPECT_THROW(ChordNetwork(6, {}), std::invalid_argument);
+  EXPECT_THROW(ChordNetwork(6, {5, 3}), std::invalid_argument);
+  EXPECT_THROW(ChordNetwork(6, {3, 3}), std::invalid_argument);
+  EXPECT_THROW(ChordNetwork(6, {64}), std::invalid_argument);
+  EXPECT_THROW(ChordNetwork(0, {0}), std::invalid_argument);
+}
+
+TEST(KleinbergGrid, DeliversOnLatticeAlone) {
+  util::Rng rng(4);
+  const KleinbergGrid grid(8, 0, 2.0, rng);
+  const auto res = grid.route(grid.torus().at(0, 0), grid.torus().at(3, 5));
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.hops, 3u + 3u);  // Manhattan distance (5 wraps to 3)
+}
+
+TEST(KleinbergGrid, LongLinksShortenRoutes) {
+  util::Rng rng(5);
+  const KleinbergGrid bare(32, 0, 2.0, rng);
+  const KleinbergGrid rich(32, 3, 2.0, rng);
+  util::Accumulator bare_hops, rich_hops;
+  util::Rng pick(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto src = static_cast<metric::Point>(pick.next_below(bare.size()));
+    const auto dst = static_cast<metric::Point>(pick.next_below(bare.size()));
+    bare_hops.add(static_cast<double>(bare.route(src, dst).hops));
+    rich_hops.add(static_cast<double>(rich.route(src, dst).hops));
+  }
+  EXPECT_LT(rich_hops.mean(), bare_hops.mean() * 0.8);
+}
+
+TEST(KleinbergGrid, ExponentTwoBeatsSteepExponentsAndTheLattice) {
+  // Kleinberg's theorem: r = d = 2 is the efficient exponent. Steeper
+  // exponents degenerate toward the bare lattice (links too short to help);
+  // r = 0 only loses at scales beyond unit-test budgets, so the full sweep
+  // lives in bench/baseline_comparison.
+  util::Rng rng(7);
+  const KleinbergGrid bare(48, 0, 2.0, rng);
+  const KleinbergGrid r2(48, 1, 2.0, rng);
+  const KleinbergGrid r4(48, 1, 4.0, rng);
+  util::Rng pick(8);
+  util::Accumulator lattice, h2, h4;
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto src = static_cast<metric::Point>(pick.next_below(r2.size()));
+    const auto dst = static_cast<metric::Point>(pick.next_below(r2.size()));
+    lattice.add(static_cast<double>(bare.route(src, dst).hops));
+    h2.add(static_cast<double>(r2.route(src, dst).hops));
+    h4.add(static_cast<double>(r4.route(src, dst).hops));
+  }
+  EXPECT_LT(h2.mean(), h4.mean());
+  EXPECT_LT(h4.mean(), lattice.mean());  // even short links beat none
+  EXPECT_LT(h2.mean(), lattice.mean() * 0.75);
+}
+
+TEST(KleinbergGrid, DeadNodesBlockOrFailRoutes) {
+  util::Rng rng(9);
+  const KleinbergGrid grid(16, 2, 2.0, rng);
+  std::vector<std::uint8_t> dead(grid.size(), 0);
+  util::Rng kill(10);
+  for (auto& d : dead) d = kill.next_bool(0.4);
+  std::size_t failures = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    metric::Point src = 0, dst = 0;
+    do {
+      src = static_cast<metric::Point>(kill.next_below(grid.size()));
+    } while (dead[static_cast<std::size_t>(src)]);
+    do {
+      dst = static_cast<metric::Point>(kill.next_below(grid.size()));
+    } while (dead[static_cast<std::size_t>(dst)]);
+    if (!grid.route(src, dst, &dead).ok) ++failures;
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+graph::OverlayGraph flood_graph(std::uint64_t n, std::size_t links,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::BuildSpec spec;
+  spec.grid_size = n;
+  spec.long_links = links;
+  return graph::build_overlay(spec, rng);
+}
+
+TEST(Flood, FindsNearbyTargetCheaply) {
+  const auto g = flood_graph(256, 3, 11);
+  const auto view = failure::FailureView::all_alive(g);
+  const auto res = flood_search(g, view, 0, 1, /*ttl=*/1);
+  EXPECT_TRUE(res.found);
+  EXPECT_EQ(res.depth, 1u);
+  EXPECT_LE(res.messages, g.out_degree(0));
+}
+
+TEST(Flood, TtlCutsOffDistantTargets) {
+  // Bare ring: a target n/2 away needs ttl >= n/2.
+  graph::OverlayGraph g(metric::Space1D::ring(64));
+  graph::wire_short_links(g);
+  const auto view = failure::FailureView::all_alive(g);
+  EXPECT_FALSE(flood_search(g, view, 0, 32, 10).found);
+  EXPECT_TRUE(flood_search(g, view, 0, 32, 32).found);
+}
+
+TEST(Flood, MessageCostExplodesWithTtl) {
+  const auto g = flood_graph(1024, 5, 12);
+  const auto view = failure::FailureView::all_alive(g);
+  // Count messages to a far target at increasing TTLs (§3's trade-off).
+  const auto shallow = flood_search(g, view, 0, 512, 2);
+  const auto deep = flood_search(g, view, 0, 512, 6);
+  EXPECT_GT(deep.messages, shallow.messages * 4);
+}
+
+TEST(Flood, DeadNodesAreNotExpanded) {
+  graph::OverlayGraph g(metric::Space1D::ring(16));
+  graph::wire_short_links(g);
+  auto view = failure::FailureView::all_alive(g);
+  view.kill_node(1);
+  view.kill_node(15);
+  const auto res = flood_search(g, view, 0, 8, 16);
+  EXPECT_FALSE(res.found);  // both arcs blocked
+  EXPECT_LE(res.nodes_touched, 1u);
+}
+
+TEST(Flood, DeadSourceFindsNothing) {
+  const auto g = flood_graph(64, 2, 13);
+  auto view = failure::FailureView::all_alive(g);
+  view.kill_node(0);
+  const auto res = flood_search(g, view, 0, 5, 8);
+  EXPECT_FALSE(res.found);
+  EXPECT_EQ(res.messages, 0u);
+}
+
+}  // namespace
+}  // namespace p2p::baselines

@@ -1,0 +1,216 @@
+// Tests for the §4.2 lower-bound model: Δ-set sampling, greedy walks and the
+// aggregate chain (Lemmas 4 and 6, checked empirically).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/bounds.h"
+#include "analysis/delta_model.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace p2p::analysis {
+namespace {
+
+TEST(DeltaModel, CalibratesExpectedDegree) {
+  for (const double r : {0.0, 0.5, 1.0, 1.5}) {
+    const auto model = DeltaModel::power_law(1 << 14, 12.0, r);
+    EXPECT_NEAR(model.expected_degree(), 12.0, 0.05) << "r=" << r;
+  }
+}
+
+TEST(DeltaModel, ProbabilityShapeFollowsPowerLaw) {
+  const auto model = DeltaModel::power_law(1 << 14, 8.0, 1.0);
+  EXPECT_DOUBLE_EQ(model.probability(1), 1.0);
+  // p_d ∝ 1/d wherever the cap does not bind.
+  const double p64 = model.probability(64);
+  const double p128 = model.probability(128);
+  EXPECT_NEAR(p64 / p128, 2.0, 1e-9);
+}
+
+TEST(DeltaModel, SampledSetsMatchInclusionProbabilities) {
+  const auto model = DeltaModel::power_law(1 << 10, 8.0, 1.0);
+  util::Rng rng(1);
+  constexpr int kDraws = 40'000;
+  std::vector<double> hits(1 << 10, 0.0);
+  double total_size = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto side = model.sample_side(rng);
+    total_size += static_cast<double>(side.size());
+    for (const auto d : side) hits[d] += 1.0;
+  }
+  // Mean side size = E|Δ|/2.
+  EXPECT_NEAR(total_size / kDraws, model.expected_degree() / 2.0, 0.1);
+  // Per-offset inclusion frequency matches p_d at several scales.
+  for (const std::uint64_t d : {1ULL, 2ULL, 5ULL, 32ULL, 200ULL}) {
+    const double p = model.probability(d);
+    const double sigma = std::sqrt(p * (1 - p) / kDraws);
+    EXPECT_NEAR(hits[d] / kDraws, p, 6 * sigma + 1e-3) << "d=" << d;
+  }
+}
+
+TEST(DeltaModel, SampleSideIsSortedUniqueAndContainsOne) {
+  const auto model = DeltaModel::power_law(4096, 10.0, 1.0);
+  util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const auto side = model.sample_side(rng);
+    ASSERT_FALSE(side.empty());
+    EXPECT_EQ(side.front(), 1u);
+    EXPECT_TRUE(std::is_sorted(side.begin(), side.end()));
+    EXPECT_EQ(std::adjacent_find(side.begin(), side.end()), side.end());
+    EXPECT_LE(side.back(), 4096u);
+  }
+}
+
+TEST(DeltaModel, BaseBIncludesExactlyThePowers) {
+  const auto model = DeltaModel::base_b(100, 3);
+  util::Rng rng(3);
+  const auto side = model.sample_side(rng);
+  EXPECT_EQ(side, (std::vector<std::uint64_t>{1, 3, 9, 27, 81}));
+  // Deterministic: every draw identical.
+  EXPECT_EQ(model.sample_side(rng), side);
+  EXPECT_DOUBLE_EQ(model.expected_degree(), 10.0);  // ±{1,3,9,27,81}
+}
+
+TEST(DeltaModel, RejectsBadParameters) {
+  EXPECT_THROW(DeltaModel::power_law(1, 8.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(DeltaModel::power_law(64, 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(DeltaModel::power_law(64, 8.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(DeltaModel::base_b(64, 1), std::invalid_argument);
+}
+
+TEST(GreedyWalk, ReachesZeroAndNeverExceedsStart) {
+  const auto model = DeltaModel::power_law(1 << 12, 8.0, 1.0);
+  util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const auto start = static_cast<std::int64_t>(rng.next_below(1 << 12) + 1);
+    const std::size_t one = greedy_walk(model, GreedySide::kOneSided, start, rng);
+    const std::size_t two = greedy_walk(model, GreedySide::kTwoSided, start, rng);
+    // Every step moves at least one unit closer, so τ <= start.
+    EXPECT_LE(one, static_cast<std::size_t>(start));
+    EXPECT_LE(two, static_cast<std::size_t>(start));
+    EXPECT_GE(one, 1u);
+  }
+}
+
+TEST(GreedyWalk, ZeroStartTakesZeroSteps) {
+  const auto model = DeltaModel::power_law(64, 6.0, 1.0);
+  util::Rng rng(5);
+  EXPECT_EQ(greedy_walk(model, GreedySide::kOneSided, 0, rng), 0u);
+}
+
+TEST(GreedyWalk, BaseBOneSidedMatchesDigitCount) {
+  // With offsets {1, b, b^2, ...} one-sided greedy takes exactly the sum of
+  // the base-b digits of the start.
+  const auto model = DeltaModel::base_b(1 << 12, 2);
+  util::Rng rng(6);
+  EXPECT_EQ(greedy_walk(model, GreedySide::kOneSided, 0b1011, rng), 3u);
+  EXPECT_EQ(greedy_walk(model, GreedySide::kOneSided, 1024, rng), 1u);
+  EXPECT_EQ(greedy_walk(model, GreedySide::kOneSided, 1023, rng), 10u);
+}
+
+TEST(GreedyWalk, PowerLawBeatsUniformAndSteepAtScale) {
+  // The headline claim at test scale: r = 1 beats r = 0 and r = 2.
+  const std::uint64_t n = 1 << 14;
+  util::Rng rng(7);
+  const double t_uniform = simulate_greedy_time(
+      DeltaModel::power_law(n, 8.0, 0.0), GreedySide::kOneSided, n, 3000, rng);
+  const double t_inverse = simulate_greedy_time(
+      DeltaModel::power_law(n, 8.0, 1.0), GreedySide::kOneSided, n, 3000, rng);
+  const double t_steep = simulate_greedy_time(
+      DeltaModel::power_law(n, 8.0, 2.0), GreedySide::kOneSided, n, 3000, rng);
+  EXPECT_LT(t_inverse, t_uniform);
+  EXPECT_LT(t_inverse, t_steep);
+}
+
+TEST(GreedyWalk, RespectsTheorem10LowerBound) {
+  // E[τ] must sit above c * log²n/(ℓ log log n) for a small constant c —
+  // no distribution can beat the bound.
+  const std::uint64_t n = 1 << 14;
+  util::Rng rng(8);
+  const double lower = lower_one_sided(n, 8.0);
+  for (const double r : {0.0, 1.0, 2.0}) {
+    const double t = simulate_greedy_time(DeltaModel::power_law(n, 8.0, r),
+                                          GreedySide::kOneSided, n, 2000, rng);
+    EXPECT_GT(t, 0.2 * lower) << "r=" << r;
+  }
+}
+
+TEST(GreedyWalk, TwoSidedNeverWorseThanOneSidedOnAverage) {
+  const std::uint64_t n = 1 << 13;
+  util::Rng rng(9);
+  const auto model = DeltaModel::power_law(n, 8.0, 1.0);
+  const double one =
+      simulate_greedy_time(model, GreedySide::kOneSided, n, 4000, rng);
+  const double two =
+      simulate_greedy_time(model, GreedySide::kTwoSided, n, 4000, rng);
+  EXPECT_LE(two, one * 1.05);  // small slack: independent randomness
+}
+
+TEST(AggregateChain, AbsorbsAndShrinksMonotonically) {
+  const auto model = DeltaModel::power_law(1 << 10, 8.0, 1.0);
+  util::Rng rng(10);
+  AggregateChain chain(model, 1 << 10);
+  std::uint64_t prev = chain.size();
+  std::size_t steps = 0;
+  while (!chain.absorbed() && steps < 100'000) {
+    chain.step(rng);
+    EXPECT_LE(chain.size(), prev);
+    prev = chain.size();
+    ++steps;
+  }
+  EXPECT_TRUE(chain.absorbed());
+}
+
+TEST(AggregateChain, Lemma6DropBoundHolds) {
+  // Lemma 6: P[|S^{t+1}| <= |S^t|/a] <= 3ℓ/a. Check empirically at a = 12ℓ,
+  // where the bound is 1/4.
+  const double links = 8.0;
+  const auto model = DeltaModel::power_law(1 << 12, links, 1.0);
+  util::Rng rng(11);
+  const double a = 12.0 * links;
+  int big_drops = 0, observations = 0;
+  for (int run = 0; run < 400; ++run) {
+    AggregateChain chain(model, 1 << 12);
+    while (!chain.absorbed() && chain.size() > 64) {
+      const double before = static_cast<double>(chain.size());
+      chain.step(rng);
+      ++observations;
+      if (static_cast<double>(chain.size()) <= before / a) ++big_drops;
+    }
+  }
+  ASSERT_GT(observations, 1000);
+  const double rate = static_cast<double>(big_drops) / observations;
+  EXPECT_LE(rate, 3.0 * links / a * 1.3);  // 30% statistical slack
+}
+
+TEST(AggregateChain, Lemma4AbsorptionMatchesSingleChain) {
+  // Lemma 4: a uniform element of S^t is distributed as X^t. In particular
+  // P[absorbed by step t] must match P[X^t = 0]. Compare the two absorption-
+  // time means statistically.
+  const std::uint64_t n = 1 << 10;
+  const auto model = DeltaModel::power_law(n, 8.0, 1.0);
+  util::Rng rng(12);
+  util::Accumulator chain_time, walk_time;
+  for (int run = 0; run < 3000; ++run) {
+    AggregateChain chain(model, n);
+    std::size_t steps = 0;
+    while (!chain.absorbed() && steps < 100'000) {
+      chain.step(rng);
+      ++steps;
+    }
+    chain_time.add(static_cast<double>(steps));
+    const auto start = static_cast<std::int64_t>(rng.next_below(n) + 1);
+    walk_time.add(
+        static_cast<double>(greedy_walk(model, GreedySide::kOneSided, start, rng)));
+  }
+  // Means agree within joint confidence intervals (generous 5-sigma).
+  const double gap = std::abs(chain_time.mean() - walk_time.mean());
+  EXPECT_LT(gap, 5.0 * (chain_time.stderror() + walk_time.stderror()) + 0.5);
+}
+
+}  // namespace
+}  // namespace p2p::analysis

@@ -1,0 +1,220 @@
+// Unit tests for the DHT layer: hashing, ownership, replication, handoff,
+// crash recovery and self-healing routes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dht/dht.h"
+#include "dht/hash.h"
+#include "util/rng.h"
+
+namespace p2p::dht {
+namespace {
+
+using metric::Point;
+using metric::Space1D;
+
+DhtConfig dht_config(std::size_t links, std::size_t replication) {
+  DhtConfig cfg;
+  cfg.overlay.long_links = links;
+  cfg.replication = replication;
+  return cfg;
+}
+
+/// A DHT over a ring populated at every multiple of `stride`.
+Dht populated_dht(std::uint64_t grid, Point stride, std::size_t links,
+                  std::size_t replication, std::uint64_t seed = 1) {
+  Dht dht(Space1D::ring(grid), dht_config(links, replication), seed);
+  for (Point p = 0; p < static_cast<Point>(grid); p += stride) dht.add_node(p);
+  return dht;
+}
+
+TEST(Hash, Fnv1aMatchesKnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, PointForKeyIsStableAndInRange) {
+  for (const std::string key : {"alice.mp3", "bob.txt", "", "z"}) {
+    const Point p = point_for_key(key, 1024);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 1024);
+    EXPECT_EQ(p, point_for_key(key, 1024));  // deterministic
+  }
+}
+
+TEST(Hash, PointsSpreadAcrossTheGrid) {
+  std::set<Point> points;
+  for (int i = 0; i < 1000; ++i) {
+    points.insert(point_for_key("key-" + std::to_string(i), 1 << 20));
+  }
+  EXPECT_GT(points.size(), 990u);  // essentially no collisions at 2^20
+}
+
+TEST(Dht, PutThenGetRoundTrips) {
+  auto dht = populated_dht(256, 4, 3, 1);
+  const auto put = dht.put(0, "song.mp3", "payload");
+  ASSERT_TRUE(put.ok);
+  const auto got = dht.get(128, "song.mp3");
+  ASSERT_TRUE(got.ok);
+  EXPECT_EQ(got.value, "payload");
+  EXPECT_GT(got.hops, 0u);
+}
+
+TEST(Dht, GetMissingKeyFailsCleanly) {
+  auto dht = populated_dht(256, 4, 3, 1);
+  const auto got = dht.get(0, "never-stored");
+  EXPECT_FALSE(got.ok);
+  EXPECT_FALSE(got.value.has_value());
+}
+
+TEST(Dht, OverwriteReplacesTheValue) {
+  auto dht = populated_dht(256, 4, 3, 1);
+  ASSERT_TRUE(dht.put(0, "k", "v1").ok);
+  ASSERT_TRUE(dht.put(4, "k", "v2").ok);
+  EXPECT_EQ(dht.get(8, "k").value, "v2");
+}
+
+TEST(Dht, EraseRemovesEveryCopy)
+{
+  auto dht = populated_dht(256, 4, 3, 3);
+  ASSERT_TRUE(dht.put(0, "k", "v").ok);
+  EXPECT_EQ(dht.stored_copies(), 3u);
+  ASSERT_TRUE(dht.erase(12, "k").ok);
+  EXPECT_EQ(dht.stored_copies(), 0u);
+  EXPECT_FALSE(dht.get(0, "k").ok);
+}
+
+TEST(Dht, OwnersAreTheClosestMembers) {
+  auto dht = populated_dht(100, 10, 2, 3);
+  const std::string key = "some-key";
+  const Point kp = dht.key_point(key);
+  const auto owners = dht.owners_of(key);
+  ASSERT_EQ(owners.size(), 3u);
+  // Every owner must be at least as close to kp as any non-owner.
+  metric::Distance worst_owner = 0;
+  const auto space = Space1D::ring(100);
+  for (const Point o : owners) {
+    worst_owner = std::max(worst_owner, space.distance(o, kp));
+  }
+  for (Point p = 0; p < 100; p += 10) {
+    if (std::find(owners.begin(), owners.end(), p) != owners.end()) continue;
+    EXPECT_GE(space.distance(p, kp), worst_owner);
+  }
+}
+
+TEST(Dht, ReplicationStoresExactlyRCopies) {
+  auto dht = populated_dht(256, 4, 3, 3);
+  ASSERT_TRUE(dht.put(0, "k1", "v").ok);
+  ASSERT_TRUE(dht.put(0, "k2", "v").ok);
+  EXPECT_EQ(dht.stored_copies(), 6u);
+}
+
+TEST(Dht, KeysAtReportsTheOwnerStore) {
+  auto dht = populated_dht(256, 4, 3, 1);
+  ASSERT_TRUE(dht.put(0, "k", "v").ok);
+  const auto owners = dht.owners_of("k");
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_EQ(dht.keys_at(owners[0]), (std::vector<std::string>{"k"}));
+}
+
+TEST(Dht, CrashOfSoleOwnerLosesTheKey) {
+  auto dht = populated_dht(256, 4, 3, 1);
+  ASSERT_TRUE(dht.put(0, "k", "v").ok);
+  const auto owners = dht.owners_of("k");
+  ASSERT_EQ(owners.size(), 1u);
+  dht.crash_node(owners[0]);
+  EXPECT_FALSE(dht.get(0, "k").ok);
+  EXPECT_EQ(dht.lost_keys(), 1u);
+}
+
+TEST(Dht, ReplicationSurvivesOwnerCrash) {
+  auto dht = populated_dht(256, 4, 3, 3);
+  ASSERT_TRUE(dht.put(0, "k", "v").ok);
+  const auto owners = dht.owners_of("k");
+  dht.crash_node(owners[0]);
+  const auto got = dht.get(4, "k");
+  ASSERT_TRUE(got.ok);
+  EXPECT_EQ(got.value, "v");
+  EXPECT_EQ(dht.lost_keys(), 0u);
+  // Re-replication restored the factor among the survivors.
+  EXPECT_EQ(dht.owners_of("k").size(), 3u);
+}
+
+TEST(Dht, GracefulLeaveHandsKeysOff) {
+  auto dht = populated_dht(256, 4, 3, 1);
+  ASSERT_TRUE(dht.put(0, "k", "v").ok);
+  const auto owners = dht.owners_of("k");
+  ASSERT_EQ(owners.size(), 1u);
+  dht.remove_node(owners[0]);  // graceful: value must survive
+  const auto got = dht.get(4, "k");
+  ASSERT_TRUE(got.ok);
+  EXPECT_EQ(got.value, "v");
+  EXPECT_EQ(dht.lost_keys(), 0u);
+}
+
+TEST(Dht, JoiningOwnerTakesTheKeyOver) {
+  auto dht = populated_dht(256, 16, 3, 1, /*seed=*/3);
+  ASSERT_TRUE(dht.put(0, "k", "v").ok);
+  const Point kp = dht.key_point("k");
+  // A node lands exactly on the key's point: it becomes the owner.
+  if (!dht.has_node(kp)) dht.add_node(kp);
+  const auto owners = dht.owners_of("k");
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_EQ(owners[0], kp);
+  EXPECT_EQ(dht.keys_at(kp), (std::vector<std::string>{"k"}));
+  EXPECT_EQ(dht.get(0, "k").value, "v");
+}
+
+TEST(Dht, ManyKeysSurviveChurnWithReplication) {
+  auto dht = populated_dht(512, 8, 4, 3, /*seed=*/5);
+  util::Rng rng(6);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 50; ++i) {
+    keys.push_back("key-" + std::to_string(i));
+    ASSERT_TRUE(dht.put(0, keys.back(), "value-" + std::to_string(i)).ok);
+  }
+  // Churn: crash a third of the nodes (never position 0, our query origin).
+  std::vector<Point> members = dht.overlay().members();
+  for (const Point p : members) {
+    if (p != 0 && rng.next_bool(0.33)) dht.crash_node(p);
+  }
+  EXPECT_EQ(dht.lost_keys(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    const auto got = dht.get(0, keys[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(got.ok) << keys[static_cast<std::size_t>(i)];
+    EXPECT_EQ(got.value, "value-" + std::to_string(i));
+  }
+}
+
+TEST(Dht, SelfHealRepairsDanglingLinksDuringRoutes) {
+  auto dht = populated_dht(512, 4, 4, 2, /*seed=*/7);
+  util::Rng rng(8);
+  std::vector<Point> members = dht.overlay().members();
+  for (const Point p : members) {
+    if (p != 0 && rng.next_bool(0.2)) dht.crash_node(p);
+  }
+  const std::size_t before = dht.overlay().dangling_count();
+  ASSERT_GT(before, 0u);
+  // A burst of lookups walks much of the overlay; every visited node with a
+  // dangling link repairs itself, so damage shrinks markedly.
+  for (int i = 0; i < 400; ++i) {
+    static_cast<void>(dht.get(0, "key-" + std::to_string(i)));
+  }
+  EXPECT_LT(dht.overlay().dangling_count(), before / 2 + 1);
+}
+
+TEST(Dht, RejectsBadConfigAndArguments) {
+  EXPECT_THROW(Dht(Space1D::ring(16), dht_config(1, 0), 1), std::invalid_argument);
+  auto dht = populated_dht(64, 8, 2, 1);
+  EXPECT_THROW(dht.remove_node(1), std::invalid_argument);  // vacant
+  EXPECT_THROW(dht.crash_node(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2p::dht

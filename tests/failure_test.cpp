@@ -1,0 +1,152 @@
+// Unit tests for failure/failure_model.h.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "failure/failure_model.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace p2p::failure {
+namespace {
+
+graph::OverlayGraph make_graph(std::uint64_t n, std::size_t links, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::BuildSpec spec;
+  spec.grid_size = n;
+  spec.long_links = links;
+  return graph::build_overlay(spec, rng);
+}
+
+TEST(FailureView, AllAliveLeavesEverythingUsable) {
+  const auto g = make_graph(64, 2, 1);
+  const auto view = FailureView::all_alive(g);
+  EXPECT_EQ(view.alive_count(), 64u);
+  for (graph::NodeId u = 0; u < g.size(); ++u) {
+    EXPECT_TRUE(view.node_alive(u));
+    for (std::size_t i = 0; i < g.out_degree(u); ++i) {
+      EXPECT_TRUE(view.link_alive(u, i));
+      EXPECT_TRUE(view.hop_usable(u, i));
+    }
+  }
+}
+
+TEST(FailureView, NodeFailureRateMatchesProbability) {
+  const auto g = make_graph(4096, 1, 2);
+  util::Rng rng(3);
+  const auto view = FailureView::with_node_failures(g, 0.3, rng);
+  const double dead_fraction =
+      1.0 - static_cast<double>(view.alive_count()) / static_cast<double>(g.size());
+  EXPECT_NEAR(dead_fraction, 0.3, 0.03);
+}
+
+TEST(FailureView, NodeFailureExtremes) {
+  const auto g = make_graph(64, 1, 4);
+  util::Rng rng(5);
+  const auto none = FailureView::with_node_failures(g, 0.0, rng);
+  EXPECT_EQ(none.alive_count(), 64u);
+  const auto all = FailureView::with_node_failures(g, 1.0, rng);
+  EXPECT_EQ(all.alive_count(), 0u);
+}
+
+TEST(FailureView, LinkFailuresNeverTouchShortLinks) {
+  const auto g = make_graph(512, 8, 6);
+  util::Rng rng(7);
+  const auto view = FailureView::with_link_failures(g, 0.1, rng);
+  for (graph::NodeId u = 0; u < g.size(); ++u) {
+    for (std::size_t i = 0; i < g.short_degree(u); ++i) {
+      EXPECT_TRUE(view.link_alive(u, i));
+    }
+  }
+}
+
+TEST(FailureView, LinkFailureRateMatchesProbability) {
+  const auto g = make_graph(1024, 8, 8);
+  util::Rng rng(9);
+  const double p_present = 0.6;
+  const auto view = FailureView::with_link_failures(g, p_present, rng);
+  std::size_t alive = 0, total = 0;
+  for (graph::NodeId u = 0; u < g.size(); ++u) {
+    for (std::size_t i = g.short_degree(u); i < g.out_degree(u); ++i) {
+      ++total;
+      alive += view.link_alive(u, i) ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(alive) / static_cast<double>(total), p_present,
+              0.02);
+  // Node aliveness is untouched by link failures.
+  EXPECT_EQ(view.alive_count(), g.size());
+}
+
+TEST(FailureView, HopUsableRequiresBothEnds) {
+  const auto g = make_graph(16, 1, 10);
+  auto view = FailureView::all_alive(g);
+  const graph::NodeId v = g.neighbors(0)[0];
+  view.kill_node(v);
+  EXPECT_TRUE(view.link_alive(0, 0));
+  EXPECT_FALSE(view.hop_usable(0, 0));
+}
+
+TEST(FailureView, KillAndReviveNode) {
+  const auto g = make_graph(16, 1, 11);
+  auto view = FailureView::all_alive(g);
+  view.kill_node(3);
+  EXPECT_FALSE(view.node_alive(3));
+  EXPECT_EQ(view.alive_count(), 15u);
+  view.kill_node(3);  // idempotent
+  EXPECT_EQ(view.alive_count(), 15u);
+  view.revive_node(3);
+  EXPECT_TRUE(view.node_alive(3));
+  EXPECT_EQ(view.alive_count(), 16u);
+}
+
+TEST(FailureView, KillLink) {
+  const auto g = make_graph(16, 2, 12);
+  auto view = FailureView::all_alive(g);
+  view.kill_link(0, 1);
+  EXPECT_FALSE(view.link_alive(0, 1));
+  EXPECT_TRUE(view.link_alive(0, 0));
+  EXPECT_TRUE(view.link_alive(1, 1));
+}
+
+TEST(FailureView, RandomAliveOnlyReturnsLiveNodes) {
+  const auto g = make_graph(128, 1, 13);
+  util::Rng rng(14);
+  auto view = FailureView::with_node_failures(g, 0.9, rng);
+  ASSERT_GT(view.alive_count(), 0u);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(view.node_alive(view.random_alive(rng)));
+  }
+}
+
+TEST(FailureView, RandomAliveIsRoughlyUniform) {
+  const auto g = make_graph(8, 1, 15);
+  auto view = FailureView::all_alive(g);
+  view.kill_node(0);
+  util::Rng rng(16);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 70'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[view.random_alive(rng)];
+  EXPECT_EQ(counts[0], 0);
+  for (graph::NodeId u = 1; u < 8; ++u) {
+    EXPECT_NEAR(counts[u], kDraws / 7.0, 450.0);
+  }
+}
+
+TEST(FailureView, RejectsBadProbabilities) {
+  const auto g = make_graph(16, 1, 17);
+  util::Rng rng(18);
+  EXPECT_THROW(FailureView::with_node_failures(g, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(FailureView::with_node_failures(g, 1.1, rng), std::invalid_argument);
+  EXPECT_THROW(FailureView::with_link_failures(g, 2.0, rng), std::invalid_argument);
+}
+
+TEST(FailureView, RandomAliveThrowsWhenAllDead) {
+  const auto g = make_graph(4, 1, 19);
+  util::Rng rng(20);
+  auto view = FailureView::with_node_failures(g, 1.0, rng);
+  EXPECT_THROW(static_cast<void>(view.random_alive(rng)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2p::failure

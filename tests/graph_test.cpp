@@ -1,0 +1,443 @@
+// Unit + property tests for the graph substrate: overlay store, link
+// distributions and the ideal builder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/link_distribution.h"
+#include "graph/overlay_graph.h"
+#include "util/rng.h"
+
+namespace p2p::graph {
+namespace {
+
+using metric::Space1D;
+
+TEST(OverlayGraph, DensePositionsAreIdentity) {
+  OverlayGraph g(Space1D::ring(8));
+  EXPECT_EQ(g.size(), 8u);
+  for (NodeId u = 0; u < 8; ++u) EXPECT_EQ(g.position(u), static_cast<metric::Point>(u));
+  EXPECT_EQ(g.node_at(5), 5u);
+  EXPECT_EQ(g.node_nearest(5), 5u);
+}
+
+TEST(OverlayGraph, SparsePositionsMapCorrectly) {
+  OverlayGraph g(Space1D::line(100), {3, 10, 50, 99});
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.position(2), 50);
+  EXPECT_EQ(g.node_at(10), 1u);
+  EXPECT_EQ(g.node_at(11), kInvalidNode);
+}
+
+TEST(OverlayGraph, NodeNearestPicksClosest) {
+  OverlayGraph g(Space1D::line(100), {3, 10, 50, 99});
+  EXPECT_EQ(g.node_nearest(4), 0u);
+  EXPECT_EQ(g.node_nearest(7), 1u);   // 7 is 4 from 3, 3 from 10
+  EXPECT_EQ(g.node_nearest(30), 1u);  // 20 from 10, 20 from 50 -> lower position
+  EXPECT_EQ(g.node_nearest(80), 3u);
+}
+
+TEST(OverlayGraph, NodeNearestWrapsOnRing) {
+  OverlayGraph g(Space1D::ring(100), {10, 90});
+  EXPECT_EQ(g.node_nearest(99), 1u);  // 9 from 90, 11 from 10 via wrap
+  EXPECT_EQ(g.node_nearest(1), 0u);   // 9 from 10, 11 from 90 via wrap
+}
+
+TEST(OverlayGraph, ShortLinksMustPrecedeLongLinks) {
+  OverlayGraph g(Space1D::line(4));
+  g.add_short_link(0, 1);
+  g.add_long_link(0, 2);
+  EXPECT_THROW(g.add_short_link(0, 3), std::logic_error);
+}
+
+TEST(OverlayGraph, NeighborSpansSplitShortAndLong) {
+  OverlayGraph g(Space1D::line(5));
+  g.add_short_link(2, 1);
+  g.add_short_link(2, 3);
+  g.add_long_link(2, 0);
+  EXPECT_EQ(g.short_degree(2), 2u);
+  EXPECT_EQ(g.out_degree(2), 3u);
+  ASSERT_EQ(g.long_neighbors(2).size(), 1u);
+  EXPECT_EQ(g.long_neighbors(2)[0], 0u);
+  EXPECT_EQ(g.link_count(), 3u);
+}
+
+TEST(OverlayGraph, ReplaceLongLink) {
+  OverlayGraph g(Space1D::line(5));
+  g.add_short_link(0, 1);
+  g.add_long_link(0, 3);
+  g.replace_long_link(0, 0, 4);
+  EXPECT_TRUE(g.has_link(0, 4));
+  EXPECT_FALSE(g.has_link(0, 3));
+  EXPECT_THROW(g.replace_long_link(0, 1, 2), std::out_of_range);
+}
+
+TEST(OverlayGraph, ClearLinksResetsDegrees) {
+  OverlayGraph g(Space1D::line(5));
+  g.add_short_link(0, 1);
+  g.add_long_link(0, 3);
+  g.clear_links(0);
+  EXPECT_EQ(g.out_degree(0), 0u);
+  EXPECT_EQ(g.short_degree(0), 0u);
+  EXPECT_EQ(g.link_count(), 0u);
+}
+
+TEST(OverlayGraph, InDegreesCountIncomingLinks) {
+  OverlayGraph g(Space1D::line(4));
+  g.add_long_link(0, 2);
+  g.add_long_link(1, 2);
+  g.add_long_link(3, 2);
+  g.add_long_link(2, 0);
+  const auto in = g.in_degrees();
+  EXPECT_EQ(in[2], 3u);
+  EXPECT_EQ(in[0], 1u);
+  EXPECT_EQ(in[1], 0u);
+}
+
+TEST(OverlayGraph, LongLinkLengths) {
+  OverlayGraph g(Space1D::ring(10));
+  g.add_short_link(0, 1);
+  g.add_long_link(0, 4);  // length 4
+  g.add_long_link(0, 9);  // length 1 on the ring
+  const auto lengths = g.long_link_lengths();
+  ASSERT_EQ(lengths.size(), 2u);
+  EXPECT_EQ(lengths[0], 4u);
+  EXPECT_EQ(lengths[1], 1u);
+}
+
+TEST(OverlayGraph, RejectsUnsortedSparsePositions) {
+  EXPECT_THROW(OverlayGraph(Space1D::line(10), {5, 3}), std::invalid_argument);
+  EXPECT_THROW(OverlayGraph(Space1D::line(10), {3, 3}), std::invalid_argument);
+  EXPECT_THROW(OverlayGraph(Space1D::line(10), {3, 11}), std::invalid_argument);
+}
+
+// -- Power-law sampler --------------------------------------------------------
+
+TEST(PowerLawLinkSampler, NeverReturnsSource) {
+  const PowerLawLinkSampler s(Space1D::ring(64), 1.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(s.sample_target(rng, 17), 17);
+}
+
+TEST(PowerLawLinkSampler, ProbabilitiesSumToOneOnRing) {
+  const PowerLawLinkSampler s(Space1D::ring(16), 1.0);
+  double total = 0.0;
+  for (metric::Point v = 0; v < 16; ++v) total += s.probability(3, v);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PowerLawLinkSampler, ProbabilitiesSumToOneOnLine) {
+  for (const metric::Point src : {0, 5, 15}) {
+    const PowerLawLinkSampler s(Space1D::line(16), 1.0);
+    double total = 0.0;
+    for (metric::Point v = 0; v < 16; ++v) total += s.probability(src, v);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "src=" << src;
+  }
+}
+
+TEST(PowerLawLinkSampler, InverseDistanceShapeOnRing) {
+  const PowerLawLinkSampler s(Space1D::ring(64), 1.0);
+  // P(distance d) should be proportional to 1/d for each individual node.
+  const double p1 = s.probability(0, 1);
+  const double p4 = s.probability(0, 4);
+  const double p16 = s.probability(0, 16);
+  EXPECT_NEAR(p1 / p4, 4.0, 1e-9);
+  EXPECT_NEAR(p4 / p16, 4.0, 1e-9);
+}
+
+TEST(PowerLawLinkSampler, ExponentZeroIsUniform) {
+  const PowerLawLinkSampler s(Space1D::ring(32), 0.0);
+  const double p = s.probability(0, 1);
+  for (metric::Point v = 1; v < 32; ++v) {
+    EXPECT_NEAR(s.probability(0, v), p, 1e-12);
+  }
+}
+
+TEST(PowerLawLinkSampler, EmpiricalMatchesExactOnRing) {
+  const Space1D space = Space1D::ring(128);
+  const PowerLawLinkSampler s(space, 1.0);
+  util::Rng rng(7);
+  constexpr int kDraws = 400'000;
+  std::vector<double> freq(128, 0.0);
+  for (int i = 0; i < kDraws; ++i) {
+    freq[static_cast<std::size_t>(s.sample_target(rng, 0))] += 1.0;
+  }
+  for (metric::Point v = 1; v < 128; ++v) {
+    const double p = s.probability(0, v);
+    const double sigma = std::sqrt(p * (1 - p) / kDraws);
+    EXPECT_NEAR(freq[static_cast<std::size_t>(v)] / kDraws, p, 6 * sigma + 1e-4)
+        << "v=" << v;
+  }
+}
+
+TEST(PowerLawLinkSampler, EmpiricalMatchesExactOnLineEdges) {
+  // A node at the line's edge has only one side to link to.
+  const Space1D space = Space1D::line(64);
+  const PowerLawLinkSampler s(space, 1.0);
+  util::Rng rng(9);
+  constexpr int kDraws = 200'000;
+  std::vector<double> freq(64, 0.0);
+  for (int i = 0; i < kDraws; ++i) {
+    const metric::Point t = s.sample_target(rng, 0);
+    ASSERT_GT(t, 0);
+    freq[static_cast<std::size_t>(t)] += 1.0;
+  }
+  for (metric::Point v = 1; v < 64; ++v) {
+    const double p = s.probability(0, v);
+    const double sigma = std::sqrt(p * (1 - p) / kDraws);
+    EXPECT_NEAR(freq[static_cast<std::size_t>(v)] / kDraws, p, 6 * sigma + 1e-4);
+  }
+}
+
+TEST(PowerLawLinkSampler, TinySpaces) {
+  util::Rng rng(11);
+  const PowerLawLinkSampler ring2(Space1D::ring(2), 1.0);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ring2.sample_target(rng, 0), 1);
+  const PowerLawLinkSampler ring3(Space1D::ring(3), 1.0);
+  for (int i = 0; i < 20; ++i) EXPECT_NE(ring3.sample_target(rng, 1), 1);
+  const PowerLawLinkSampler line2(Space1D::line(2), 1.0);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(line2.sample_target(rng, 1), 0);
+}
+
+TEST(PowerLawLinkSampler, RejectsBadParameters) {
+  EXPECT_THROW(PowerLawLinkSampler(Space1D::ring(1), 1.0), std::invalid_argument);
+  EXPECT_THROW(PowerLawLinkSampler(Space1D::ring(8), -0.5), std::invalid_argument);
+}
+
+// -- Deterministic link sets ---------------------------------------------------
+
+TEST(BaseBOffsets, FullSetBase2) {
+  // {1, 2, 4, 8} for n = 16 (digits {1} times powers below n).
+  EXPECT_EQ(base_b_full_offsets(16, 2),
+            (std::vector<std::uint64_t>{1, 2, 4, 8}));
+}
+
+TEST(BaseBOffsets, FullSetBase4) {
+  // digits {1,2,3} x powers {1,4,16} -> {1,2,3,4,8,12,16,32,48} for n = 64.
+  EXPECT_EQ(base_b_full_offsets(64, 4),
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 8, 12, 16, 32, 48}));
+}
+
+TEST(BaseBOffsets, PowersOnlySet) {
+  EXPECT_EQ(base_b_power_offsets(100, 10), (std::vector<std::uint64_t>{1, 10}));
+  EXPECT_EQ(base_b_power_offsets(101, 10),
+            (std::vector<std::uint64_t>{1, 10, 100}));
+}
+
+TEST(BaseBOffsets, CanExpressEveryDistance) {
+  // Greedy digit elimination must be able to cover any distance below n.
+  const std::uint64_t n = 1000;
+  for (const unsigned base : {2u, 3u, 10u}) {
+    const auto offsets = base_b_full_offsets(n, base);
+    for (std::uint64_t target : {1ULL, 7ULL, 999ULL, 512ULL}) {
+      std::uint64_t remaining = target;
+      std::size_t steps = 0;
+      while (remaining > 0 && steps < 64) {
+        // largest offset <= remaining
+        const auto it =
+            std::upper_bound(offsets.begin(), offsets.end(), remaining);
+        ASSERT_NE(it, offsets.begin());
+        remaining -= *std::prev(it);
+        ++steps;
+      }
+      EXPECT_EQ(remaining, 0u) << "base=" << base << " target=" << target;
+    }
+  }
+}
+
+TEST(BaseBOffsets, RejectBadParameters) {
+  EXPECT_THROW(base_b_full_offsets(10, 1), std::invalid_argument);
+  EXPECT_THROW(base_b_full_offsets(1, 2), std::invalid_argument);
+  EXPECT_THROW(base_b_power_offsets(10, 0), std::invalid_argument);
+}
+
+// -- Kleinberg torus sampler ---------------------------------------------------
+
+TEST(KleinbergGridSampler, NeverReturnsSourceAndStaysInGrid) {
+  const metric::Torus2D torus(8);
+  const KleinbergGridSampler s(torus, 2.0);
+  util::Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const metric::Point t = s.sample_target(rng, 11);
+    EXPECT_NE(t, 11);
+    EXPECT_TRUE(torus.contains(t));
+  }
+}
+
+TEST(KleinbergGridSampler, RadiusDistributionMatchesWeights) {
+  const metric::Torus2D torus(9);
+  const double r = 2.0;
+  const KleinbergGridSampler s(torus, r);
+  util::Rng rng(17);
+  constexpr int kDraws = 200'000;
+  std::vector<double> by_radius(torus.diameter() + 1, 0.0);
+  for (int i = 0; i < kDraws; ++i) {
+    by_radius[torus.distance(0, s.sample_target(rng, 0))] += 1.0;
+  }
+  double norm = 0.0;
+  for (metric::Distance d = 1; d <= torus.diameter(); ++d) {
+    norm += static_cast<double>(torus.ring_size(d)) * std::pow(d, -r);
+  }
+  for (metric::Distance d = 1; d <= torus.diameter(); ++d) {
+    const double expect =
+        static_cast<double>(torus.ring_size(d)) * std::pow(d, -r) / norm;
+    const double sigma = std::sqrt(expect * (1 - expect) / kDraws);
+    EXPECT_NEAR(by_radius[d] / kDraws, expect, 6 * sigma + 2e-3) << "d=" << d;
+  }
+}
+
+// -- Ideal builder --------------------------------------------------------------
+
+TEST(GraphBuilder, ShortLinksWireNearestNeighbours) {
+  util::Rng rng(19);
+  BuildSpec spec;
+  spec.grid_size = 16;
+  spec.long_links = 1;
+  const OverlayGraph g = build_overlay(spec, rng);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    EXPECT_EQ(g.short_degree(u), 2u) << "ring nodes have two immediate links";
+    const auto neigh = g.neighbors(u);
+    const NodeId next = static_cast<NodeId>((u + 1) % g.size());
+    const NodeId prev = static_cast<NodeId>((u + g.size() - 1) % g.size());
+    EXPECT_TRUE(std::find(neigh.begin(), neigh.end(), next) != neigh.end());
+    EXPECT_TRUE(std::find(neigh.begin(), neigh.end(), prev) != neigh.end());
+  }
+}
+
+TEST(GraphBuilder, LineEndpointsHaveOneShortLink) {
+  util::Rng rng(23);
+  BuildSpec spec;
+  spec.grid_size = 16;
+  spec.topology = Space1D::Kind::kLine;
+  const OverlayGraph g = build_overlay(spec, rng);
+  EXPECT_EQ(g.short_degree(0), 1u);
+  EXPECT_EQ(g.short_degree(15), 1u);
+  EXPECT_EQ(g.short_degree(7), 2u);
+}
+
+TEST(GraphBuilder, LongLinkCountMatchesSpec) {
+  util::Rng rng(29);
+  BuildSpec spec;
+  spec.grid_size = 256;
+  spec.long_links = 5;
+  const OverlayGraph g = build_overlay(spec, rng);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    EXPECT_EQ(g.long_neighbors(u).size(), 5u);
+  }
+}
+
+TEST(GraphBuilder, BinomialPresenceThinsTheGrid) {
+  util::Rng rng(31);
+  BuildSpec spec;
+  spec.grid_size = 4096;
+  spec.presence = 0.5;
+  const OverlayGraph g = build_overlay(spec, rng);
+  EXPECT_GT(g.size(), 1800u);
+  EXPECT_LT(g.size(), 2300u);
+  // Every node still has its two ring short links to *existing* neighbours.
+  for (NodeId u = 0; u < g.size(); ++u) {
+    EXPECT_GE(g.out_degree(u), g.short_degree(u));
+  }
+}
+
+TEST(GraphBuilder, SparseLinksOnlyTargetExistingNodes) {
+  util::Rng rng(37);
+  BuildSpec spec;
+  spec.grid_size = 1024;
+  spec.presence = 0.3;
+  spec.long_links = 3;
+  const OverlayGraph g = build_overlay(spec, rng);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      EXPECT_LT(v, g.size());
+    }
+  }
+}
+
+TEST(GraphBuilder, BaseBFullLinksBothDirections) {
+  util::Rng rng(41);
+  BuildSpec spec;
+  spec.grid_size = 64;
+  spec.link_model = BuildSpec::LinkModel::kBaseBFull;
+  spec.base = 2;
+  const OverlayGraph g = build_overlay(spec, rng);
+  // Node 32 on a 64-ring: offsets 1..32 both ways; offset 1 duplicates the
+  // short links, so long links include ±2, ±4, ±8, ±16, ±32(=antipode).
+  const auto neigh = g.neighbors(32);
+  EXPECT_TRUE(std::find(neigh.begin(), neigh.end(), 34u) != neigh.end());
+  EXPECT_TRUE(std::find(neigh.begin(), neigh.end(), 30u) != neigh.end());
+  EXPECT_TRUE(std::find(neigh.begin(), neigh.end(), 0u) != neigh.end());
+}
+
+TEST(GraphBuilder, RejectsBadSpecs) {
+  util::Rng rng(43);
+  BuildSpec spec;
+  spec.grid_size = 1;
+  EXPECT_THROW(build_overlay(spec, rng), std::invalid_argument);
+  spec.grid_size = 16;
+  spec.presence = 0.0;
+  EXPECT_THROW(build_overlay(spec, rng), std::invalid_argument);
+  spec.presence = 1.0;
+  spec.exponent = -1.0;
+  EXPECT_THROW(build_overlay(spec, rng), std::invalid_argument);
+}
+
+TEST(GraphBuilder, BidirectionalAddsEveryReverseLink) {
+  util::Rng rng(53);
+  BuildSpec spec;
+  spec.grid_size = 256;
+  spec.long_links = 4;
+  spec.bidirectional = true;
+  const OverlayGraph g = build_overlay(spec, rng);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    for (const NodeId v : g.long_neighbors(u)) {
+      EXPECT_TRUE(g.has_link(v, u)) << u << " -> " << v << " lacks a reverse";
+    }
+  }
+}
+
+TEST(GraphBuilder, BidirectionalAddsNoDuplicates) {
+  util::Rng rng(59);
+  BuildSpec spec;
+  spec.grid_size = 128;
+  spec.long_links = 3;
+  spec.bidirectional = true;
+  const OverlayGraph g = build_overlay(spec, rng);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    const auto longs = g.long_neighbors(u);
+    // A reverse link is added only when absent, so each (u, v) long pair
+    // appears at most twice total only if the forward side was drawn twice.
+    std::size_t reverse_added = 0;
+    for (const NodeId v : longs) {
+      if (g.has_link(v, u)) ++reverse_added;
+    }
+    EXPECT_EQ(reverse_added, longs.size());
+  }
+}
+
+TEST(GraphBuilder, AggregateLinkLengthsFollowInverseLaw) {
+  // The builder's empirical length distribution must match 1/d: the exact
+  // check behind Figure 5's "ideal" curve.
+  util::Rng rng(47);
+  BuildSpec spec;
+  spec.grid_size = 512;
+  spec.long_links = 8;
+  const OverlayGraph g = build_overlay(spec, rng);
+  const auto lengths = g.long_link_lengths();
+  std::vector<double> count(g.space().diameter() + 1, 0.0);
+  for (const auto d : lengths) count[d] += 1.0;
+  // Compare mass at d=1 vs d=16: ratio should be ~16 (both sides of ring).
+  ASSERT_GT(count[16], 0.0);
+  const double ratio = count[1] / count[16];
+  EXPECT_GT(ratio, 16.0 * 0.7);
+  EXPECT_LT(ratio, 16.0 * 1.4);
+}
+
+}  // namespace
+}  // namespace p2p::graph

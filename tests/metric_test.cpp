@@ -1,0 +1,202 @@
+// Unit + property tests for the metric spaces (line, ring, torus).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "metric/grid2d.h"
+#include "metric/space1d.h"
+#include "util/rng.h"
+
+namespace p2p::metric {
+namespace {
+
+TEST(Space1D, LineDistances) {
+  const auto line = Space1D::line(10);
+  EXPECT_EQ(line.distance(0, 9), 9u);
+  EXPECT_EQ(line.distance(3, 3), 0u);
+  EXPECT_EQ(line.distance(7, 2), 5u);
+  EXPECT_EQ(line.diameter(), 9u);
+}
+
+TEST(Space1D, RingDistancesWrap) {
+  const auto ring = Space1D::ring(10);
+  EXPECT_EQ(ring.distance(0, 9), 1u);
+  EXPECT_EQ(ring.distance(0, 5), 5u);
+  EXPECT_EQ(ring.distance(2, 8), 4u);
+  EXPECT_EQ(ring.diameter(), 5u);
+}
+
+TEST(Space1D, Contains) {
+  const auto line = Space1D::line(4);
+  EXPECT_TRUE(line.contains(0));
+  EXPECT_TRUE(line.contains(3));
+  EXPECT_FALSE(line.contains(4));
+  EXPECT_FALSE(line.contains(-1));
+}
+
+TEST(Space1D, MaxDistance) {
+  const auto line = Space1D::line(10);
+  EXPECT_EQ(line.max_distance(0), 9u);
+  EXPECT_EQ(line.max_distance(9), 9u);
+  EXPECT_EQ(line.max_distance(5), 5u);
+  const auto ring = Space1D::ring(10);
+  EXPECT_EQ(ring.max_distance(3), 5u);
+}
+
+TEST(Space1D, OffsetOnLineFallsOffEnds) {
+  const auto line = Space1D::line(5);
+  EXPECT_EQ(line.offset(2, 2), Point{4});
+  EXPECT_EQ(line.offset(2, -2), Point{0});
+  EXPECT_FALSE(line.offset(4, 1).has_value());
+  EXPECT_FALSE(line.offset(0, -1).has_value());
+}
+
+TEST(Space1D, OffsetOnRingWraps) {
+  const auto ring = Space1D::ring(5);
+  EXPECT_EQ(ring.offset(4, 1), Point{0});
+  EXPECT_EQ(ring.offset(0, -1), Point{4});
+  EXPECT_EQ(ring.offset(2, 7), Point{4});   // 2 + 7 = 9 mod 5
+  EXPECT_EQ(ring.offset(2, -8), Point{4});  // 2 - 8 = -6 mod 5
+}
+
+TEST(Space1D, DirectionOnLine) {
+  const auto line = Space1D::line(10);
+  EXPECT_EQ(line.direction(2, 7), 1);
+  EXPECT_EQ(line.direction(7, 2), -1);
+  EXPECT_EQ(line.direction(4, 4), 0);
+}
+
+TEST(Space1D, DirectionOnRingTakesShortArc) {
+  const auto ring = Space1D::ring(10);
+  EXPECT_EQ(ring.direction(0, 3), 1);
+  EXPECT_EQ(ring.direction(0, 8), -1);  // 2 steps counter-clockwise
+  EXPECT_EQ(ring.direction(0, 5), 1);   // antipodal tie resolves to +1
+}
+
+TEST(Space1D, BetweenOnLine) {
+  const auto line = Space1D::line(10);
+  // v between u=8 and target t=2 (strictly), or v == t.
+  EXPECT_TRUE(line.between(5, 8, 2));
+  EXPECT_TRUE(line.between(2, 8, 2));
+  EXPECT_FALSE(line.between(9, 8, 2));
+  EXPECT_FALSE(line.between(1, 8, 2));  // overshoot past the target
+  EXPECT_FALSE(line.between(8, 8, 2));  // v == u is not progress
+}
+
+TEST(Space1D, BetweenOnRingFollowsShortArc) {
+  const auto ring = Space1D::ring(12);
+  // From u=1 toward t=10 the short arc goes counter-clockwise via 0, 11.
+  EXPECT_TRUE(ring.between(0, 1, 10));
+  EXPECT_TRUE(ring.between(11, 1, 10));
+  EXPECT_FALSE(ring.between(5, 1, 10));  // on the long arc
+  EXPECT_TRUE(ring.between(10, 1, 10));  // landing on t is allowed
+}
+
+TEST(Space1D, RejectsEmptySpaces) {
+  EXPECT_THROW(static_cast<void>(Space1D::line(0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(Space1D::ring(0)), std::invalid_argument);
+}
+
+TEST(Space1D, ToStringNamesKindAndSize) {
+  EXPECT_EQ(Space1D::line(8).to_string(), "line(8)");
+  EXPECT_EQ(Space1D::ring(16).to_string(), "ring(16)");
+}
+
+// -- Metric axioms, parameterized over space shapes --------------------------
+
+struct SpaceCase {
+  std::string name;
+  Space1D space;
+};
+
+class MetricAxioms : public ::testing::TestWithParam<SpaceCase> {};
+
+TEST_P(MetricAxioms, SymmetryIdentityTriangle) {
+  const Space1D& s = GetParam().space;
+  util::Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<Point>(rng.next_below(s.size()));
+    const auto b = static_cast<Point>(rng.next_below(s.size()));
+    const auto c = static_cast<Point>(rng.next_below(s.size()));
+    EXPECT_EQ(s.distance(a, b), s.distance(b, a));
+    EXPECT_EQ(s.distance(a, a), 0u);
+    if (a != b) {
+      EXPECT_GT(s.distance(a, b), 0u);
+    }
+    EXPECT_LE(s.distance(a, c), s.distance(a, b) + s.distance(b, c));
+    EXPECT_LE(s.distance(a, b), s.diameter());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, MetricAxioms,
+    ::testing::Values(SpaceCase{"line64", Space1D::line(64)},
+                      SpaceCase{"ring64", Space1D::ring(64)},
+                      SpaceCase{"ring65_odd", Space1D::ring(65)},
+                      SpaceCase{"line2", Space1D::line(2)},
+                      SpaceCase{"ring2", Space1D::ring(2)},
+                      SpaceCase{"ring3", Space1D::ring(3)}),
+    [](const auto& info) { return info.param.name; });
+
+// -- Torus2D -----------------------------------------------------------------
+
+TEST(Torus2D, CoordinateRoundTrip) {
+  const Torus2D t(8);
+  for (Point p = 0; p < 64; ++p) {
+    const auto [r, c] = t.coords(p);
+    EXPECT_EQ(t.at(r, c), p);
+  }
+}
+
+TEST(Torus2D, AtWrapsNegativeAndLarge) {
+  const Torus2D t(8);
+  EXPECT_EQ(t.at(-1, 0), t.at(7, 0));
+  EXPECT_EQ(t.at(0, 9), t.at(0, 1));
+  EXPECT_EQ(t.at(16, -8), t.at(0, 0));
+}
+
+TEST(Torus2D, ManhattanDistanceWithWraparound) {
+  const Torus2D t(8);
+  EXPECT_EQ(t.distance(t.at(0, 0), t.at(0, 1)), 1u);
+  EXPECT_EQ(t.distance(t.at(0, 0), t.at(0, 7)), 1u);   // wraps
+  EXPECT_EQ(t.distance(t.at(0, 0), t.at(4, 4)), 8u);   // diameter
+  EXPECT_EQ(t.distance(t.at(2, 3), t.at(2, 3)), 0u);
+  EXPECT_EQ(t.diameter(), 8u);
+}
+
+TEST(Torus2D, MetricAxiomsHold) {
+  const Torus2D t(7);
+  util::Rng rng(6);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<Point>(rng.next_below(t.size()));
+    const auto b = static_cast<Point>(rng.next_below(t.size()));
+    const auto c = static_cast<Point>(rng.next_below(t.size()));
+    EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+    EXPECT_EQ(t.distance(a, a), 0u);
+    EXPECT_LE(t.distance(a, c), t.distance(a, b) + t.distance(b, c));
+  }
+}
+
+TEST(Torus2D, RingSizeCountsExactly) {
+  // Brute-force cross-check: count points at each distance from the origin.
+  for (const std::uint32_t side : {4u, 5u, 8u}) {
+    const Torus2D t(side);
+    std::vector<std::uint64_t> counts(t.diameter() + 1, 0);
+    for (Point p = 0; p < static_cast<Point>(t.size()); ++p) {
+      ++counts[t.distance(0, p)];
+    }
+    for (Distance d = 0; d <= t.diameter(); ++d) {
+      EXPECT_EQ(t.ring_size(d), counts[d]) << "side=" << side << " d=" << d;
+    }
+  }
+}
+
+TEST(Torus2D, RingSizeBeyondDiameterIsZero) {
+  const Torus2D t(6);
+  EXPECT_EQ(t.ring_size(t.diameter() + 1), 0u);
+}
+
+TEST(Torus2D, RejectsZeroSide) { EXPECT_THROW(Torus2D(0), std::invalid_argument); }
+
+}  // namespace
+}  // namespace p2p::metric

@@ -1,0 +1,140 @@
+// Unit tests for util/histogram.h: linear, exact and log-spaced counters.
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace p2p::util {
+namespace {
+
+TEST(LinearHistogram, BinsAndEdges) {
+  LinearHistogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(LinearHistogram, CountsLandInRightBins) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.9);
+  h.add(2.0);  // boundary: belongs to bin 1
+  h.add(9.99);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(LinearHistogram, UnderAndOverflow) {
+  LinearHistogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive -> overflow
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LinearHistogram, WeightsAccumulate) {
+  LinearHistogram h(0.0, 4.0, 4);
+  h.add(1.5, 10);
+  EXPECT_EQ(h.bin(1), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(LinearHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(LinearHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(ExactCounter, CountsExactValues) {
+  ExactCounter c(100);
+  c.add(0);
+  c.add(7);
+  c.add(7);
+  c.add(100);
+  EXPECT_EQ(c.count(0), 1u);
+  EXPECT_EQ(c.count(7), 2u);
+  EXPECT_EQ(c.count(100), 1u);
+  EXPECT_EQ(c.count(8), 0u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(ExactCounter, OverflowBeyondMax) {
+  ExactCounter c(10);
+  c.add(11);
+  c.add(1'000'000);
+  EXPECT_EQ(c.overflow(), 2u);
+  EXPECT_EQ(c.total(), 2u);
+}
+
+TEST(ExactCounter, ProbabilityNormalizes) {
+  ExactCounter c(4);
+  c.add(1, 3);
+  c.add(2, 1);
+  EXPECT_DOUBLE_EQ(c.probability(1), 0.75);
+  EXPECT_DOUBLE_EQ(c.probability(2), 0.25);
+  EXPECT_DOUBLE_EQ(c.probability(3), 0.0);
+}
+
+TEST(ExactCounter, MergeAddsCounts) {
+  ExactCounter a(5), b(5);
+  a.add(2);
+  b.add(2);
+  b.add(3);
+  a.merge(b);
+  EXPECT_EQ(a.count(2), 2u);
+  EXPECT_EQ(a.count(3), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(ExactCounter, MergeRejectsMismatchedSizes) {
+  ExactCounter a(5), b(6);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LogHistogram, BinEdgesArePowers) {
+  LogHistogram h(2.0, 64);
+  // Bins: [1,1], [2,3], [4,7], [8,15], [16,31], [32,63], [64,127].
+  EXPECT_EQ(h.bin_lo(0), 1u);
+  EXPECT_EQ(h.bin_hi(0), 1u);
+  EXPECT_EQ(h.bin_lo(1), 2u);
+  EXPECT_EQ(h.bin_hi(1), 3u);
+  EXPECT_EQ(h.bin_lo(2), 4u);
+  EXPECT_EQ(h.bin_hi(2), 7u);
+}
+
+TEST(LogHistogram, ValuesLandInRightBins) {
+  LogHistogram h(2.0, 64);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(63);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(LogHistogram, ZeroClampsToOne) {
+  LogHistogram h(2.0, 8);
+  h.add(0);
+  EXPECT_EQ(h.bin(0), 1u);
+}
+
+TEST(LogHistogram, HugeValuesGoToLastBin) {
+  LogHistogram h(2.0, 8);
+  h.add(1'000'000);
+  EXPECT_EQ(h.bin(h.bin_count() - 1), 1u);
+}
+
+TEST(LogHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(LogHistogram(1.0, 8), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(2.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2p::util

@@ -1,0 +1,146 @@
+// Unit tests for util/table.h, util/thread_pool.h, util/options.h and
+// util/harmonic.h.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/harmonic.h"
+#include "util/options.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace p2p::util {
+namespace {
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"n", "hops"});
+  t.add_row({"1024", "12.5"});
+  t.add_row({"2048", "14.1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1024"), std::string::npos);
+  EXPECT_NE(out.find("14.1"), std::string::npos);
+  EXPECT_NE(out.find("hops"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "quote\"inside"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, DoubleRowsUsePrecision) {
+  Table t({"v"});
+  t.add_numeric_row(std::vector<double>{3.14159}, 2);
+  EXPECT_EQ(t.cell(0, 0), "3.14");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.cell(0, 1), "");
+  EXPECT_EQ(t.cell(0, 2), "");
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.0, 2), "1.00");
+  EXPECT_EQ(format_double(0.12345, 3), "0.123");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); });
+  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(Options, EnvU64ParsesAndFallsBack) {
+  ::setenv("P2P_TEST_OPT", "123", 1);
+  EXPECT_EQ(env_u64("P2P_TEST_OPT", 7), 123u);
+  ::setenv("P2P_TEST_OPT", "not_a_number", 1);
+  EXPECT_EQ(env_u64("P2P_TEST_OPT", 7), 7u);
+  ::unsetenv("P2P_TEST_OPT");
+  EXPECT_EQ(env_u64("P2P_TEST_OPT", 7), 7u);
+}
+
+TEST(Options, PresetScaling) {
+  ::unsetenv("P2P_NODES");
+  ::setenv("P2P_SCALE", "smoke", 1);
+  auto opts = scale_options_from_env();
+  EXPECT_EQ(opts.resolve_nodes(1024, 131072), 128u);
+  ::setenv("P2P_SCALE", "paper", 1);
+  opts = scale_options_from_env();
+  EXPECT_EQ(opts.resolve_nodes(1024, 131072), 131072u);
+  ::unsetenv("P2P_SCALE");
+  opts = scale_options_from_env();
+  EXPECT_EQ(opts.resolve_nodes(1024, 131072), 1024u);
+}
+
+TEST(Options, ExplicitOverrideBeatsPreset) {
+  ::setenv("P2P_SCALE", "paper", 1);
+  ::setenv("P2P_NODES", "4096", 1);
+  const auto opts = scale_options_from_env();
+  EXPECT_EQ(opts.resolve_nodes(1024, 131072), 4096u);
+  ::unsetenv("P2P_SCALE");
+  ::unsetenv("P2P_NODES");
+}
+
+TEST(Harmonic, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(4), 1.0 + 0.5 + 1.0 / 3.0 + 0.25, 1e-15);
+}
+
+TEST(Harmonic, AsymptoticMatchesSummation) {
+  // Cross-check the asymptotic branch against direct summation.
+  for (const std::uint64_t n : {129ULL, 1000ULL, 65536ULL}) {
+    double direct = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) direct += 1.0 / static_cast<double>(i);
+    EXPECT_NEAR(harmonic(n), direct, 1e-10) << "n=" << n;
+  }
+}
+
+TEST(Harmonic, GeneralizedReducesToHarmonic) {
+  EXPECT_NEAR(harmonic_general(100, 1.0), harmonic(100), 1e-12);
+  EXPECT_DOUBLE_EQ(harmonic_general(3, 0.0), 3.0);  // Σ i^0 = n
+  EXPECT_NEAR(harmonic_general(2, 2.0), 1.25, 1e-15);
+}
+
+}  // namespace
+}  // namespace p2p::util

@@ -1,0 +1,118 @@
+// Unit + property tests for util/prefix_sampler.h.
+//
+// Both samplers must realize the weight vector exactly; the parameterized
+// sweep checks empirical frequencies against exact probabilities for several
+// weight shapes, including the 1/d shape the overlay uses.
+#include "util/prefix_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace p2p::util {
+namespace {
+
+TEST(PrefixSampler, SingleElement) {
+  PrefixSampler s(std::vector<double>{3.0});
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(s.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(s.probability(0), 1.0);
+}
+
+TEST(PrefixSampler, ZeroWeightNeverSampled) {
+  PrefixSampler s(std::vector<double>{1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(s.sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(s.probability(1), 0.0);
+}
+
+TEST(PrefixSampler, ProbabilitiesSumToOne) {
+  PrefixSampler s(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  double total = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) total += s.probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(s.probability(3), 0.4, 1e-12);
+}
+
+TEST(PrefixSampler, RejectsBadWeights) {
+  EXPECT_THROW(PrefixSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(PrefixSampler(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(PrefixSampler(std::vector<double>{1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(AliasSampler, RejectsBadWeights) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{-2.0, 1.0}), std::invalid_argument);
+}
+
+// -- Parameterized frequency sweep ------------------------------------------
+
+struct WeightCase {
+  std::string name;
+  std::vector<double> weights;
+};
+
+class SamplerFrequency : public ::testing::TestWithParam<WeightCase> {};
+
+std::vector<double> empirical(const std::function<std::size_t(Rng&)>& draw,
+                              std::size_t size, int draws, Rng& rng) {
+  std::vector<double> freq(size, 0.0);
+  for (int i = 0; i < draws; ++i) freq[draw(rng)] += 1.0;
+  for (double& f : freq) f /= draws;
+  return freq;
+}
+
+TEST_P(SamplerFrequency, PrefixMatchesExactDistribution) {
+  const auto& [name, weights] = GetParam();
+  const PrefixSampler sampler(weights);
+  Rng rng(99);
+  constexpr int kDraws = 200'000;
+  const auto freq = empirical([&](Rng& r) { return sampler.sample(r); },
+                              weights.size(), kDraws, rng);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double p = sampler.probability(i);
+    const double sigma = std::sqrt(p * (1 - p) / kDraws);
+    EXPECT_NEAR(freq[i], p, 6 * sigma + 1e-4) << name << " index " << i;
+  }
+}
+
+TEST_P(SamplerFrequency, AliasMatchesPrefixDistribution) {
+  const auto& [name, weights] = GetParam();
+  const PrefixSampler exact(weights);
+  const AliasSampler sampler(weights);
+  Rng rng(101);
+  constexpr int kDraws = 200'000;
+  const auto freq = empirical([&](Rng& r) { return sampler.sample(r); },
+                              weights.size(), kDraws, rng);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double p = exact.probability(i);
+    const double sigma = std::sqrt(p * (1 - p) / kDraws);
+    EXPECT_NEAR(freq[i], p, 6 * sigma + 1e-4) << name << " index " << i;
+  }
+}
+
+std::vector<double> inverse_distance_weights(std::size_t n) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = 1.0 / static_cast<double>(i + 1);
+  return w;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SamplerFrequency,
+    ::testing::Values(
+        WeightCase{"uniform", {1, 1, 1, 1, 1, 1, 1, 1}},
+        WeightCase{"skewed", {100, 1, 1, 1, 1}},
+        WeightCase{"inverse_distance", inverse_distance_weights(32)},
+        WeightCase{"with_zeros", {0, 5, 0, 5, 0}},
+        WeightCase{"two_point", {0.25, 0.75}}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace p2p::util
