@@ -1,6 +1,19 @@
 // Micro-benchmarks (google-benchmark): costs of the hot operations — link
 // sampling, route steps, graph construction, heuristic joins, DHT ops.
+//
+// The custom main() first records the headline throughput numbers to
+// BENCH_micro.json (routes/sec over the frozen CSR graph, the same workload
+// driven through the legacy materialize-candidates-per-hop inner loop, and
+// builder links/sec) so successive PRs can track the perf trajectory, then
+// hands the remaining argv to google-benchmark. Set P2P_SKIP_JSON=1 to go
+// straight to the registered benchmarks, P2P_JSON_ONLY=1 to skip them.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/construction.h"
 #include "core/router.h"
@@ -139,4 +152,181 @@ void BM_DhtPutGet(benchmark::State& state) {
 }
 BENCHMARK(BM_DhtPutGet);
 
+// ---------------------------------------------------------------------------
+// Headline JSON trajectory (BENCH_micro.json)
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Replica of the pre-refactor graph layer and router inner loop: adjacency
+/// as vector-of-vectors and a candidate vector materialized, sorted and
+/// deduplicated at every hop. Same semantics as route() under terminate
+/// policy with nothing failed — the comparison baseline for the CSR +
+/// streaming-selection hot path.
+struct LegacyOverlay {
+  explicit LegacyOverlay(const graph::OverlayGraph& g) : space(g.space()) {
+    adjacency.resize(g.size());
+    for (graph::NodeId u = 0; u < g.size(); ++u) {
+      const auto neigh = g.neighbors(u);
+      adjacency[u].assign(neigh.begin(), neigh.end());
+    }
+  }
+
+  std::vector<graph::NodeId> candidates(graph::NodeId u, metric::Point target) const {
+    const metric::Point up = static_cast<metric::Point>(u);
+    const metric::Distance du = space.distance(up, target);
+    const auto& neigh = adjacency[u];
+    std::vector<std::pair<metric::Distance, graph::NodeId>> ranked;
+    ranked.reserve(neigh.size());
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      const graph::NodeId v = neigh[i];
+      if (v == u) continue;
+      const metric::Distance dv =
+          space.distance(static_cast<metric::Point>(v), target);
+      if (dv >= du) continue;
+      ranked.emplace_back(dv, v);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<graph::NodeId> result;
+    result.reserve(ranked.size());
+    for (const auto& [d, v] : ranked) {
+      if (result.empty() || result.back() != v) result.push_back(v);
+    }
+    return result;
+  }
+
+  std::size_t route(graph::NodeId src, graph::NodeId dst, metric::Point goal) const {
+    std::size_t hops = 0;
+    graph::NodeId current = src;
+    while (current != dst) {
+      const auto cands = candidates(current, goal);
+      if (cands.empty()) break;
+      current = cands.front();
+      ++hops;
+    }
+    return hops;
+  }
+
+  metric::Space1D space;
+  std::vector<std::vector<graph::NodeId>> adjacency;
+};
+
+struct JsonMetrics {
+  std::uint64_t nodes = 0;
+  std::size_t links = 0;
+  double build_seconds = 0;
+  double routes_per_sec = 0;
+  double hops_per_sec = 0;
+  double legacy_routes_per_sec = 0;
+  double links_per_sec = 0;
+  double speedup = 0;
+};
+
+JsonMetrics measure_headline() {
+  JsonMetrics m;
+  const char* nodes_env = std::getenv("P2P_BENCH_NODES");
+  m.nodes = nodes_env != nullptr ? std::strtoull(nodes_env, nullptr, 10) : 100000;
+  if (m.nodes < 4) {
+    std::fprintf(stderr, "micro_perf: ignoring P2P_BENCH_NODES=%s (need >= 4)\n",
+                 nodes_env == nullptr ? "" : nodes_env);
+    m.nodes = 100000;
+  }
+  std::size_t links = 1;
+  while ((1ULL << (links + 1)) <= m.nodes) ++links;  // lg n links per node
+  m.links = links;
+
+  graph::BuildSpec spec;
+  spec.grid_size = m.nodes;
+  spec.long_links = links;
+  util::Rng rng(42);
+
+  const auto t_build = std::chrono::steady_clock::now();
+  const auto g = graph::build_overlay(spec, rng);
+  m.build_seconds = seconds_since(t_build);
+  m.links_per_sec = static_cast<double>(g.link_count()) / m.build_seconds;
+
+  const auto view = failure::FailureView::all_alive(g);
+  const core::Router router(g, view);
+
+  const auto run = [&](auto&& one_route) {
+    // Calibrated run: route until ~0.5 s has elapsed, in whole batches.
+    constexpr std::size_t kBatch = 2000;
+    std::size_t routes = 0;
+    std::size_t hops = 0;
+    util::Rng pick(7);
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0;
+    do {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        const auto src = static_cast<graph::NodeId>(pick.next_below(m.nodes));
+        const auto dst = static_cast<graph::NodeId>(pick.next_below(m.nodes));
+        hops += one_route(src, dst);
+      }
+      routes += kBatch;
+      elapsed = seconds_since(start);
+    } while (elapsed < 0.5);
+    return std::pair<double, double>(static_cast<double>(routes) / elapsed,
+                                     static_cast<double>(hops) / elapsed);
+  };
+
+  util::Rng route_rng(11);
+  const auto [rps, hps] = run([&](graph::NodeId src, graph::NodeId dst) {
+    return router.route(src, g.position(dst), route_rng).hops;
+  });
+  m.routes_per_sec = rps;
+  m.hops_per_sec = hps;
+
+  const LegacyOverlay legacy(g);
+  const auto [legacy_rps, legacy_hps] = run([&](graph::NodeId src, graph::NodeId dst) {
+    return legacy.route(src, dst, g.position(dst));
+  });
+  static_cast<void>(legacy_hps);
+  m.legacy_routes_per_sec = legacy_rps;
+  m.speedup = m.routes_per_sec / m.legacy_routes_per_sec;
+  return m;
+}
+
+void write_json(const JsonMetrics& m, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_perf: cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"micro_perf\",\n"
+               "  \"nodes\": %llu,\n"
+               "  \"long_links_per_node\": %zu,\n"
+               "  \"build_seconds\": %.6f,\n"
+               "  \"links_per_sec\": %.1f,\n"
+               "  \"routes_per_sec\": %.1f,\n"
+               "  \"hops_per_sec\": %.1f,\n"
+               "  \"legacy_alloc_routes_per_sec\": %.1f,\n"
+               "  \"speedup_vs_legacy_alloc\": %.3f\n"
+               "}\n",
+               static_cast<unsigned long long>(m.nodes), m.links, m.build_seconds,
+               m.links_per_sec, m.routes_per_sec, m.hops_per_sec,
+               m.legacy_routes_per_sec, m.speedup);
+  std::fclose(f);
+  std::printf(
+      "BENCH_micro.json: n=%llu links/node=%zu build=%.2fs "
+      "links/s=%.3g routes/s=%.3g (legacy alloc %.3g, speedup %.2fx)\n",
+      static_cast<unsigned long long>(m.nodes), m.links, m.build_seconds,
+      m.links_per_sec, m.routes_per_sec, m.legacy_routes_per_sec, m.speedup);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  if (std::getenv("P2P_SKIP_JSON") == nullptr) {
+    write_json(measure_headline(), "BENCH_micro.json");
+  }
+  if (std::getenv("P2P_JSON_ONLY") != nullptr) return 0;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

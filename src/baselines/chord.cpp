@@ -16,12 +16,11 @@ ChordNetwork::ChordNetwork(unsigned m, std::vector<std::uint64_t> ids)
                 "ChordNetwork: ids must be unique");
   util::require(ids_.back() < ring_size_, "ChordNetwork: id exceeds the ring");
 
-  fingers_.resize(ids_.size());
+  fingers_.resize(ids_.size() * m_);
   for (std::size_t i = 0; i < ids_.size(); ++i) {
-    fingers_[i].resize(m_);
     for (unsigned k = 0; k < m_; ++k) {
       const std::uint64_t start = (ids_[i] + (1ULL << k)) & (ring_size_ - 1);
-      fingers_[i][k] = static_cast<std::uint32_t>(successor_index(start));
+      fingers_[i * m_ + k] = static_cast<std::uint32_t>(successor_index(start));
     }
   }
 }
@@ -77,9 +76,10 @@ ChordNetwork::Result ChordNetwork::route(std::size_t src_index,
     // Farthest live finger that does not overshoot the target: finger id in
     // (current, target]. Scan from the longest finger down.
     const std::uint64_t cur_id = ids_[current];
+    const auto fingers = fingers_of(current);
     std::size_t next = static_cast<std::size_t>(-1);
     for (unsigned k = m_; k-- > 0;) {
-      const std::size_t f = fingers_[current][k];
+      const std::size_t f = fingers[k];
       if (f == current) continue;
       if (!in_clockwise(ids_[f], cur_id, target_id)) continue;
       if (!alive(f)) continue;
@@ -89,7 +89,7 @@ ChordNetwork::Result ChordNetwork::route(std::size_t src_index,
     if (next == static_cast<std::size_t>(-1)) {
       // No finger lands in (current, target]: current is the predecessor of
       // the target, so its immediate successor *is* the owner.
-      const std::size_t succ = fingers_[current][0];
+      const std::size_t succ = fingers[0];
       if (succ == current || !alive(succ)) {
         return result;  // stuck: the final hop is dead
       }

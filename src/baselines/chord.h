@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/rng.h"
@@ -35,8 +36,10 @@ class ChordNetwork {
   [[nodiscard]] std::size_t successor_index(std::uint64_t id) const noexcept;
 
   /// Finger table of a node: entry i is the index of successor(id + 2^i).
-  [[nodiscard]] const std::vector<std::uint32_t>& fingers_of(std::size_t index) const {
-    return fingers_.at(index);
+  /// Tables are stored as one flat array with stride m (CSR-style), so the
+  /// returned span views contiguous memory.
+  [[nodiscard]] std::span<const std::uint32_t> fingers_of(std::size_t index) const {
+    return {fingers_.data() + index * m_, m_};
   }
 
   struct Result {
@@ -57,8 +60,8 @@ class ChordNetwork {
 
   unsigned m_;
   std::uint64_t ring_size_;
-  std::vector<std::uint64_t> ids_;               // sorted
-  std::vector<std::vector<std::uint32_t>> fingers_;
+  std::vector<std::uint64_t> ids_;      // sorted
+  std::vector<std::uint32_t> fingers_;  // flat, stride m_: node i at [i*m_, (i+1)*m_)
 };
 
 }  // namespace p2p::baselines

@@ -1,5 +1,6 @@
 #include "baselines/flood.h"
 
+#include <utility>
 #include <vector>
 
 #include "util/require.h"
@@ -16,6 +17,7 @@ FloodResult flood_search(const graph::OverlayGraph& g,
 
   std::vector<std::uint8_t> seen(g.size(), 0);
   std::vector<graph::NodeId> frontier{src};
+  std::vector<graph::NodeId> next;  // reused across depths: swap, not realloc
   seen[src] = 1;
   result.nodes_touched = 1;
   if (src == target) {
@@ -24,11 +26,12 @@ FloodResult flood_search(const graph::OverlayGraph& g,
   }
 
   for (std::size_t depth = 1; depth <= ttl && !frontier.empty(); ++depth) {
-    std::vector<graph::NodeId> next;
+    next.clear();
     for (const graph::NodeId u : frontier) {
       const auto neigh = g.neighbors(u);
+      const std::size_t base = g.edge_base(u);
       for (std::size_t i = 0; i < neigh.size(); ++i) {
-        if (!view.link_alive(u, i)) continue;
+        if (!view.link_alive_at(base + i)) continue;
         ++result.messages;  // the query is transmitted regardless
         const graph::NodeId v = neigh[i];
         if (!view.node_alive(v) || seen[v]) continue;
@@ -42,7 +45,7 @@ FloodResult flood_search(const graph::OverlayGraph& g,
         next.push_back(v);
       }
     }
-    frontier = std::move(next);
+    std::swap(frontier, next);
   }
   return result;
 }

@@ -282,20 +282,22 @@ graph::OverlayGraph DynamicOverlay::snapshot(bool bidirectional) const {
   util::require(!members_.empty(), "snapshot: empty overlay");
   std::vector<metric::Point> positions(members_.begin(), members_.end());
   const bool full = positions.size() == space_.size();
-  graph::OverlayGraph g = full ? graph::OverlayGraph(space_)
-                               : graph::OverlayGraph(space_, positions);
-  graph::wire_short_links(g);
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    const metric::Point p = positions[i];
+  graph::GraphBuilder builder = full
+                                    ? graph::GraphBuilder(space_)
+                                    : graph::GraphBuilder(space_, std::move(positions));
+  builder.reserve_links(config_.long_links + 2);
+  builder.wire_short_links();
+  for (graph::NodeId i = 0; i < builder.size(); ++i) {
+    const metric::Point p = builder.position(i);
     for (const LinkRecord& rec : out_links_[static_cast<std::size_t>(p)]) {
-      const graph::NodeId target = g.node_at(rec.target);
-      if (target != graph::kInvalidNode && target != static_cast<graph::NodeId>(i)) {
-        g.add_long_link(static_cast<graph::NodeId>(i), target);
+      const graph::NodeId target = builder.node_at(rec.target);
+      if (target != graph::kInvalidNode && target != i) {
+        builder.add_long_link(i, target);
       }
     }
   }
-  if (bidirectional) graph::make_bidirectional(g);
-  return g;
+  if (bidirectional) builder.make_bidirectional();
+  return builder.freeze();
 }
 
 }  // namespace p2p::core

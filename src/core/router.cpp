@@ -1,7 +1,9 @@
 #include "core/router.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <utility>
 
 #include "util/require.h"
 
@@ -19,6 +21,117 @@ std::size_t Router::effective_ttl() const noexcept {
   const double lg = std::ceil(std::log2(static_cast<double>(graph_->size()) + 1.0));
   const auto budget = static_cast<std::size_t>(8.0 * lg * lg);
   return budget < 64 ? 64 : budget;
+}
+
+namespace {
+
+/// Core of select_candidate, compiled once per (dense, link-check,
+/// node-check, sidedness) combination so the common configurations run with
+/// no per-neighbour flag tests at all. Candidates order by
+/// (distance-to-target, node id); duplicate links to the same neighbour
+/// collapse. Streaming k-th order statistic: each round takes the minimum
+/// pair strictly greater than the previous round's.
+///
+/// A self-link (v == u) can never be selected — its distance equals du and
+/// every round filters to dv < du — so no explicit check is needed.
+template <bool kDense, bool kCheckLinks, bool kCheckNodes, bool kOneSided>
+graph::NodeId select_impl(const graph::OverlayGraph& g,
+                          const failure::FailureView& view, graph::NodeId u,
+                          metric::Point target, std::size_t rank) noexcept {
+  constexpr std::size_t kInline = graph::OverlayGraph::kInlineEdges;
+  const metric::Space1D& space = g.space();
+  const metric::Point up = g.position(u);
+  const metric::Distance du = space.distance(up, target);
+  // One header cache line carries the offsets and the inline slice prefix;
+  // the rest of the slice lives in the compact spill array, which is small
+  // enough to stay cache-resident.
+  const graph::OverlayGraph::NodeHeader& h = g.header(u);
+  const graph::NodeId* tail = g.tail(h);
+  const std::uint32_t degree = h.degree;
+  const auto inline_n =
+      degree < kInline ? degree : static_cast<std::uint32_t>(kInline);
+
+  metric::Distance prev_d = 0;
+  graph::NodeId prev_v = graph::kInvalidNode;
+  bool have_prev = false;
+  for (;;) {
+    // best_d seeded with du realizes the strictly-closer filter without a
+    // separate compare in the first round (the hot case).
+    metric::Distance best_d = du;
+    graph::NodeId best_v = graph::kInvalidNode;
+    const auto consider = [&](graph::NodeId v, std::uint32_t i) {
+      if constexpr (kCheckLinks) {
+        if (!view.link_alive_at(h.offset + i)) return;
+      }
+      if constexpr (kCheckNodes) {
+        if (!view.node_alive(v)) return;
+      }
+      const metric::Point vp = kDense ? static_cast<metric::Point>(v) : g.position(v);
+      const metric::Distance dv = space.distance(vp, target);
+      if constexpr (kOneSided) {
+        if (dv < du && !space.between(vp, up, target)) {
+          return;  // would overshoot the target
+        }
+      }
+      if (have_prev) {
+        if (dv >= du) return;
+        if (dv < prev_d || (dv == prev_d && v <= prev_v)) return;
+        if (best_v != graph::kInvalidNode &&
+            (dv > best_d || (dv == best_d && v >= best_v))) {
+          return;
+        }
+        best_d = dv;
+        best_v = v;
+        g.prefetch(v);
+        return;
+      }
+      if (dv < best_d) {
+        best_d = dv;
+        best_v = v;
+        // The winner is the node whose header the next hop will read; start
+        // pulling it in while the scan finishes.
+        g.prefetch(v);
+      } else if (dv == best_d && best_v != graph::kInvalidNode && v < best_v) {
+        best_v = v;
+      }
+    };
+    for (std::uint32_t i = 0; i < inline_n; ++i) consider(h.inline_edges[i], i);
+    for (std::uint32_t i = kInline; i < degree; ++i) consider(tail[i - kInline], i);
+    if (best_v == graph::kInvalidNode) return graph::kInvalidNode;
+    if (rank == 0) return best_v;
+    --rank;
+    prev_d = best_d;
+    prev_v = best_v;
+    have_prev = true;
+  }
+}
+
+using SelectFn = graph::NodeId (*)(const graph::OverlayGraph&,
+                                   const failure::FailureView&, graph::NodeId,
+                                   metric::Point, std::size_t) noexcept;
+
+template <std::size_t... Is>
+constexpr std::array<SelectFn, 16> make_select_table(std::index_sequence<Is...>) {
+  return {select_impl<(Is & 8) != 0, (Is & 4) != 0, (Is & 2) != 0, (Is & 1) != 0>...};
+}
+
+constexpr std::array<SelectFn, 16> kSelectTable =
+    make_select_table(std::make_index_sequence<16>{});
+
+}  // namespace
+
+graph::NodeId Router::select_candidate(graph::NodeId u, metric::Point target,
+                                       std::size_t rank) const noexcept {
+  // When nothing has ever failed the liveness bitsets are empty and both
+  // knowledge models admit every link; dispatch to a specialization that
+  // skips the per-slot queries outright.
+  const bool check_links = !view_->links_intact();
+  const bool check_nodes =
+      config_.knowledge == Knowledge::kLiveness && !view_->nodes_intact();
+  const bool one_sided = config_.sidedness == Sidedness::kOneSided;
+  const std::size_t index = (graph_->dense() ? 8u : 0u) | (check_links ? 4u : 0u) |
+                            (check_nodes ? 2u : 0u) | (one_sided ? 1u : 0u);
+  return kSelectTable[index](*graph_, *view_, u, target, rank);
 }
 
 std::vector<graph::NodeId> Router::candidates(graph::NodeId u,
@@ -62,12 +175,12 @@ std::vector<graph::NodeId> Router::candidates(graph::NodeId u,
 graph::NodeId Router::next_hop(graph::NodeId u, metric::Point target) const {
   util::require_in_range(u < graph_->size(), "next_hop: node out of range");
   util::require(graph_->space().contains(target), "next_hop: target outside space");
-  const auto cands = candidates(u, target);
-  if (cands.empty()) return graph::kInvalidNode;
-  if (config_.knowledge == Knowledge::kStale && !view_->node_alive(cands.front())) {
+  const graph::NodeId best = select_candidate(u, target, 0);
+  if (best == graph::kInvalidNode) return graph::kInvalidNode;
+  if (config_.knowledge == Knowledge::kStale && !view_->node_alive(best)) {
     return graph::kInvalidNode;
   }
-  return cands.front();
+  return best;
 }
 
 RouteResult Router::route(graph::NodeId src, metric::Point target,
@@ -108,25 +221,17 @@ std::optional<graph::NodeId> RouteSession::step(util::Rng& rng) {
       continue;
     }
     const metric::Point goal = interim_ ? *interim_ : final_goal_;
-    const auto cands = router_->candidates(current_, goal);
-
-    graph::NodeId next = graph::kInvalidNode;
-    if (cursor_ < cands.size()) {
-      const graph::NodeId cand = cands[cursor_];
-      if (cfg.knowledge == Knowledge::kStale &&
-          !router_->view().node_alive(cand)) {
-        // §6: "once a node chooses its best neighbour, it does not send the
-        // message to any other link" — a dead pick means this node is stuck.
-        next = graph::kInvalidNode;
-      } else {
-        next = cand;
-      }
+    graph::NodeId next = router_->select_candidate(current_, goal, cursor_);
+    if (next != graph::kInvalidNode && cfg.knowledge == Knowledge::kStale &&
+        !router_->view().node_alive(next)) {
+      // §6: "once a node chooses its best neighbour, it does not send the
+      // message to any other link" — a dead pick means this node is stuck.
+      next = graph::kInvalidNode;
     }
 
     if (next != graph::kInvalidNode) {
       if (cfg.stuck_policy == StuckPolicy::kBacktrack) {
-        trail_.emplace_back(current_, cursor_ + 1);
-        if (trail_.size() > cfg.backtrack_window) trail_.pop_front();
+        trail_.push(current_, cursor_ + 1, cfg.backtrack_window);
       }
       current_ = next;
       cursor_ = 0;
@@ -160,8 +265,7 @@ std::optional<graph::NodeId> RouteSession::step(util::Rng& rng) {
           result_.status = RouteResult::Status::kStuck;
           return std::nullopt;
         }
-        const auto [prev, next_rank] = trail_.back();
-        trail_.pop_back();
+        const auto [prev, next_rank] = trail_.pop();
         current_ = prev;
         cursor_ = next_rank;
         ++result_.hops;  // the message physically travels back

@@ -23,6 +23,13 @@
 // choice turns out dead, matching §6's remark that "once a node chooses its
 // best neighbour, it does not send the message to any other link".
 //
+// The hot path is allocation-free: each hop streams over the node's CSR
+// neighbour slice with select_candidate (a k-th order statistic scan over
+// ~lg n links) instead of materializing and sorting a candidate vector. The
+// vector-returning candidates() survives as the reference implementation
+// for tests and offline analysis; select_candidate(u, t, rank) must always
+// equal candidates(u, t)[rank].
+//
 // Two entry points share one implementation: Router::route() walks a search
 // synchronously (hop counting, the paper's measurements), and RouteSession
 // exposes the same walk one message-transmission at a time for the
@@ -30,7 +37,6 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -105,8 +111,16 @@ class Router {
   /// policy; used by the DHT layer for hop-at-a-time forwarding.
   [[nodiscard]] graph::NodeId next_hop(graph::NodeId u, metric::Point target) const;
 
+  /// Streaming selection: the rank-th entry of candidates(u, target)
+  /// (0 = best) without materializing the list, or kInvalidNode when fewer
+  /// than rank+1 candidates exist. Allocation-free; O((rank+1)·degree).
+  [[nodiscard]] graph::NodeId select_candidate(graph::NodeId u, metric::Point target,
+                                               std::size_t rank) const noexcept;
+
   /// Live neighbours of u strictly closer to `target`, best first (ties by
   /// position). With Knowledge::kStale, candidates ignore node aliveness.
+  /// Reference implementation for select_candidate; allocates — tests and
+  /// analysis only, never the hot path.
   [[nodiscard]] std::vector<graph::NodeId> candidates(graph::NodeId u,
                                                       metric::Point target) const;
 
@@ -150,13 +164,39 @@ class RouteSession {
   [[nodiscard]] const RouteResult& progress() const noexcept { return result_; }
 
  private:
+  /// Fixed-capacity ring buffer of (node, next candidate rank) — the
+  /// backtrack trail. Capacity backtrack_window; allocated lazily on the
+  /// first push so terminate/reroute searches stay allocation-free.
+  class Trail {
+   public:
+    void push(graph::NodeId node, std::size_t rank, std::size_t window) {
+      if (buf_.empty()) buf_.resize(window);
+      if (count_ == buf_.size()) {
+        head_ = (head_ + 1) % buf_.size();  // evict the oldest
+        --count_;
+      }
+      buf_[(head_ + count_) % buf_.size()] = {node, rank};
+      ++count_;
+    }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    [[nodiscard]] std::pair<graph::NodeId, std::size_t> pop() noexcept {
+      --count_;
+      return buf_[(head_ + count_) % buf_.size()];
+    }
+
+   private:
+    std::vector<std::pair<graph::NodeId, std::size_t>> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
   const Router* router_;
   graph::NodeId current_;
   graph::NodeId target_node_;
   metric::Point final_goal_;
   std::optional<metric::Point> interim_;
   graph::NodeId interim_node_ = graph::kInvalidNode;
-  std::deque<std::pair<graph::NodeId, std::size_t>> trail_;
+  Trail trail_;
   std::size_t cursor_ = 0;
   std::size_t budget_;
   State state_ = State::kInTransit;

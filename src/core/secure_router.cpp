@@ -25,6 +25,7 @@ SecureRouter::WalkResult SecureRouter::walk(graph::NodeId src,
                                             graph::NodeId target_node,
                                             metric::Point goal,
                                             std::size_t first_hop_rank,
+                                            WalkScratch& scratch,
                                             util::Rng& rng) const {
   WalkResult result;
   std::size_t budget = config_.ttl != 0 ? config_.ttl : greedy_.effective_ttl();
@@ -32,9 +33,14 @@ SecureRouter::WalkResult SecureRouter::walk(graph::NodeId src,
   bool first = true;
   // Walks are loop-free: an honest node never forwards to a node this walk
   // has already visited, so diverse walks cannot remerge through distance
-  // ties (misrouted hops are exempt — attackers do not cooperate).
-  std::vector<std::uint8_t> visited(graph_->size(), 0);
-  visited[src] = 1;
+  // ties (misrouted hops are exempt — attackers do not cooperate). Visited
+  // markers are epoch stamps so successive walks reuse the buffer without
+  // clearing it.
+  const std::uint32_t epoch = ++scratch.epoch;
+  auto& visited = scratch.visited_epoch;
+  const auto mark = [&](graph::NodeId v) { visited[v] = epoch; };
+  const auto seen = [&](graph::NodeId v) { return visited[v] == epoch; };
+  mark(src);
   while (budget-- > 0) {
     if (current == target_node) {
       result.delivered = true;
@@ -60,11 +66,11 @@ SecureRouter::WalkResult SecureRouter::walk(graph::NodeId src,
       // farther than the source, so walks can leave in genuinely different
       // directions (a ring source has only one strictly-closer neighbour).
       const auto neigh = graph_->neighbors(current);
-      std::vector<std::pair<metric::Distance, graph::NodeId>> ranked;
-      ranked.reserve(neigh.size());
+      auto& ranked = scratch.ranked;
+      ranked.clear();
       for (std::size_t i = 0; i < neigh.size(); ++i) {
         if (!view_->hop_usable(current, i)) continue;
-        if (neigh[i] == current || visited[neigh[i]]) continue;
+        if (neigh[i] == current || seen(neigh[i])) continue;
         ranked.emplace_back(
             graph_->space().distance(graph_->position(neigh[i]), goal), neigh[i]);
       }
@@ -77,8 +83,12 @@ SecureRouter::WalkResult SecureRouter::walk(graph::NodeId src,
                    ranked.end());
       next = ranked[std::min(first_hop_rank, ranked.size() - 1)].second;
     } else {
-      for (const graph::NodeId cand : greedy_.candidates(current, goal)) {
-        if (!visited[cand]) {
+      // Streaming selection: the best-ranked candidate this walk has not
+      // visited yet, without materializing the candidate list.
+      for (std::size_t rank = 0;; ++rank) {
+        const graph::NodeId cand = greedy_.select_candidate(current, goal, rank);
+        if (cand == graph::kInvalidNode) break;
+        if (!seen(cand)) {
           next = cand;
           break;
         }
@@ -87,7 +97,7 @@ SecureRouter::WalkResult SecureRouter::walk(graph::NodeId src,
     }
     first = false;
     current = next;
-    visited[current] = 1;
+    mark(current);
     ++result.hops;
   }
   return result;  // TTL exhausted (e.g. misrouted into a loop)
@@ -101,8 +111,10 @@ SecureRouteResult SecureRouter::route(graph::NodeId src, metric::Point target,
   const metric::Point goal = graph_->position(target_node);
 
   SecureRouteResult result;
+  WalkScratch scratch;
+  scratch.visited_epoch.assign(graph_->size(), 0);
   for (std::size_t path = 0; path < config_.paths; ++path) {
-    const WalkResult w = walk(src, target_node, goal, path, rng);
+    const WalkResult w = walk(src, target_node, goal, path, scratch, rng);
     result.total_messages += w.hops;
     if (w.delivered) {
       ++result.successful_walks;

@@ -20,6 +20,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/router.h"
 #include "failure/byzantine.h"
@@ -66,6 +69,16 @@ class SecureRouter {
   [[nodiscard]] const SecureRouterConfig& config() const noexcept { return config_; }
 
  private:
+  /// Per-route() scratch shared by all k walks: an epoch-stamped visited
+  /// marker (no clearing between walks) and a reusable first-hop ranking
+  /// buffer. One allocation per route() call; the walk loop itself is
+  /// allocation-free.
+  struct WalkScratch {
+    std::vector<std::uint32_t> visited_epoch;
+    std::vector<std::pair<metric::Distance, graph::NodeId>> ranked;
+    std::uint32_t epoch = 0;
+  };
+
   /// One walk; `first_hop_rank` indexes the source's candidate list so that
   /// different walks leave over different links.
   struct WalkResult {
@@ -74,7 +87,7 @@ class SecureRouter {
   };
   [[nodiscard]] WalkResult walk(graph::NodeId src, graph::NodeId target_node,
                                 metric::Point goal, std::size_t first_hop_rank,
-                                util::Rng& rng) const;
+                                WalkScratch& scratch, util::Rng& rng) const;
 
   const graph::OverlayGraph* graph_;
   const failure::FailureView* view_;

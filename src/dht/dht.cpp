@@ -89,13 +89,14 @@ Dht::RouteOutcome Dht::route_to(metric::Point from, metric::Point target) {
     consider(overlay_.successor(current));
     consider(overlay_.predecessor(current));
     bool saw_dangling = false;
-    for (const metric::Point v : overlay_.long_links_of(current)) {
+    // for_each_long_link avoids materializing a vector per hop.
+    overlay_.for_each_long_link(current, [&](const metric::Point v) {
       if (!overlay_.occupied(v)) {
         saw_dangling = true;
-        continue;
+        return;
       }
       consider(v);
-    }
+    });
     if (saw_dangling && config_.self_heal) {
       // Amortized, localized repair: the routing node fixes its own dangling
       // links now that a search has discovered them.

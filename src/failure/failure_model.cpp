@@ -15,14 +15,16 @@ FailureView FailureView::with_node_failures(const graph::OverlayGraph& g, double
   util::require(p_fail >= 0.0 && p_fail <= 1.0,
                 "with_node_failures: p_fail must be in [0,1]");
   FailureView view(g);
-  view.node_dead_.assign(g.size(), 0);
+  view.node_dead_.assign(words_for(g.size()), 0);
   view.alive_count_ = g.size();
   for (graph::NodeId u = 0; u < g.size(); ++u) {
     if (rng.next_bool(p_fail)) {
-      view.node_dead_[u] = 1;
+      set_bit(view.node_dead_, u);
       --view.alive_count_;
     }
   }
+  // A draw that killed nobody keeps the all-alive fast path.
+  if (view.alive_count_ == g.size()) view.node_dead_.clear();
   return view;
 }
 
@@ -32,15 +34,20 @@ FailureView FailureView::with_link_failures(const graph::OverlayGraph& g,
                 "with_link_failures: p_present must be in [0,1]");
   FailureView view(g);
   view.alive_count_ = g.size();
-  view.link_dead_.resize(g.size());
+  view.link_slots_ = g.edge_slots();
+  view.link_dead_.assign(words_for(view.link_slots_), 0);
+  bool any_dead = false;
   for (graph::NodeId u = 0; u < g.size(); ++u) {
+    const std::size_t base = g.edge_base(u);
     const std::size_t degree = g.out_degree(u);
-    const std::size_t shorts = g.short_degree(u);
-    view.link_dead_[u].assign(degree, 0);
-    for (std::size_t i = shorts; i < degree; ++i) {
-      if (!rng.next_bool(p_present)) view.link_dead_[u][i] = 1;
+    for (std::size_t i = g.short_degree(u); i < degree; ++i) {
+      if (!rng.next_bool(p_present)) {
+        set_bit(view.link_dead_, base + i);
+        any_dead = true;
+      }
     }
   }
+  if (!any_dead) view.link_dead_.clear();
   return view;
 }
 
@@ -67,9 +74,9 @@ graph::NodeId FailureView::random_alive(util::Rng& rng) const {
 
 void FailureView::kill_node(graph::NodeId u) {
   util::require_in_range(u < graph_->size(), "kill_node: node out of range");
-  if (node_dead_.empty()) node_dead_.assign(graph_->size(), 0);
-  if (node_dead_[u] == 0) {
-    node_dead_[u] = 1;
+  if (node_dead_.empty()) node_dead_.assign(words_for(graph_->size()), 0);
+  if (!test_bit(node_dead_, u)) {
+    set_bit(node_dead_, u);
     --alive_count_;
   }
 }
@@ -77,8 +84,8 @@ void FailureView::kill_node(graph::NodeId u) {
 void FailureView::revive_node(graph::NodeId u) {
   util::require_in_range(u < graph_->size(), "revive_node: node out of range");
   if (node_dead_.empty()) return;
-  if (node_dead_[u] == 1) {
-    node_dead_[u] = 0;
+  if (test_bit(node_dead_, u)) {
+    reset_bit(node_dead_, u);
     ++alive_count_;
   }
 }
@@ -87,9 +94,17 @@ void FailureView::kill_link(graph::NodeId u, std::size_t link_index) {
   util::require_in_range(u < graph_->size(), "kill_link: node out of range");
   util::require_in_range(link_index < graph_->out_degree(u),
                          "kill_link: link index out of range");
-  if (link_dead_.empty()) link_dead_.resize(graph_->size());
-  if (link_dead_[u].empty()) link_dead_[u].assign(graph_->out_degree(u), 0);
-  link_dead_[u][link_index] = 1;
+  if (link_dead_.empty()) {
+    link_slots_ = graph_->edge_slots();
+    link_dead_.assign(words_for(link_slots_), 0);
+  } else {
+    // Structural growth moves flat slots, silently mis-keying every bit
+    // recorded so far — fail loudly instead (see the class comment: views
+    // must be rebuilt after a slot-moving mutation).
+    util::require(graph_->edge_slots() == link_slots_,
+                  "kill_link: graph changed structurally; rebuild the view");
+  }
+  set_bit(link_dead_, graph_->edge_base(u) + link_index);
 }
 
 }  // namespace p2p::failure

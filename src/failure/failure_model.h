@@ -6,6 +6,13 @@
 // how the paper's experiments run: "the network is set up afresh, and a
 // fraction p of the nodes fail").
 //
+// Liveness is stored in packed 64-bit word bitsets — one bit per node and
+// one bit per CSR link slot (keyed by OverlayGraph::edge_base(u) + i) — so
+// the router's inner loop pays one shift-and-mask per query and the common
+// all-alive case is a null check. Views key link bits by flat slot index:
+// after a structural graph mutation that moves slots (see overlay_graph.h),
+// rebuild the view. replace_long_link and clear_links never move slots.
+//
 // Three factory models:
 //  * with_link_failures(p)  — each *long-distance* link is independently dead
 //    with probability 1-p_present; ±1 links never fail (§4.3.3 assumes "the
@@ -44,13 +51,28 @@ class FailureView {
 
   [[nodiscard]] const graph::OverlayGraph& graph() const noexcept { return *graph_; }
 
+  /// True when no node has ever been marked dead (fast-path gate: when this
+  /// and links_intact() hold, every hop is usable and the router can skip
+  /// per-link queries entirely).
+  [[nodiscard]] bool nodes_intact() const noexcept { return node_dead_.empty(); }
+
+  /// True when no link has ever been marked dead.
+  [[nodiscard]] bool links_intact() const noexcept { return link_dead_.empty(); }
+
   [[nodiscard]] bool node_alive(graph::NodeId u) const noexcept {
-    return node_dead_.empty() || node_dead_[u] == 0;
+    return node_dead_.empty() || !test_bit(node_dead_, u);
   }
 
   /// Aliveness of the link at `link_index` within neighbors(u).
   [[nodiscard]] bool link_alive(graph::NodeId u, std::size_t link_index) const noexcept {
-    return link_dead_.empty() || link_dead_[u].empty() || link_dead_[u][link_index] == 0;
+    return link_dead_.empty() ||
+           !test_bit(link_dead_, graph_->edge_base(u) + link_index);
+  }
+
+  /// Aliveness of the link in flat CSR slot `slot` (= edge_base(u) + i).
+  /// The router's inner loop uses this to skip the per-node base lookup.
+  [[nodiscard]] bool link_alive_at(std::size_t slot) const noexcept {
+    return link_dead_.empty() || !test_bit(link_dead_, slot);
   }
 
   /// True when the hop u -> neighbors(u)[link_index] is usable: the link is
@@ -73,9 +95,22 @@ class FailureView {
  private:
   explicit FailureView(const graph::OverlayGraph& g) : graph_(&g) {}
 
+  [[nodiscard]] static bool test_bit(const std::vector<std::uint64_t>& bits,
+                                     std::size_t i) noexcept {
+    return (bits[i >> 6] >> (i & 63)) & 1u;
+  }
+  static void set_bit(std::vector<std::uint64_t>& bits, std::size_t i) noexcept {
+    bits[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  static void reset_bit(std::vector<std::uint64_t>& bits, std::size_t i) noexcept {
+    bits[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  static std::size_t words_for(std::size_t bits) noexcept { return (bits + 63) / 64; }
+
   const graph::OverlayGraph* graph_;
-  std::vector<std::uint8_t> node_dead_;               // empty = all alive
-  std::vector<std::vector<std::uint8_t>> link_dead_;  // empty = all alive
+  std::vector<std::uint64_t> node_dead_;  // packed, 1 = dead; empty = all alive
+  std::vector<std::uint64_t> link_dead_;  // packed over CSR slots; empty = all alive
+  std::size_t link_slots_ = 0;  // edge_slots() when link_dead_ was allocated
   std::size_t alive_count_ = 0;
 };
 

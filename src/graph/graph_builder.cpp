@@ -1,18 +1,78 @@
 #include "graph/graph_builder.h"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
 
 #include "util/require.h"
 
 namespace p2p::graph {
 
-void wire_short_links(OverlayGraph& g) {
+// ---------------------------------------------------------------------------
+// GraphBuilder
+
+GraphBuilder::GraphBuilder(metric::Space1D space)
+    : space_(space),
+      adjacency_(space.size()),
+      short_degree_(space.size(), 0) {}
+
+GraphBuilder::GraphBuilder(metric::Space1D space, std::vector<metric::Point> positions)
+    : space_(space), positions_(std::move(positions)) {
+  util::require(!positions_.empty(), "GraphBuilder: need at least one node");
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    util::require(space_.contains(positions_[i]),
+                  "GraphBuilder: position outside the space");
+    if (i > 0) {
+      util::require(positions_[i - 1] < positions_[i],
+                    "GraphBuilder: positions must be strictly increasing");
+    }
+  }
+  adjacency_.resize(positions_.size());
+  short_degree_.assign(positions_.size(), 0);
+}
+
+void GraphBuilder::check_node(NodeId u) const {
+  util::require_in_range(u < adjacency_.size(), "GraphBuilder: node id out of range");
+}
+
+void GraphBuilder::reserve_links(std::size_t per_node) {
+  for (auto& adj : adjacency_) adj.reserve(per_node);
+}
+
+void GraphBuilder::add_short_link(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  if (short_degree_[u] != adjacency_[u].size()) {
+    throw std::logic_error("GraphBuilder: short links must precede long links");
+  }
+  adjacency_[u].push_back(v);
+  ++short_degree_[u];
+  ++link_count_;
+}
+
+void GraphBuilder::add_long_link(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  adjacency_[u].push_back(v);
+  ++link_count_;
+}
+
+bool GraphBuilder::has_link(NodeId u, NodeId v) const noexcept {
+  const auto& adj = adjacency_[u];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+namespace {
+
+/// Shared short-link wiring over anything with size/space/add_short_link.
+/// Node order equals position order, so index neighbours are the nearest
+/// occupied grid points on either side.
+template <typename GraphLike>
+void wire_short_links_impl(GraphLike& g) {
   const std::size_t n = g.size();
   if (n < 2) return;
   const bool ring = g.space().kind() == metric::Space1D::Kind::kRing;
   for (NodeId u = 0; u < n; ++u) {
-    // Node order equals position order, so index neighbours are the nearest
-    // occupied grid points on either side.
     if (u + 1 < n) {
       g.add_short_link(u, u + 1);
     } else if (ring && n > 2) {
@@ -25,6 +85,60 @@ void wire_short_links(OverlayGraph& g) {
       g.add_short_link(u, static_cast<NodeId>(n - 1));
     }
   }
+}
+
+template <typename GraphLike>
+void make_bidirectional_impl(GraphLike& g, std::vector<NodeId>& scratch) {
+  for (NodeId u = 0; u < g.size(); ++u) {
+    // Snapshot u's current long neighbours before mutating anything.
+    const auto longs = g.long_neighbors(u);
+    scratch.assign(longs.begin(), longs.end());
+    for (const NodeId v : scratch) {
+      if (!g.has_link(v, u)) g.add_long_link(v, u);
+    }
+  }
+}
+
+}  // namespace
+
+void GraphBuilder::wire_short_links() { wire_short_links_impl(*this); }
+
+void GraphBuilder::make_bidirectional() {
+  std::vector<NodeId> scratch;
+  make_bidirectional_impl(*this, scratch);
+}
+
+OverlayGraph GraphBuilder::freeze() {
+  util::require(link_count_ <= std::numeric_limits<std::uint32_t>::max(),
+                "GraphBuilder::freeze: edge slot index overflow");
+  const std::size_t n = adjacency_.size();
+  std::vector<std::uint32_t> slice_sizes(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    slice_sizes[u] = static_cast<std::uint32_t>(adjacency_[u].size());
+  }
+  std::vector<NodeId> edges;
+  edges.reserve(link_count_);
+  for (const auto& adj : adjacency_) {
+    edges.insert(edges.end(), adj.begin(), adj.end());
+  }
+  OverlayGraph g(space_, std::move(positions_), std::move(slice_sizes),
+                 std::move(short_degree_), std::move(edges));
+  // Leave the builder empty rather than half-moved-from.
+  adjacency_.clear();
+  positions_.clear();
+  short_degree_.clear();
+  link_count_ = 0;
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Ideal (one-shot) construction
+
+void wire_short_links(OverlayGraph& g) { wire_short_links_impl(g); }
+
+void make_bidirectional(OverlayGraph& g) {
+  std::vector<NodeId> scratch;
+  make_bidirectional_impl(g, scratch);
 }
 
 namespace {
@@ -46,7 +160,7 @@ std::vector<metric::Point> draw_present_positions(std::uint64_t grid_size,
   return positions;  // unreachable
 }
 
-void add_power_law_links(OverlayGraph& g, const BuildSpec& spec, util::Rng& rng) {
+void add_power_law_links(GraphBuilder& g, const BuildSpec& spec, util::Rng& rng) {
   const PowerLawLinkSampler sampler(g.space(), spec.exponent);
   const bool sparse = spec.presence < 1.0;
   constexpr int kMaxRejections = 256;
@@ -76,7 +190,7 @@ void add_power_law_links(OverlayGraph& g, const BuildSpec& spec, util::Rng& rng)
   }
 }
 
-void add_base_b_links(OverlayGraph& g, const BuildSpec& spec) {
+void add_base_b_links(GraphBuilder& g, const BuildSpec& spec) {
   const std::uint64_t n = g.space().size();
   const auto offsets = spec.link_model == BuildSpec::LinkModel::kBaseBFull
                            ? base_b_full_offsets(n, spec.base)
@@ -116,29 +230,20 @@ OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng) {
                                     ? metric::Space1D::ring(spec.grid_size)
                                     : metric::Space1D::line(spec.grid_size);
 
-  OverlayGraph g = spec.presence < 1.0
-                       ? OverlayGraph(space, draw_present_positions(spec.grid_size,
-                                                                    spec.presence, rng))
-                       : OverlayGraph(space);
-  wire_short_links(g);
+  GraphBuilder builder =
+      spec.presence < 1.0
+          ? GraphBuilder(space,
+                         draw_present_positions(spec.grid_size, spec.presence, rng))
+          : GraphBuilder(space);
+  builder.reserve_links(spec.long_links + 2);
+  builder.wire_short_links();
   if (spec.link_model == BuildSpec::LinkModel::kPowerLaw) {
-    add_power_law_links(g, spec, rng);
+    add_power_law_links(builder, spec, rng);
   } else {
-    add_base_b_links(g, spec);
+    add_base_b_links(builder, spec);
   }
-  if (spec.bidirectional) make_bidirectional(g);
-  return g;
-}
-
-void make_bidirectional(OverlayGraph& g) {
-  for (NodeId u = 0; u < g.size(); ++u) {
-    // Snapshot u's current long neighbours before mutating anything.
-    const auto longs = g.long_neighbors(u);
-    const std::vector<NodeId> targets(longs.begin(), longs.end());
-    for (const NodeId v : targets) {
-      if (!g.has_link(v, u)) g.add_long_link(v, u);
-    }
-  }
+  if (spec.bidirectional) builder.make_bidirectional();
+  return builder.freeze();
 }
 
 }  // namespace p2p::graph

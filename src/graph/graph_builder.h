@@ -1,12 +1,22 @@
-// Ideal (one-shot) overlay construction.
+// Overlay assembly: the mutable GraphBuilder and the ideal (one-shot)
+// construction of §4.3.
 //
-// Builds the random graph of §4.3 directly: every node links to its nearest
-// neighbour on either side plus ℓ long-distance neighbours drawn from the
-// configured distribution. This is the "ideal network" of Figure 7; the
-// incremental §5 heuristic lives in core/construction.h.
+// Overlays are built in two phases. A GraphBuilder accumulates links in
+// cheap per-node buffers with the same contract as the frozen graph's
+// incremental API (short links first, then long links); freeze() then packs
+// everything into the flat CSR OverlayGraph the routing hot path wants.
+// Building through the builder costs O(nodes + links) total — no flat-array
+// shifting — so it is the only sanctioned path for large graphs.
+//
+// build_overlay realizes the random graph of §4.3 directly: every node links
+// to its nearest neighbour on either side plus ℓ long-distance neighbours
+// drawn from the configured distribution. This is the "ideal network" of
+// Figure 7; the incremental §5 heuristic lives in core/construction.h.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "graph/link_distribution.h"
 #include "graph/overlay_graph.h"
@@ -14,6 +24,87 @@
 #include "util/rng.h"
 
 namespace p2p::graph {
+
+/// Mutable first phase of overlay construction; freeze() yields the CSR
+/// OverlayGraph. The link contract matches OverlayGraph's incremental API:
+/// all short links of a node must be added before its first long link.
+class GraphBuilder {
+ public:
+  /// A builder whose node i sits at grid position i (fully populated grid).
+  explicit GraphBuilder(metric::Space1D space);
+
+  /// A builder over a sparse, strictly increasing set of occupied positions.
+  /// Preconditions: positions sorted strictly increasing, all within space.
+  GraphBuilder(metric::Space1D space, std::vector<metric::Point> positions);
+
+  [[nodiscard]] const metric::Space1D& space() const noexcept { return space_; }
+  [[nodiscard]] std::size_t size() const noexcept { return adjacency_.size(); }
+
+  /// Grid position of node u. Precondition: u < size().
+  [[nodiscard]] metric::Point position(NodeId u) const noexcept {
+    return positions_.empty() ? static_cast<metric::Point>(u) : positions_[u];
+  }
+
+  /// The node occupying grid position p exactly, or kInvalidNode.
+  [[nodiscard]] NodeId node_at(metric::Point p) const noexcept {
+    return detail::node_at(space_, positions_, p);
+  }
+
+  /// The node whose position is closest to p (ties break to the lower
+  /// position). Precondition: size() > 0 and space().contains(p).
+  [[nodiscard]] NodeId node_nearest(metric::Point p) const noexcept {
+    return detail::node_nearest(space_, positions_, p);
+  }
+
+  [[nodiscard]] std::size_t short_degree(NodeId u) const noexcept {
+    return short_degree_[u];
+  }
+  [[nodiscard]] std::size_t out_degree(NodeId u) const noexcept {
+    return adjacency_[u].size();
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept { return link_count_; }
+
+  /// Long-distance out-neighbours of u accumulated so far.
+  [[nodiscard]] std::span<const NodeId> long_neighbors(NodeId u) const noexcept {
+    return {adjacency_[u].data() + short_degree_[u],
+            adjacency_[u].size() - short_degree_[u]};
+  }
+
+  /// Reserves capacity for `per_node` links on every node (a build-speed
+  /// hint; ℓ + 2 is the natural choice for the paper's overlays).
+  void reserve_links(std::size_t per_node);
+
+  /// Appends a short (immediate-neighbour) link u -> v. Short links must be
+  /// added before any long link of u. Throws std::logic_error otherwise.
+  void add_short_link(NodeId u, NodeId v);
+
+  /// Appends a long-distance link u -> v.
+  void add_long_link(NodeId u, NodeId v);
+
+  /// True when u already has any link to v.
+  [[nodiscard]] bool has_link(NodeId u, NodeId v) const noexcept;
+
+  /// Wires every node to its nearest occupied neighbour on each side
+  /// (wrapping on a ring). Call before any long links are added.
+  void wire_short_links();
+
+  /// Adds the reverse of every long link not already present, making the
+  /// whole overlay usable in both directions (see BuildSpec::bidirectional).
+  void make_bidirectional();
+
+  /// Packs the accumulated links into a frozen CSR OverlayGraph. The builder
+  /// is consumed: it is left empty (size 0) afterwards.
+  [[nodiscard]] OverlayGraph freeze();
+
+ private:
+  void check_node(NodeId u) const;
+
+  metric::Space1D space_;
+  std::vector<metric::Point> positions_;        // empty when dense
+  std::vector<std::vector<NodeId>> adjacency_;  // short links first
+  std::vector<std::uint32_t> short_degree_;
+  std::size_t link_count_ = 0;
+};
 
 /// Parameters of an ideal overlay build.
 struct BuildSpec {
@@ -62,19 +153,22 @@ struct BuildSpec {
   bool bidirectional = false;
 };
 
-/// Builds an overlay per `spec`. All randomness comes from `rng`.
+/// Builds a frozen overlay per `spec` through a GraphBuilder. All randomness
+/// comes from `rng`.
 ///
 /// Throws std::invalid_argument on malformed specs (grid_size < 2,
 /// presence outside (0,1], exponent < 0, base < 2).
 [[nodiscard]] OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng);
 
 /// Wires only the immediate-neighbour (short) links of g: every node to its
-/// nearest neighbour on each side (wrapping on a ring). Exposed for the
-/// incremental construction and for tests.
+/// nearest neighbour on each side (wrapping on a ring). Legacy incremental
+/// path (O(n²) on a frozen graph) — kept for tests and small fixtures;
+/// large builds use GraphBuilder::wire_short_links.
 void wire_short_links(OverlayGraph& g);
 
-/// Adds the reverse of every long link not already present (in place), making
-/// the whole overlay usable in both directions. See BuildSpec::bidirectional.
+/// Adds the reverse of every long link not already present (in place).
+/// Legacy incremental path — see BuildSpec::bidirectional and
+/// GraphBuilder::make_bidirectional.
 void make_bidirectional(OverlayGraph& g);
 
 }  // namespace p2p::graph

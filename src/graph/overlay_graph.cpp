@@ -1,20 +1,64 @@
 #include "graph/overlay_graph.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "util/require.h"
 
 namespace p2p::graph {
 
+namespace detail {
+
+NodeId node_at(const metric::Space1D& space,
+               std::span<const metric::Point> positions, metric::Point p) noexcept {
+  if (positions.empty()) {
+    return space.contains(p) ? static_cast<NodeId>(p) : kInvalidNode;
+  }
+  const auto it = std::lower_bound(positions.begin(), positions.end(), p);
+  if (it == positions.end() || *it != p) return kInvalidNode;
+  return static_cast<NodeId>(it - positions.begin());
+}
+
+NodeId node_nearest(const metric::Space1D& space,
+                    std::span<const metric::Point> positions,
+                    metric::Point p) noexcept {
+  if (positions.empty()) {
+    return space.contains(p) ? static_cast<NodeId>(p) : kInvalidNode;
+  }
+  const auto it = std::lower_bound(positions.begin(), positions.end(), p);
+  // Candidate indices around the insertion point; on a ring also the two ends
+  // (wraparound neighbours).
+  NodeId best = kInvalidNode;
+  metric::Distance best_d = 0;
+  const auto consider = [&](std::size_t idx) {
+    const auto id = static_cast<NodeId>(idx);
+    const metric::Distance d = space.distance(positions[idx], p);
+    if (best == kInvalidNode || d < best_d ||
+        (d == best_d && positions[idx] < positions[best])) {
+      best = id;
+      best_d = d;
+    }
+  };
+  if (it != positions.end()) consider(static_cast<std::size_t>(it - positions.begin()));
+  if (it != positions.begin())
+    consider(static_cast<std::size_t>(it - positions.begin()) - 1);
+  if (space.kind() == metric::Space1D::Kind::kRing) {
+    consider(0);
+    consider(positions.size() - 1);
+  }
+  return best;
+}
+
+}  // namespace detail
+
 OverlayGraph::OverlayGraph(metric::Space1D space)
     : space_(space),
-      dense_(true),
-      adjacency_(space.size()),
+      headers_(space.size() + 1),
       short_degree_(space.size(), 0) {}
 
 OverlayGraph::OverlayGraph(metric::Space1D space, std::vector<metric::Point> positions)
-    : space_(space), dense_(false), positions_(std::move(positions)) {
+    : space_(space), positions_(std::move(positions)) {
   util::require(!positions_.empty(), "OverlayGraph: need at least one node");
   for (std::size_t i = 0; i < positions_.size(); ++i) {
     util::require(space_.contains(positions_[i]),
@@ -24,95 +68,128 @@ OverlayGraph::OverlayGraph(metric::Space1D space, std::vector<metric::Point> pos
                     "OverlayGraph: positions must be strictly increasing");
     }
   }
-  adjacency_.resize(positions_.size());
+  headers_.resize(positions_.size() + 1);
   short_degree_.assign(positions_.size(), 0);
 }
 
-NodeId OverlayGraph::node_at(metric::Point p) const noexcept {
-  if (dense_) {
-    return space_.contains(p) ? static_cast<NodeId>(p) : kInvalidNode;
+OverlayGraph::OverlayGraph(metric::Space1D space, std::vector<metric::Point> positions,
+                           std::vector<std::uint32_t> slice_sizes,
+                           std::vector<std::uint32_t> short_degree,
+                           std::vector<NodeId> edges)
+    : space_(space),
+      positions_(std::move(positions)),
+      short_degree_(std::move(short_degree)),
+      edges_(std::move(edges)),
+      link_count_(edges_.size()) {
+  const std::size_t n = slice_sizes.size();
+  headers_.resize(n + 1);
+  std::uint32_t offset = 0;
+  std::uint32_t tail = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    NodeHeader& h = headers_[u];
+    const std::uint32_t degree = slice_sizes[u];
+    h.offset = offset;
+    h.tail = tail;
+    h.degree = degree;
+    const std::uint32_t inl =
+        degree < kInlineEdges ? degree : static_cast<std::uint32_t>(kInlineEdges);
+    for (std::uint32_t i = 0; i < inl; ++i) h.inline_edges[i] = edges_[offset + i];
+    tail += degree - inl;
+    offset += degree;
   }
-  const auto it = std::lower_bound(positions_.begin(), positions_.end(), p);
-  if (it == positions_.end() || *it != p) return kInvalidNode;
-  return static_cast<NodeId>(it - positions_.begin());
-}
-
-NodeId OverlayGraph::node_nearest(metric::Point p) const noexcept {
-  if (dense_) {
-    return space_.contains(p) ? static_cast<NodeId>(p) : kInvalidNode;
-  }
-  if (positions_.empty()) return kInvalidNode;
-  const auto it = std::lower_bound(positions_.begin(), positions_.end(), p);
-  // Candidate indices around the insertion point; on a ring also the two ends
-  // (wraparound neighbours).
-  NodeId best = kInvalidNode;
-  metric::Distance best_d = 0;
-  const auto consider = [&](std::size_t idx) {
-    const auto id = static_cast<NodeId>(idx);
-    const metric::Distance d = space_.distance(positions_[idx], p);
-    if (best == kInvalidNode || d < best_d ||
-        (d == best_d && positions_[idx] < positions_[best])) {
-      best = id;
-      best_d = d;
+  headers_[n].offset = offset;
+  headers_[n].tail = tail;
+  tail_.resize(tail);
+  for (std::size_t u = 0; u < n; ++u) {
+    const NodeHeader& h = headers_[u];
+    for (std::uint32_t i = kInlineEdges; i < h.degree; ++i) {
+      tail_[h.tail + i - kInlineEdges] = edges_[h.offset + i];
     }
-  };
-  if (it != positions_.end()) consider(static_cast<std::size_t>(it - positions_.begin()));
-  if (it != positions_.begin())
-    consider(static_cast<std::size_t>(it - positions_.begin()) - 1);
-  if (space_.kind() == metric::Space1D::Kind::kRing) {
-    consider(0);
-    consider(positions_.size() - 1);
   }
-  return best;
 }
 
 void OverlayGraph::check_node(NodeId u) const {
-  util::require_in_range(u < adjacency_.size(), "OverlayGraph: node id out of range");
+  util::require_in_range(u < size(), "OverlayGraph: node id out of range");
+}
+
+void OverlayGraph::write_slice_entry(NodeId u, std::size_t index, NodeId v) noexcept {
+  NodeHeader& h = headers_[u];
+  edges_[h.offset + index] = v;
+  if (index < kInlineEdges) {
+    h.inline_edges[index] = v;
+  } else {
+    tail_[h.tail + index - kInlineEdges] = v;
+  }
+}
+
+void OverlayGraph::append_slot(NodeId u, NodeId v) {
+  NodeHeader& h = headers_[u];
+  if (h.degree < slot_capacity(u)) {
+    // Reuse a slot reserved by an earlier clear_links; the tail replica slot
+    // exists whenever the capacity extends past the inline prefix.
+    write_slice_entry(u, h.degree, v);
+  } else {
+    util::require(edges_.size() < std::numeric_limits<std::uint32_t>::max(),
+                  "OverlayGraph: edge slot index overflow");
+    const std::size_t slot = h.offset + h.degree;
+    edges_.insert(edges_.begin() + static_cast<std::ptrdiff_t>(slot), v);
+    if (h.degree >= kInlineEdges) {
+      const std::size_t tail_slot = h.tail + h.degree - kInlineEdges;
+      tail_.insert(tail_.begin() + static_cast<std::ptrdiff_t>(tail_slot), v);
+      for (std::size_t w = u + 1; w < headers_.size(); ++w) {
+        ++headers_[w].offset;
+        ++headers_[w].tail;
+      }
+    } else {
+      h.inline_edges[h.degree] = v;
+      for (std::size_t w = u + 1; w < headers_.size(); ++w) ++headers_[w].offset;
+    }
+  }
+  ++h.degree;
+  ++link_count_;
 }
 
 void OverlayGraph::add_short_link(NodeId u, NodeId v) {
   check_node(u);
   check_node(v);
-  if (short_degree_[u] != adjacency_[u].size()) {
+  if (short_degree_[u] != headers_[u].degree) {
     throw std::logic_error("OverlayGraph: short links must precede long links");
   }
-  adjacency_[u].push_back(v);
+  append_slot(u, v);
   ++short_degree_[u];
-  ++link_count_;
 }
 
 void OverlayGraph::add_long_link(NodeId u, NodeId v) {
   check_node(u);
   check_node(v);
-  adjacency_[u].push_back(v);
-  ++link_count_;
+  append_slot(u, v);
 }
 
 void OverlayGraph::replace_long_link(NodeId u, std::size_t long_index, NodeId v) {
   check_node(u);
   check_node(v);
   const std::size_t idx = short_degree_[u] + long_index;
-  util::require_in_range(idx < adjacency_[u].size(),
+  util::require_in_range(idx < headers_[u].degree,
                          "OverlayGraph::replace_long_link: index out of range");
-  adjacency_[u][idx] = v;
+  write_slice_entry(u, idx, v);
 }
 
 void OverlayGraph::clear_links(NodeId u) {
   check_node(u);
-  link_count_ -= adjacency_[u].size();
-  adjacency_[u].clear();
+  link_count_ -= headers_[u].degree;
+  headers_[u].degree = 0;
   short_degree_[u] = 0;
 }
 
 bool OverlayGraph::has_link(NodeId u, NodeId v) const noexcept {
-  const auto& adj = adjacency_[u];
+  const auto adj = neighbors(u);
   return std::find(adj.begin(), adj.end(), v) != adj.end();
 }
 
 std::vector<std::uint32_t> OverlayGraph::in_degrees() const {
   std::vector<std::uint32_t> degrees(size(), 0);
-  for (const auto& adj : adjacency_) {
-    for (NodeId v : adj) ++degrees[v];
+  for (NodeId u = 0; u < size(); ++u) {
+    for (const NodeId v : neighbors(u)) ++degrees[v];
   }
   return degrees;
 }

@@ -1,13 +1,40 @@
 // The virtual overlay network: a directed graph over grid positions of a
-// one-dimensional metric space.
+// one-dimensional metric space, frozen into a flat CSR layout.
 //
 // Nodes are identified by dense indices (NodeId); node i occupies grid
 // position positions()[i]. In the common fully-populated case position ==
 // NodeId; under binomial presence (§4.3.4.1) positions form a sparse sorted
-// subset of the grid. Each node's adjacency list stores its *short* links
+// subset of the grid. Each node's adjacency slice stores its *short* links
 // (immediate neighbours, always first) followed by its long-distance links —
 // the split is what lets failure models keep ±1 links alive (§4.3.3 assumes
 // "links to the immediate neighbours are always present").
+//
+// Storage is compressed sparse row: one flat edge array (edges_) plus
+// per-node slot offsets, so neighbours are a contiguous slice and failure
+// views key per-link state by a single flat slot number (edge_base(u) + i).
+// Because greedy routing is a serial chain of dependent random accesses
+// (you cannot load node v's links before choosing v), each node additionally
+// owns a 64-byte-aligned header holding its offsets plus an inline replica
+// of the first kInlineEdges slice entries; the remainder of the slice is
+// replicated in a compact spill array small enough to stay cache-resident.
+// The router walks headers (one cache line per hop); everything else reads
+// the canonical CSR slice. All mutation paths write through both copies.
+//
+// Graphs are normally assembled through GraphBuilder (graph_builder.h) and
+// frozen once; the frozen form still supports the in-place mutations the
+// churn experiments need:
+//
+//  * replace_long_link — rewires a slot in place, O(1), offsets unchanged;
+//  * clear_links       — truncates the node's degree to zero, O(1); the
+//    slots stay reserved, so re-adding up to the old degree is also O(1);
+//  * add_short_link / add_long_link — kept for incremental (test and
+//    small-scale) construction; they reuse reserved slots when available and
+//    otherwise fall back to an O(edges) insertion that shifts the flat
+//    arrays. Bulk construction should go through GraphBuilder.
+//
+// Structural growth (an add_* call that cannot reuse a reserved slot) shifts
+// every later node's slots, so FailureViews built over the graph must be
+// rebuilt afterwards. replace_long_link and clear_links never move slots.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +51,41 @@ using NodeId = std::uint32_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
-/// Directed overlay graph embedded in a Space1D.
+namespace detail {
+
+/// The index whose position equals p exactly, or kInvalidNode. `positions`
+/// empty means the dense (position == index) case.
+[[nodiscard]] NodeId node_at(const metric::Space1D& space,
+                             std::span<const metric::Point> positions,
+                             metric::Point p) noexcept;
+
+/// The index whose position is closest to p (ties break to the lower
+/// position). Preconditions: at least one node, space.contains(p).
+[[nodiscard]] NodeId node_nearest(const metric::Space1D& space,
+                                  std::span<const metric::Point> positions,
+                                  metric::Point p) noexcept;
+
+}  // namespace detail
+
+/// Directed overlay graph embedded in a Space1D, stored as CSR with a
+/// cache-line header per node for the routing hot path.
 class OverlayGraph {
  public:
+  /// Slice-prefix length replicated inside each node's header. With the
+  /// paper's lg n long links per node, the prefix covers the two short links
+  /// plus most long links of any practical configuration.
+  static constexpr std::size_t kInlineEdges = 13;
+
+  /// Per-node header: CSR offsets plus the inline slice prefix. Exactly one
+  /// cache line so a routing hop costs one header load for most nodes.
+  struct alignas(64) NodeHeader {
+    std::uint32_t offset = 0;  ///< flat slot base into edges_
+    std::uint32_t tail = 0;    ///< spill base into tail_ (slice entries > kInlineEdges)
+    std::uint32_t degree = 0;  ///< live out-degree
+    NodeId inline_edges[kInlineEdges] = {};
+  };
+  static_assert(sizeof(NodeHeader) == 64);
+
   /// A graph whose node i sits at grid position i (fully populated grid).
   explicit OverlayGraph(metric::Space1D space);
 
@@ -37,28 +96,55 @@ class OverlayGraph {
   [[nodiscard]] const metric::Space1D& space() const noexcept { return space_; }
 
   /// Number of nodes (not grid points).
-  [[nodiscard]] std::size_t size() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return headers_.size() - 1; }
+
+  /// True when node i sits at grid position i (no sparse position table).
+  [[nodiscard]] bool dense() const noexcept { return positions_.empty(); }
 
   /// Grid position of node u. Precondition: u < size().
   [[nodiscard]] metric::Point position(NodeId u) const noexcept {
-    return dense_ ? static_cast<metric::Point>(u) : positions_[u];
+    return positions_.empty() ? static_cast<metric::Point>(u) : positions_[u];
   }
 
   /// The node occupying grid position p exactly, or kInvalidNode.
-  [[nodiscard]] NodeId node_at(metric::Point p) const noexcept;
+  [[nodiscard]] NodeId node_at(metric::Point p) const noexcept {
+    return detail::node_at(space_, positions_, p);
+  }
 
   /// The node whose position is closest to p (ties break to the lower
   /// position). Precondition: size() > 0 and space().contains(p).
-  [[nodiscard]] NodeId node_nearest(metric::Point p) const noexcept;
+  [[nodiscard]] NodeId node_nearest(metric::Point p) const noexcept {
+    return detail::node_nearest(space_, positions_, p);
+  }
 
-  /// All out-neighbours of u: short links first, then long links.
+  /// All out-neighbours of u: short links first, then long links. A view of
+  /// the canonical CSR slice.
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
-    return adjacency_[u];
+    const NodeHeader& h = headers_[u];
+    return {edges_.data() + h.offset, h.degree};
   }
 
   /// Long-distance out-neighbours of u only.
   [[nodiscard]] std::span<const NodeId> long_neighbors(NodeId u) const noexcept {
-    return std::span<const NodeId>(adjacency_[u]).subspan(short_degree_[u]);
+    const NodeHeader& h = headers_[u];
+    return {edges_.data() + h.offset + short_degree_[u],
+            h.degree - short_degree_[u]};
+  }
+
+  /// The routing hot-path view of u's links: the header cache line (inline
+  /// prefix) plus the spill pointer for entries beyond kInlineEdges.
+  /// header(u).inline_edges[i] for i < kInlineEdges and tail(u)[i -
+  /// kInlineEdges] otherwise equal neighbors(u)[i].
+  [[nodiscard]] const NodeHeader& header(NodeId u) const noexcept {
+    return headers_[u];
+  }
+  [[nodiscard]] const NodeId* tail(const NodeHeader& h) const noexcept {
+    return tail_.data() + h.tail;
+  }
+
+  /// Prefetches u's header (the single line a routing hop reads).
+  void prefetch(NodeId u) const noexcept {
+    __builtin_prefetch(&headers_[u]);
   }
 
   /// Number of short (immediate-neighbour) links of u.
@@ -67,10 +153,20 @@ class OverlayGraph {
   }
 
   [[nodiscard]] std::size_t out_degree(NodeId u) const noexcept {
-    return adjacency_[u].size();
+    return headers_[u].degree;
   }
 
-  /// Total number of directed links in the graph.
+  /// Flat slot index of u's first link; link i of u lives in slot
+  /// edge_base(u) + i. Failure views use this to key per-link state.
+  [[nodiscard]] std::size_t edge_base(NodeId u) const noexcept {
+    return headers_[u].offset;
+  }
+
+  /// Total number of link slots (live links plus slots reserved by
+  /// clear_links truncation). Flat slot indices are < edge_slots().
+  [[nodiscard]] std::size_t edge_slots() const noexcept { return edges_.size(); }
+
+  /// Total number of live directed links in the graph.
   [[nodiscard]] std::size_t link_count() const noexcept { return link_count_; }
 
   /// Appends a short (immediate-neighbour) link u -> v. Short links must be
@@ -81,10 +177,11 @@ class OverlayGraph {
   void add_long_link(NodeId u, NodeId v);
 
   /// Replaces the long link at `long_index` (index into long_neighbors(u))
-  /// with a link to v. Precondition: long_index < long degree of u.
+  /// with a link to v, in place. Precondition: long_index < long degree of u.
   void replace_long_link(NodeId u, std::size_t long_index, NodeId v);
 
-  /// Removes every link of u (short and long).
+  /// Removes every link of u (short and long) by truncating its degree; the
+  /// slots stay reserved for later re-adds.
   void clear_links(NodeId u);
 
   /// True when u has any link to v.
@@ -102,13 +199,36 @@ class OverlayGraph {
   [[nodiscard]] std::vector<metric::Distance> long_link_lengths() const;
 
  private:
+  friend class GraphBuilder;
+
+  /// Frozen-form constructor used by GraphBuilder::freeze. `slice_sizes[u]`
+  /// is the degree of node u; `edges` is the concatenated slices.
+  OverlayGraph(metric::Space1D space, std::vector<metric::Point> positions,
+               std::vector<std::uint32_t> slice_sizes,
+               std::vector<std::uint32_t> short_degree, std::vector<NodeId> edges);
+
   void check_node(NodeId u) const;
 
+  /// Capacity (reserved slots) of u's slice.
+  [[nodiscard]] std::uint32_t slot_capacity(NodeId u) const noexcept {
+    return headers_[u + 1].offset - headers_[u].offset;
+  }
+
+  /// Writes v into slice position `index` of node u in every replica
+  /// (canonical slice, inline prefix, spill tail).
+  void write_slice_entry(NodeId u, std::size_t index, NodeId v) noexcept;
+
+  /// Makes room for one more link of u at slice position degree and writes v
+  /// there. Reuses a reserved slot when one exists; otherwise inserts into
+  /// the flat arrays (O(edges), shifts later nodes' offsets).
+  void append_slot(NodeId u, NodeId v);
+
   metric::Space1D space_;
-  bool dense_;
-  std::vector<metric::Point> positions_;        // empty when dense_
-  std::vector<std::vector<NodeId>> adjacency_;  // short links first
-  std::vector<std::uint32_t> short_degree_;
+  std::vector<metric::Point> positions_;     // empty when dense
+  std::vector<NodeHeader> headers_;          // size()+1: last entry is the sentinel
+  std::vector<std::uint32_t> short_degree_;  // cold: router never reads it
+  std::vector<NodeId> edges_;                // canonical flat slices, shorts first
+  std::vector<NodeId> tail_;                 // spill replica of slice entries > prefix
   std::size_t link_count_ = 0;
 };
 

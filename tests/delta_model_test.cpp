@@ -35,7 +35,7 @@ TEST(DeltaModel, SampledSetsMatchInclusionProbabilities) {
   const auto model = DeltaModel::power_law(1 << 10, 8.0, 1.0);
   util::Rng rng(1);
   constexpr int kDraws = 40'000;
-  std::vector<double> hits(1 << 10, 0.0);
+  std::vector<double> hits((1 << 10) + 1, 0.0);  // offsets go up to n inclusive
   double total_size = 0.0;
   for (int i = 0; i < kDraws; ++i) {
     const auto side = model.sample_side(rng);
