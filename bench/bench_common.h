@@ -5,8 +5,10 @@
 // P2P_MESSAGES (see util/options.h); P2P_CSV=1 switches to CSV.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <iostream>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -19,10 +21,21 @@
 #include "sim/hop_simulator.h"
 #include "util/options.h"
 #include "util/rng.h"
+#include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
 namespace p2p::bench {
+
+/// BuildSpec of the paper's §4.3 power-law ring overlay.
+inline graph::BuildSpec power_law_spec(std::uint64_t n, std::size_t links,
+                                       bool bidirectional = false) {
+  graph::BuildSpec spec;
+  spec.grid_size = n;
+  spec.long_links = links;
+  spec.bidirectional = bidirectional;
+  return spec;
+}
 
 /// Ideal (one-shot) power-law overlay on a ring — the paper's §4.3 setup.
 ///
@@ -34,11 +47,7 @@ inline graph::OverlayGraph ideal_overlay(std::uint64_t n, std::size_t links,
                                          std::uint64_t seed,
                                          bool bidirectional = false) {
   util::Rng rng(seed);
-  graph::BuildSpec spec;
-  spec.grid_size = n;
-  spec.long_links = links;
-  spec.bidirectional = bidirectional;
-  return graph::build_overlay(spec, rng);
+  return graph::build_overlay(power_law_spec(n, links, bidirectional), rng);
 }
 
 /// §5 heuristic-constructed overlay: every grid point joins in random order.
@@ -66,6 +75,50 @@ inline std::size_t lg_links(std::uint64_t n) {
   return bits < 1 ? 1 : bits;
 }
 
+/// One graph + failure view + message batch measurement — the setup block
+/// previously copy-pasted across the theorem/table benches.
+struct TrialSpec {
+  graph::BuildSpec build;
+  enum class View { kAllAlive, kLinkFailures, kNodeFailures };
+  View view = View::kAllAlive;
+  /// p_present for kLinkFailures, p_fail for kNodeFailures.
+  double view_p = 1.0;
+  core::RouterConfig router;
+};
+
+/// Builds the overlay and view of `spec`, batch-routes `messages` searches
+/// and returns the mean hops of successful ones; NaN when the view is
+/// degenerate (fewer than two live nodes).
+inline double trial_mean_hops(const TrialSpec& spec, std::size_t messages,
+                              util::Rng& rng) {
+  const auto g = graph::build_overlay(spec.build, rng);
+  const auto view =
+      spec.view == TrialSpec::View::kLinkFailures
+          ? failure::FailureView::with_link_failures(g, spec.view_p, rng)
+          : spec.view == TrialSpec::View::kNodeFailures
+                ? failure::FailureView::with_node_failures(g, spec.view_p, rng)
+                : failure::FailureView::all_alive(g);
+  if (view.alive_count() < 2) return std::numeric_limits<double>::quiet_NaN();
+  const core::Router router(g, view, spec.router);
+  return sim::run_batch(router, messages, rng).hops_success.mean();
+}
+
+/// Mean of trial_mean_hops over `trials` pool-fanned trials (one
+/// util::substream per trial; degenerate NaN trials are skipped).
+inline double averaged_trial_hops(util::ThreadPool& pool, const TrialSpec& spec,
+                                  std::size_t trials, std::size_t messages,
+                                  std::uint64_t seed) {
+  const auto rows =
+      sim::run_trials(pool, trials, seed, [&](std::size_t, util::Rng& rng) {
+        return trial_mean_hops(spec, messages, rng);
+      });
+  util::Accumulator acc;
+  for (const double v : rows) {
+    if (!std::isnan(v)) acc.add(v);
+  }
+  return acc.mean();
+}
+
 /// One figure-6-style measurement: fresh failure draw + message batch.
 struct FailureTrialResult {
   double failed_fraction = 0.0;
@@ -86,6 +139,18 @@ inline FailureTrialResult failure_trial(const graph::OverlayGraph& g,
   out.failed_fraction = batch.failure_fraction();
   out.hops_success = batch.hops_success.mean();
   return out;
+}
+
+/// As above over a freshly built overlay: the §6 "the network is set up
+/// afresh" trial body (graph from `graph_seed`, failures and messages from
+/// `rng`, messages batch-routed through the pipeline).
+inline FailureTrialResult failure_trial(const graph::BuildSpec& build,
+                                        std::uint64_t graph_seed, double p_fail,
+                                        core::RouterConfig cfg,
+                                        std::size_t messages, util::Rng& rng) {
+  util::Rng build_rng(graph_seed);
+  return failure_trial(graph::build_overlay(build, build_rng), p_fail, cfg,
+                       messages, rng);
 }
 
 /// Prints the standard bench banner.

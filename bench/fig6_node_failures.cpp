@@ -51,13 +51,14 @@ int main() {
     for (const auto& strategy : strategies) {
       core::RouterConfig cfg;
       cfg.stuck_policy = strategy.policy;
-      // Each trial rebuilds the network afresh, exactly as in §6.
+      // Each trial rebuilds the network afresh, exactly as in §6; the
+      // message batch runs through the software-pipelined route_batch.
       const auto rows = sim::run_trials_multi(
           pool, trials, opts.seed ^ static_cast<std::uint64_t>(p * 1000),
           [&](std::size_t trial, util::Rng& rng) {
-            const auto g = bench::ideal_overlay(
-                n, links, opts.seed + trial * 131 + 17, /*bidirectional=*/true);
-            const auto res = bench::failure_trial(g, p, cfg, messages, rng);
+            const auto res = bench::failure_trial(
+                bench::power_law_spec(n, links, /*bidirectional=*/true),
+                opts.seed + trial * 131 + 17, p, cfg, messages, rng);
             return std::vector<double>{res.failed_fraction, res.hops_success};
           });
       const auto cols = sim::accumulate_columns(rows);

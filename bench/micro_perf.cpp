@@ -1,12 +1,14 @@
 // Micro-benchmarks (google-benchmark): costs of the hot operations — link
-// sampling, route steps, graph construction, heuristic joins, DHT ops.
+// sampling, route steps, batch-pipelined routing, graph construction,
+// heuristic joins, DHT ops.
 //
 // The custom main() first records the headline throughput numbers to
-// BENCH_micro.json (routes/sec over the frozen CSR graph, the same workload
-// driven through the legacy materialize-candidates-per-hop inner loop, and
-// builder links/sec) so successive PRs can track the perf trajectory, then
-// hands the remaining argv to google-benchmark. Set P2P_SKIP_JSON=1 to go
-// straight to the registered benchmarks, P2P_JSON_ONLY=1 to skip them.
+// BENCH_micro.json (scalar and batch routes/sec over the frozen CSR graph,
+// the same workload driven through the legacy materialize-candidates-per-hop
+// inner loop, and serial + pool-parallel builder links/sec) so successive
+// PRs can track the perf trajectory, then hands the remaining argv to
+// google-benchmark. Set P2P_SKIP_JSON=1 to go straight to the registered
+// benchmarks, P2P_JSON_ONLY=1 to skip them.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -14,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/construction.h"
 #include "core/router.h"
@@ -23,6 +26,7 @@
 #include "graph/link_distribution.h"
 #include "util/prefix_sampler.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -84,6 +88,34 @@ void BM_RouteNoFailures(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RouteNoFailures)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_RouteBatch(benchmark::State& state) {
+  const std::uint64_t n = 1 << 16;
+  util::Rng rng(4);
+  graph::BuildSpec spec;
+  spec.grid_size = n;
+  spec.long_links = 16;
+  const auto g = graph::build_overlay(spec, rng);
+  const auto view = failure::FailureView::all_alive(g);
+  const core::Router router(g, view);
+  core::BatchConfig batch;
+  batch.width = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kQueries = 1024;
+  std::vector<core::Query> queries(kQueries);
+  std::vector<core::RouteResult> results(kQueries);
+  for (auto _ : state) {
+    for (auto& q : queries) {
+      q = {static_cast<graph::NodeId>(rng.next_below(n)),
+           static_cast<metric::Point>(rng.next_below(n))};
+    }
+    router.route_batch(queries, results, rng, batch);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kQueries));
+}
+BENCHMARK(BM_RouteBatch)->Arg(1)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->ArgNames({"width"});
 
 void BM_RouteWithBacktracking(benchmark::State& state) {
   const std::uint64_t n = 1 << 14;
@@ -213,6 +245,8 @@ struct LegacyOverlay {
   std::vector<std::vector<graph::NodeId>> adjacency;
 };
 
+constexpr std::size_t kBatchWidths[] = {1, 8, 16, 32, 64};
+
 struct JsonMetrics {
   std::uint64_t nodes = 0;
   std::size_t links = 0;
@@ -222,6 +256,13 @@ struct JsonMetrics {
   double legacy_routes_per_sec = 0;
   double links_per_sec = 0;
   double speedup = 0;
+  /// route_batch throughput per width in kBatchWidths.
+  double batch_routes_per_sec[std::size(kBatchWidths)] = {};
+  std::size_t batch_best_width = 0;
+  double batch_best_routes_per_sec = 0;
+  double batch_speedup = 0;  ///< best batch width vs scalar routes_per_sec
+  double parallel_links_per_sec = 0;
+  std::size_t build_threads = 0;
 };
 
 JsonMetrics measure_headline() {
@@ -278,6 +319,50 @@ JsonMetrics measure_headline() {
   m.routes_per_sec = rps;
   m.hops_per_sec = hps;
 
+  // Software-pipelined batch routing across the width sweep: same uniform
+  // src/dst workload, kBatch queries per route_batch call.
+  {
+    constexpr std::size_t kBatch = 2000;
+    std::vector<core::Query> queries(kBatch);
+    std::vector<core::RouteResult> results(kBatch);
+    for (std::size_t w = 0; w < std::size(kBatchWidths); ++w) {
+      core::BatchConfig batch;
+      batch.width = kBatchWidths[w];
+      util::Rng pick(7);
+      util::Rng batch_rng(11);
+      std::size_t routes = 0;
+      const auto start = std::chrono::steady_clock::now();
+      double elapsed = 0;
+      do {
+        for (auto& q : queries) {
+          q = {static_cast<graph::NodeId>(pick.next_below(m.nodes)),
+               g.position(static_cast<graph::NodeId>(pick.next_below(m.nodes)))};
+        }
+        router.route_batch(queries, results, batch_rng, batch);
+        routes += kBatch;
+        elapsed = seconds_since(start);
+      } while (elapsed < 0.5);
+      m.batch_routes_per_sec[w] = static_cast<double>(routes) / elapsed;
+      if (m.batch_routes_per_sec[w] > m.batch_best_routes_per_sec) {
+        m.batch_best_routes_per_sec = m.batch_routes_per_sec[w];
+        m.batch_best_width = kBatchWidths[w];
+      }
+    }
+    m.batch_speedup = m.batch_best_routes_per_sec / m.routes_per_sec;
+  }
+
+  // Pool-parallel long-link sampling (bit-identical graph to the serial
+  // build above, same seed).
+  {
+    util::ThreadPool pool;
+    m.build_threads = pool.thread_count();
+    util::Rng build_rng(42);
+    const auto t_parallel = std::chrono::steady_clock::now();
+    const auto g_parallel = graph::build_overlay(spec, build_rng, pool);
+    m.parallel_links_per_sec =
+        static_cast<double>(g_parallel.link_count()) / seconds_since(t_parallel);
+  }
+
   const LegacyOverlay legacy(g);
   const auto [legacy_rps, legacy_hps] = run([&](graph::NodeId src, graph::NodeId dst) {
     return legacy.route(src, dst, g.position(dst));
@@ -301,20 +386,37 @@ void write_json(const JsonMetrics& m, const char* path) {
                "  \"long_links_per_node\": %zu,\n"
                "  \"build_seconds\": %.6f,\n"
                "  \"links_per_sec\": %.1f,\n"
+               "  \"parallel_links_per_sec\": %.1f,\n"
+               "  \"build_threads\": %zu,\n"
                "  \"routes_per_sec\": %.1f,\n"
                "  \"hops_per_sec\": %.1f,\n"
+               "  \"batch_routes_per_sec\": {",
+               static_cast<unsigned long long>(m.nodes), m.links, m.build_seconds,
+               m.links_per_sec, m.parallel_links_per_sec, m.build_threads,
+               m.routes_per_sec, m.hops_per_sec);
+  for (std::size_t w = 0; w < std::size(kBatchWidths); ++w) {
+    std::fprintf(f, "%s\"w%zu\": %.1f", w == 0 ? " " : ", ", kBatchWidths[w],
+                 m.batch_routes_per_sec[w]);
+  }
+  std::fprintf(f,
+               " },\n"
+               "  \"batch_best_width\": %zu,\n"
+               "  \"batch_best_routes_per_sec\": %.1f,\n"
+               "  \"batch_speedup_vs_scalar\": %.3f,\n"
                "  \"legacy_alloc_routes_per_sec\": %.1f,\n"
                "  \"speedup_vs_legacy_alloc\": %.3f\n"
                "}\n",
-               static_cast<unsigned long long>(m.nodes), m.links, m.build_seconds,
-               m.links_per_sec, m.routes_per_sec, m.hops_per_sec,
+               m.batch_best_width, m.batch_best_routes_per_sec, m.batch_speedup,
                m.legacy_routes_per_sec, m.speedup);
   std::fclose(f);
   std::printf(
       "BENCH_micro.json: n=%llu links/node=%zu build=%.2fs "
-      "links/s=%.3g routes/s=%.3g (legacy alloc %.3g, speedup %.2fx)\n",
+      "links/s=%.3g (parallel %.3g on %zu threads) routes/s=%.3g "
+      "(batch best %.3g at W=%zu, %.2fx scalar; legacy alloc %.3g, %.2fx)\n",
       static_cast<unsigned long long>(m.nodes), m.links, m.build_seconds,
-      m.links_per_sec, m.routes_per_sec, m.legacy_routes_per_sec, m.speedup);
+      m.links_per_sec, m.parallel_links_per_sec, m.build_threads,
+      m.routes_per_sec, m.batch_best_routes_per_sec, m.batch_best_width,
+      m.batch_speedup, m.legacy_routes_per_sec, m.speedup);
 }
 
 }  // namespace

@@ -25,6 +25,13 @@ namespace {
 
 using namespace p2p;
 
+/// Shared trial pool: each row's sweep fans its trials across the pool and
+/// batch-routes its message load (bench::TrialSpec / averaged_trial_hops).
+util::ThreadPool& trial_pool() {
+  static util::ThreadPool pool;
+  return pool;
+}
+
 struct RowSpec {
   std::string model;
   std::string links_desc;
@@ -38,54 +45,34 @@ struct RowSpec {
   std::function<double(std::uint64_t n)> lower;
 };
 
-double measure_graph(const graph::OverlayGraph& g,
-                     const failure::FailureView& view, std::size_t messages,
-                     util::Rng& rng) {
-  const core::Router router(g, view);
-  const auto batch = sim::run_batch(router, messages, rng);
-  return batch.hops_success.mean();
-}
-
 double measure_power_law(std::uint64_t n, std::size_t links, double p_link,
                          double p_node_fail, std::size_t trials,
                          std::size_t messages, std::uint64_t seed) {
-  util::Accumulator acc;
-  for (std::size_t t = 0; t < trials; ++t) {
-    util::Rng rng(seed + t * 977);
-    graph::BuildSpec spec;
-    spec.grid_size = n;
-    spec.long_links = links;
-    const auto g = graph::build_overlay(spec, rng);
-    auto view = p_link < 1.0
-                    ? failure::FailureView::with_link_failures(g, p_link, rng)
-                    : (p_node_fail > 0.0
-                           ? failure::FailureView::with_node_failures(
-                                 g, p_node_fail, rng)
-                           : failure::FailureView::all_alive(g));
-    if (view.alive_count() < 2) continue;
-    acc.add(measure_graph(g, view, messages, rng));
+  bench::TrialSpec spec;
+  spec.build = bench::power_law_spec(n, links);
+  if (p_link < 1.0) {
+    spec.view = bench::TrialSpec::View::kLinkFailures;
+    spec.view_p = p_link;
+  } else if (p_node_fail > 0.0) {
+    spec.view = bench::TrialSpec::View::kNodeFailures;
+    spec.view_p = p_node_fail;
   }
-  return acc.mean();
+  return bench::averaged_trial_hops(trial_pool(), spec, trials, messages, seed);
 }
 
 double measure_base_b(std::uint64_t n, unsigned base, bool powers_only,
                       double p_link, std::size_t trials, std::size_t messages,
                       std::uint64_t seed) {
-  util::Accumulator acc;
-  for (std::size_t t = 0; t < trials; ++t) {
-    util::Rng rng(seed + t * 977);
-    graph::BuildSpec spec;
-    spec.grid_size = n;
-    spec.link_model = powers_only ? graph::BuildSpec::LinkModel::kBaseBPowers
-                                  : graph::BuildSpec::LinkModel::kBaseBFull;
-    spec.base = base;
-    const auto g = graph::build_overlay(spec, rng);
-    const auto view =
-        p_link < 1.0 ? failure::FailureView::with_link_failures(g, p_link, rng)
-                     : failure::FailureView::all_alive(g);
-    acc.add(measure_graph(g, view, messages, rng));
+  bench::TrialSpec spec;
+  spec.build = bench::power_law_spec(n, 0);
+  spec.build.link_model = powers_only ? graph::BuildSpec::LinkModel::kBaseBPowers
+                                      : graph::BuildSpec::LinkModel::kBaseBFull;
+  spec.build.base = base;
+  if (p_link < 1.0) {
+    spec.view = bench::TrialSpec::View::kLinkFailures;
+    spec.view_p = p_link;
   }
-  return acc.mean();
+  return bench::averaged_trial_hops(trial_pool(), spec, trials, messages, seed);
 }
 
 }  // namespace

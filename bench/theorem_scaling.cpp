@@ -9,6 +9,10 @@
 //   Thm 16: base-b powers, link failures  T = O(b·H_n / p)       (sweep p)
 //   Thm 17: binomial node presence        T = O(H_n²)            (sweep presence)
 //   Thm 18: node failure w.p. p           T = O(log²n / (1-p)ℓ)  (sweep p)
+//
+// Every sweep point goes through bench::averaged_trial_hops: trials fan over
+// the thread pool with one Rng substream each, and each trial's message
+// batch runs through the software-pipelined Router::route_batch.
 #include <cmath>
 #include <cstdint>
 #include <iostream>
@@ -22,12 +26,6 @@
 namespace {
 
 using namespace p2p;
-
-double mean_hops(const graph::OverlayGraph& g, const failure::FailureView& view,
-                 std::size_t messages, util::Rng& rng) {
-  const core::Router router(g, view);
-  return sim::run_batch(router, messages, rng).hops_success.mean();
-}
 
 struct Sweep {
   util::Table table;
@@ -60,30 +58,20 @@ int main() {
   const std::size_t messages = opts.resolve_messages(300, 1000);
   bench::banner("Theorem-by-theorem scaling checks", n, 0, trials, messages);
 
-  const auto averaged = [&](auto&& build_and_measure, std::uint64_t salt) {
-    util::Accumulator acc;
-    for (std::size_t t = 0; t < trials; ++t) {
-      util::Rng rng(opts.seed + salt * 65537 + t * 977);
-      acc.add(build_and_measure(rng));
-    }
-    return acc.mean();
+  util::ThreadPool pool;
+  const auto averaged = [&](const bench::TrialSpec& spec, std::uint64_t salt) {
+    return bench::averaged_trial_hops(pool, spec, trials, messages,
+                                      opts.seed + salt * 65537);
   };
 
   // -- Theorem 12: single link, sweep n ------------------------------------
   {
     Sweep sweep({"n", "measured_hops", "2*H_n^2"});
     for (std::uint64_t m = 1 << 10; m <= n; m <<= 1) {
-      const double got = averaged(
-          [&](util::Rng& rng) {
-            graph::BuildSpec spec;
-            spec.grid_size = m;
-            spec.long_links = 1;
-            const auto g = graph::build_overlay(spec, rng);
-            const auto view = failure::FailureView::all_alive(g);
-            return mean_hops(g, view, messages, rng);
-          },
-          12 + m);
-      sweep.add(std::to_string(m), got, analysis::upper_single_link(m));
+      bench::TrialSpec spec;
+      spec.build = bench::power_law_spec(m, 1);
+      sweep.add(std::to_string(m), averaged(spec, 12 + m),
+                analysis::upper_single_link(m));
     }
     sweep.emit("Theorem 12: T(n) = O(H_n^2), single long link");
   }
@@ -92,17 +80,9 @@ int main() {
   {
     Sweep sweep({"links", "measured_hops", "(1+lg n)*8H_n/l"});
     for (std::size_t links = 1; links <= bench::lg_links(n); links *= 2) {
-      const double got = averaged(
-          [&](util::Rng& rng) {
-            graph::BuildSpec spec;
-            spec.grid_size = n;
-            spec.long_links = links;
-            const auto g = graph::build_overlay(spec, rng);
-            const auto view = failure::FailureView::all_alive(g);
-            return mean_hops(g, view, messages, rng);
-          },
-          13 * 1000 + links);
-      sweep.add(std::to_string(links), got,
+      bench::TrialSpec spec;
+      spec.build = bench::power_law_spec(n, links);
+      sweep.add(std::to_string(links), averaged(spec, 13 * 1000 + links),
                 analysis::upper_multi_link(n, static_cast<double>(links)));
     }
     sweep.emit("Theorem 13: T(n) = O(log^2 n / l), sweep l");
@@ -112,18 +92,12 @@ int main() {
   {
     Sweep sweep({"base", "measured_hops", "digits*(b-1)/(b+1)"});
     for (const unsigned b : {2u, 4u, 8u, 16u}) {
-      const double got = averaged(
-          [&](util::Rng& rng) {
-            graph::BuildSpec spec;
-            spec.grid_size = n;
-            spec.link_model = graph::BuildSpec::LinkModel::kBaseBFull;
-            spec.base = b;
-            const auto g = graph::build_overlay(spec, rng);
-            const auto view = failure::FailureView::all_alive(g);
-            return mean_hops(g, view, messages, rng);
-          },
-          14 * 1000 + b);
-      sweep.add(std::to_string(b), got, analysis::expected_base_b_hops(n, b));
+      bench::TrialSpec spec;
+      spec.build = bench::power_law_spec(n, 0);
+      spec.build.link_model = graph::BuildSpec::LinkModel::kBaseBFull;
+      spec.build.base = b;
+      sweep.add(std::to_string(b), averaged(spec, 14 * 1000 + b),
+                analysis::expected_base_b_hops(n, b));
     }
     sweep.emit("Theorem 14: T(n) = O(log_b n), deterministic base-b links");
   }
@@ -133,18 +107,12 @@ int main() {
     Sweep sweep({"p_link_present", "measured_hops", "(1+lg n)*8H_n/(p*l)"});
     const std::size_t links = bench::lg_links(n);
     for (const double p : {1.0, 0.8, 0.6, 0.4, 0.2}) {
-      const double got = averaged(
-          [&](util::Rng& rng) {
-            graph::BuildSpec spec;
-            spec.grid_size = n;
-            spec.long_links = links;
-            const auto g = graph::build_overlay(spec, rng);
-            const auto view =
-                failure::FailureView::with_link_failures(g, p, rng);
-            return mean_hops(g, view, messages, rng);
-          },
-          15 * 1000 + static_cast<std::uint64_t>(p * 100));
-      sweep.add(util::format_double(p, 1), got,
+      bench::TrialSpec spec;
+      spec.build = bench::power_law_spec(n, links);
+      spec.view = bench::TrialSpec::View::kLinkFailures;
+      spec.view_p = p;
+      sweep.add(util::format_double(p, 1),
+                averaged(spec, 15 * 1000 + static_cast<std::uint64_t>(p * 100)),
                 analysis::upper_link_failures(n, static_cast<double>(links), p));
     }
     sweep.emit("Theorem 15: T(n) = O(log^2 n / (p l)), sweep link presence p");
@@ -155,19 +123,14 @@ int main() {
     Sweep sweep({"p_link_present", "measured_hops", "1+2(b-q)H_n/p"});
     const unsigned b = 2;
     for (const double p : {1.0, 0.8, 0.6, 0.4, 0.2}) {
-      const double got = averaged(
-          [&](util::Rng& rng) {
-            graph::BuildSpec spec;
-            spec.grid_size = n;
-            spec.link_model = graph::BuildSpec::LinkModel::kBaseBPowers;
-            spec.base = b;
-            const auto g = graph::build_overlay(spec, rng);
-            const auto view =
-                failure::FailureView::with_link_failures(g, p, rng);
-            return mean_hops(g, view, messages, rng);
-          },
-          16 * 1000 + static_cast<std::uint64_t>(p * 100));
-      sweep.add(util::format_double(p, 1), got,
+      bench::TrialSpec spec;
+      spec.build = bench::power_law_spec(n, 0);
+      spec.build.link_model = graph::BuildSpec::LinkModel::kBaseBPowers;
+      spec.build.base = b;
+      spec.view = bench::TrialSpec::View::kLinkFailures;
+      spec.view_p = p;
+      sweep.add(util::format_double(p, 1),
+                averaged(spec, 16 * 1000 + static_cast<std::uint64_t>(p * 100)),
                 analysis::upper_base_b_failures(n, b, p));
     }
     sweep.emit("Theorem 16: T(n) = O(b H_n / p), powers-of-b links failing");
@@ -177,20 +140,13 @@ int main() {
   {
     Sweep sweep({"presence", "measured_hops", "2*H_m^2 (m=p*n)"});
     for (const double presence : {1.0, 0.75, 0.5, 0.25}) {
-      const double got = averaged(
-          [&](util::Rng& rng) {
-            graph::BuildSpec spec;
-            spec.grid_size = n;
-            spec.long_links = 1;
-            spec.presence = presence;
-            const auto g = graph::build_overlay(spec, rng);
-            const auto view = failure::FailureView::all_alive(g);
-            return mean_hops(g, view, messages, rng);
-          },
-          17 * 1000 + static_cast<std::uint64_t>(presence * 100));
+      bench::TrialSpec spec;
+      spec.build = bench::power_law_spec(n, 1);
+      spec.build.presence = presence;
       // The surviving network is a random graph on ~presence*n nodes.
       const auto m = static_cast<std::uint64_t>(presence * static_cast<double>(n));
-      sweep.add(util::format_double(presence, 2), got,
+      sweep.add(util::format_double(presence, 2),
+                averaged(spec, 17 * 1000 + static_cast<std::uint64_t>(presence * 100)),
                 analysis::upper_binomial_presence(m));
     }
     sweep.emit("Theorem 17: binomial presence leaves T(n) = O(H_n^2)");
@@ -206,24 +162,14 @@ int main() {
     Sweep sweep({"p_node_fail", "measured_hops", "(1+lg n)*8H_n/((1-p)l)"});
     const std::size_t links = bench::lg_links(n);
     for (const double p : {0.0, 0.2, 0.4, 0.6}) {
-      const double got = averaged(
-          [&](util::Rng& rng) {
-            graph::BuildSpec spec;
-            spec.grid_size = n;
-            spec.long_links = links;
-            spec.bidirectional = true;
-            const auto g = graph::build_overlay(spec, rng);
-            const auto view =
-                failure::FailureView::with_node_failures(g, p, rng);
-            if (view.alive_count() < 2) return 0.0;
-            core::RouterConfig cfg;
-            cfg.stuck_policy = core::StuckPolicy::kBacktrack;
-            cfg.backtrack_window = 32;
-            const core::Router router(g, view, cfg);
-            return sim::run_batch(router, messages, rng).hops_success.mean();
-          },
-          18 * 1000 + static_cast<std::uint64_t>(p * 100));
-      sweep.add(util::format_double(p, 1), got,
+      bench::TrialSpec spec;
+      spec.build = bench::power_law_spec(n, links, /*bidirectional=*/true);
+      spec.view = bench::TrialSpec::View::kNodeFailures;
+      spec.view_p = p;
+      spec.router.stuck_policy = core::StuckPolicy::kBacktrack;
+      spec.router.backtrack_window = 32;
+      sweep.add(util::format_double(p, 1),
+                averaged(spec, 18 * 1000 + static_cast<std::uint64_t>(p * 100)),
                 analysis::upper_node_failures(n, static_cast<double>(links), p));
     }
     sweep.emit(

@@ -46,17 +46,24 @@ double distribution_drift(const core::DynamicOverlay& overlay) {
   return drift / 32.0;
 }
 
-/// Routes `messages` searches over a snapshot of the overlay.
+/// Routes `messages` searches over a snapshot of the overlay, pipelined
+/// through Router::route_batch (the snapshot is immutable, so the whole
+/// probe is one batch).
 std::pair<double, double> probe_routing(const core::DynamicOverlay& overlay,
                                         std::size_t messages, util::Rng& rng) {
   const auto g = overlay.snapshot();
   const auto view = failure::FailureView::all_alive(g);
   const core::Router router(g, view);
+  std::vector<core::Query> queries(messages);
+  for (auto& query : queries) {
+    const auto [src, dst] = sim::random_live_pair(view, rng);
+    query = {src, g.position(dst)};
+  }
+  std::vector<core::RouteResult> results(messages);
+  router.route_batch(queries, results, rng);
   std::size_t ok = 0;
   util::Accumulator hops;
-  for (std::size_t i = 0; i < messages; ++i) {
-    const auto [src, dst] = sim::random_live_pair(view, rng);
-    const auto res = router.route(src, g.position(dst), rng);
+  for (const auto& res : results) {
     if (res.delivered()) {
       ++ok;
       hops.add(static_cast<double>(res.hops));

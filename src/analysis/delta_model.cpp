@@ -166,6 +166,27 @@ double simulate_greedy_time(const DeltaModel& model, GreedySide side,
   return total / static_cast<double>(trials);
 }
 
+double simulate_greedy_time(const DeltaModel& model, GreedySide side,
+                            std::uint64_t n, std::size_t trials,
+                            std::uint64_t seed, util::ThreadPool& pool) {
+  util::require(n >= 1, "simulate_greedy_time: n must be >= 1");
+  util::require(trials >= 1, "simulate_greedy_time: trials must be >= 1");
+  // Fixed chunk decomposition (parallel_chunks is thread-count independent)
+  // with per-trial substreams; per-trial results are summed in index order
+  // so the floating-point total is deterministic regardless of scheduling.
+  std::vector<double> walk_steps(trials, 0.0);
+  pool.parallel_chunks(trials, 256, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      util::Rng rng = util::substream(seed, t);
+      const auto start = static_cast<std::int64_t>(rng.next_below(n) + 1);
+      walk_steps[t] = static_cast<double>(greedy_walk(model, side, start, rng));
+    }
+  });
+  double total = 0.0;
+  for (const double steps : walk_steps) total += steps;
+  return total / static_cast<double>(trials);
+}
+
 AggregateChain::AggregateChain(const DeltaModel& model, std::uint64_t n)
     : model_(&model), size_(n) {
   util::require(n >= 1, "AggregateChain: n must be >= 1");

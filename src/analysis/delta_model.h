@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace p2p::analysis {
 
@@ -81,6 +82,13 @@ class DeltaModel {
 [[nodiscard]] double simulate_greedy_time(const DeltaModel& model, GreedySide side,
                                           std::uint64_t n, std::size_t trials,
                                           util::Rng& rng);
+
+/// As above, fanning the independent walks across `pool` with one
+/// util::substream(seed, trial) per walk — the batch-migration path for the
+/// §6-style sweeps; deterministic for any thread count.
+[[nodiscard]] double simulate_greedy_time(const DeltaModel& model, GreedySide side,
+                                          std::uint64_t n, std::size_t trials,
+                                          std::uint64_t seed, util::ThreadPool& pool);
 
 /// The aggregate interval chain S^t of §4.2.3 (one-sided variant: states are
 /// {0} or {1..k}). Exposed for tests of Lemma 4 (distributional equivalence

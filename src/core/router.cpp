@@ -3,17 +3,54 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <utility>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
 
 #include "util/require.h"
 
 namespace p2p::core {
+
+namespace {
+
+/// Router-lifetime invariants of the vectorized selection: x86 CPU with
+/// AVX-512F, dense graph (position == id, so ids load straight into vector
+/// lanes), two-sided greedy, and positions narrow enough for the
+/// (distance << 32 | id) key packing. P2P_NO_SIMD=1 (read per Router
+/// construction; empty or "0" means off) forces the scalar path so tests
+/// can pin both implementations against each other on the same host.
+bool simd_disabled_by_env() noexcept {
+  const char* value = std::getenv("P2P_NO_SIMD");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+bool simd_select_eligible(const graph::OverlayGraph& g,
+                          const RouterConfig& cfg) noexcept {
+#if defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx512f") != 0 && !simd_disabled_by_env() &&
+         g.dense() &&
+         cfg.sidedness == Sidedness::kTwoSided &&
+         g.space().size() <= 0xffffffffull;
+#else
+  static_cast<void>(g);
+  static_cast<void>(cfg);
+  return false;
+#endif
+}
+
+}  // namespace
 
 Router::Router(const graph::OverlayGraph& g, const failure::FailureView& view,
                RouterConfig config)
     : graph_(&g), view_(&view), config_(config) {
   util::require(&view.graph() == &g, "Router: view must be over the same graph");
   util::require(config_.backtrack_window >= 1, "Router: backtrack_window must be >= 1");
+  simd_ok_ = simd_select_eligible(g, config_);
 }
 
 std::size_t Router::effective_ttl() const noexcept {
@@ -44,7 +81,8 @@ graph::NodeId select_impl(const graph::OverlayGraph& g,
   const metric::Distance du = space.distance(up, target);
   // One header cache line carries the offsets and the inline slice prefix;
   // the rest of the slice lives in the compact spill array, which is small
-  // enough to stay cache-resident.
+  // enough to stay cache-resident (and prefetched ahead by the batch
+  // pipeline).
   const graph::OverlayGraph::NodeHeader& h = g.header(u);
   const graph::NodeId* tail = g.tail(h);
   const std::uint32_t degree = h.degree;
@@ -118,6 +156,80 @@ constexpr std::array<SelectFn, 16> make_select_table(std::index_sequence<Is...>)
 constexpr std::array<SelectFn, 16> kSelectTable =
     make_select_table(std::make_index_sequence<16>{});
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define P2P_HAVE_AVX512_SELECT 1
+// GCC's _mm512_* expansions seed results from _mm512_undefined_epi32, which
+// -Wmaybe-uninitialized flags at -O3; the intrinsics are correct as written.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+/// Vectorized rank-0 selection for the hottest configuration: dense graph,
+/// fully intact view, two-sided greedy. Packs each neighbour into the key
+///   key(v) = (distance(v, target) << 32) | v
+/// so the lexicographic (distance, id) minimum — candidates()[0] exactly,
+/// ties to the lower id — is a single unsigned 64-bit min-reduction, eight
+/// lanes at a time. The strictly-closer filter needs no per-lane mask: the
+/// global minimum is admissible iff it is < (du << 32), and a self-link or
+/// any not-closer neighbour can never win. Integer-only AVX-512 (no FMA), so
+/// no meaningful license downclocking. Remainder lanes load as zero (which
+/// would be a bogus small key), so the running min must stay masked —
+/// _mm512_mask_min_epu64 keeps vbest unchanged in those lanes.
+__attribute__((target("avx512f")))
+inline __m512i avx512_scan_ids(__m512i vbest, const graph::NodeId* ids,
+                               std::uint32_t count, __m512i vt, __m512i vn,
+                               bool ring) noexcept {
+  for (std::uint32_t i = 0; i < count; i += 8) {
+    const std::uint32_t left = count - i;
+    const __mmask16 m =
+        left >= 8 ? static_cast<__mmask16>(0xff)
+                  : static_cast<__mmask16>((1u << left) - 1u);
+    // Masked load of up to eight u32 ids (zeroed lanes), widened to u64.
+    const __m512i vid = _mm512_cvtepu32_epi64(
+        _mm512_castsi512_si256(_mm512_maskz_loadu_epi32(m, ids + i)));
+    const __m512i diff = _mm512_abs_epi64(_mm512_sub_epi64(vid, vt));
+    const __m512i dv =
+        ring ? _mm512_min_epu64(diff, _mm512_sub_epi64(vn, diff)) : diff;
+    const __m512i key = _mm512_or_epi64(_mm512_slli_epi64(dv, 32), vid);
+    // Masked-out lanes keep the previous best (their zeroed ids must not
+    // contribute a key).
+    vbest = _mm512_mask_min_epu64(vbest, static_cast<__mmask8>(m), vbest, key);
+  }
+  return vbest;
+}
+
+__attribute__((target("avx512f")))
+graph::NodeId select_best_avx512(const graph::OverlayGraph& g, graph::NodeId u,
+                                 metric::Point target) noexcept {
+  constexpr std::size_t kInline = graph::OverlayGraph::kInlineEdges;
+  const metric::Space1D& space = g.space();
+  const bool ring = space.kind() == metric::Space1D::Kind::kRing;
+  const graph::OverlayGraph::NodeHeader& h = g.header(u);
+  const std::uint32_t degree = h.degree;
+  const auto inline_n =
+      degree < kInline ? degree : static_cast<std::uint32_t>(kInline);
+  const metric::Distance du =
+      space.distance(static_cast<metric::Point>(u), target);
+
+  const __m512i vt = _mm512_set1_epi64(static_cast<long long>(target));
+  const __m512i vn = _mm512_set1_epi64(static_cast<long long>(space.size()));
+  __m512i vbest = _mm512_set1_epi64(-1);
+  vbest = avx512_scan_ids(vbest, h.inline_edges, inline_n, vt, vn, ring);
+  if (degree > kInline) {
+    vbest = avx512_scan_ids(vbest, g.tail(h), degree - inline_n, vt, vn, ring);
+  }
+  const std::uint64_t best = _mm512_reduce_min_epu64(vbest);
+  if (best >= (static_cast<std::uint64_t>(du) << 32)) return graph::kInvalidNode;
+  const auto best_v = static_cast<graph::NodeId>(best & 0xffffffffu);
+  // The winner's header is what the next hop (or the batch pipeline a full
+  // rotation later) reads.
+  g.prefetch(best_v);
+  return best_v;
+}
+#pragma GCC diagnostic pop
+#else
+#define P2P_HAVE_AVX512_SELECT 0
+#endif
+
 }  // namespace
 
 graph::NodeId Router::select_candidate(graph::NodeId u, metric::Point target,
@@ -128,6 +240,14 @@ graph::NodeId Router::select_candidate(graph::NodeId u, metric::Point target,
   const bool check_links = !view_->links_intact();
   const bool check_nodes =
       config_.knowledge == Knowledge::kLiveness && !view_->nodes_intact();
+#if P2P_HAVE_AVX512_SELECT
+  // The failure-free §6/§4 sweeps spend nearly all their time in this one
+  // call shape; simd_ok_ folds the per-router invariants (dense two-sided
+  // graph, narrow positions, CPU support) computed at construction.
+  if (rank == 0 && simd_ok_ && !check_links && !check_nodes) {
+    return select_best_avx512(*graph_, u, target);
+  }
+#endif
   const bool one_sided = config_.sidedness == Sidedness::kOneSided;
   const std::size_t index = (graph_->dense() ? 8u : 0u) | (check_links ? 4u : 0u) |
                             (check_nodes ? 2u : 0u) | (one_sided ? 1u : 0u);
@@ -186,98 +306,115 @@ graph::NodeId Router::next_hop(graph::NodeId u, metric::Point target) const {
 RouteResult Router::route(graph::NodeId src, metric::Point target,
                           util::Rng& rng) const {
   RouteSession session(*this, src, target);
-  while (session.step(rng)) {
+  while (session.step_inline(rng)) {
   }
   return session.progress();
 }
 
+void Router::route_batch(std::span<const Query> queries,
+                         std::span<RouteResult> results, util::Rng& rng,
+                         const BatchConfig& batch) const {
+  BatchPipeline pipeline(*this, queries, results, rng(), batch);
+  pipeline.run();
+}
+
 RouteSession::RouteSession(const Router& router, graph::NodeId src,
                            metric::Point target)
-    : router_(&router), current_(src) {
-  const graph::OverlayGraph& g = router.graph();
+    : router_(&router),
+      trail_(router.config().stuck_policy == StuckPolicy::kBacktrack
+                 ? Trail(router.config().backtrack_window)
+                 : Trail()) {
+  restart(src, target);
+}
+
+void RouteSession::restart(graph::NodeId src, metric::Point target) {
+  const graph::OverlayGraph& g = router_->graph();
   util::require_in_range(src < g.size(), "RouteSession: src out of range");
   util::require(g.space().contains(target), "RouteSession: target outside space");
+  current_ = src;
   target_node_ = g.node_nearest(target);
   final_goal_ = g.position(target_node_);
-  budget_ = router.effective_ttl();
-  if (router.config().record_path) result_.path.push_back(current_);
+  interim_.reset();
+  interim_node_ = graph::kInvalidNode;
+  trail_.clear();
+  cursor_ = 0;
+  budget_ = router_->effective_ttl();
+  state_ = State::kInTransit;
+  result_.status = RouteResult::Status::kStuck;
+  result_.hops = 0;
+  result_.backtracks = 0;
+  result_.reroutes = 0;
+  result_.path.clear();
+  if (router_->config().record_path) result_.path.push_back(current_);
 }
 
 std::optional<graph::NodeId> RouteSession::step(util::Rng& rng) {
-  if (state_ != State::kInTransit) return std::nullopt;
-  const RouterConfig& cfg = router_->config();
+  return step_inline(rng);
+}
+
+BatchPipeline::BatchPipeline(const Router& router, std::span<const Query> queries,
+                             std::span<RouteResult> results,
+                             std::uint64_t seed_base, const BatchConfig& config)
+    : router_(&router),
+      queries_(queries),
+      results_(results),
+      seed_base_(seed_base),
+      prefetch_distance_(config.prefetch_distance) {
+  util::require(results.size() >= queries.size(),
+                "BatchPipeline: results span shorter than queries");
+  const std::size_t width = config.width < 1 ? 1 : config.width;
+  const std::size_t lanes = width < queries.size() ? width : queries.size();
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(Lane{RouteSession(router, queries[i].src, queries[i].target),
+                          util::substream(seed_base, i), i});
+    // Start pulling the lane's first header now; its first step is >= one
+    // full rotation away.
+    router.graph().prefetch(lanes_.back().session.current());
+  }
+  next_query_ = lanes;
+}
+
+bool BatchPipeline::tick() {
+  if (lanes_.empty()) return false;
   const graph::OverlayGraph& g = router_->graph();
-
-  while (budget_ > 0) {
-    --budget_;
-    if (current_ == target_node_) {
-      state_ = State::kDelivered;
-      result_.status = RouteResult::Status::kDelivered;
-      return std::nullopt;
-    }
-    if (interim_ && current_ == interim_node_) {
-      interim_.reset();  // reached the detour node; resume toward the target
-      cursor_ = 0;
-      continue;
-    }
-    const metric::Point goal = interim_ ? *interim_ : final_goal_;
-    graph::NodeId next = router_->select_candidate(current_, goal, cursor_);
-    if (next != graph::kInvalidNode && cfg.knowledge == Knowledge::kStale &&
-        !router_->view().node_alive(next)) {
-      // §6: "once a node chooses its best neighbour, it does not send the
-      // message to any other link" — a dead pick means this node is stuck.
-      next = graph::kInvalidNode;
-    }
-
-    if (next != graph::kInvalidNode) {
-      if (cfg.stuck_policy == StuckPolicy::kBacktrack) {
-        trail_.push(current_, cursor_ + 1, cfg.backtrack_window);
-      }
-      current_ = next;
-      cursor_ = 0;
-      ++result_.hops;
-      if (cfg.record_path) result_.path.push_back(current_);
-      return current_;
-    }
-
-    // Stuck: no (further) live neighbour strictly closer to the goal.
-    switch (cfg.stuck_policy) {
-      case StuckPolicy::kTerminate:
-        state_ = State::kStuck;
-        result_.status = RouteResult::Status::kStuck;
-        return std::nullopt;
-      case StuckPolicy::kRandomReroute: {
-        if (result_.reroutes >= cfg.max_reroutes ||
-            router_->view().alive_count() == 0) {
-          state_ = State::kStuck;
-          result_.status = RouteResult::Status::kStuck;
-          return std::nullopt;
-        }
-        ++result_.reroutes;
-        interim_node_ = router_->view().random_alive(rng);
-        interim_ = g.position(interim_node_);
-        cursor_ = 0;
-        continue;
-      }
-      case StuckPolicy::kBacktrack: {
-        if (trail_.empty()) {
-          state_ = State::kStuck;
-          result_.status = RouteResult::Status::kStuck;
-          return std::nullopt;
-        }
-        const auto [prev, next_rank] = trail_.pop();
-        current_ = prev;
-        cursor_ = next_rank;
-        ++result_.hops;  // the message physically travels back
-        ++result_.backtracks;
-        if (cfg.record_path) result_.path.push_back(current_);
-        return current_;
-      }
+  if (prefetch_distance_ != 0 && prefetch_distance_ < lanes_.size()) {
+    // The lane stepped prefetch_distance ticks from now: its header is
+    // already resident (the in-scan prefetch of its previous step, or the
+    // construction/refill prefetch, ran a full rotation ago), which lets us
+    // chase one level deeper and pull the spill line high-degree nodes will
+    // read — the second dependent load the scalar path must eat serially.
+    // Lanes compact on retire, so the lookahead always hits a live search;
+    // rings already smaller than the lookahead skip it (lines are warm).
+    std::size_t ahead = cursor_ + prefetch_distance_;
+    if (ahead >= lanes_.size()) ahead -= lanes_.size();
+    const graph::OverlayGraph::NodeHeader& h =
+        g.header(lanes_[ahead].session.current());
+    if (h.degree > graph::OverlayGraph::kInlineEdges) g.prefetch_tail(h);
+  }
+  Lane& lane = lanes_[cursor_];
+  lane.session.step_inline(lane.rng);
+  if (lane.session.finished()) {
+    results_[lane.query] = lane.session.progress();
+    ++retired_;
+    if (next_query_ < queries_.size()) {
+      const std::size_t refill = next_query_++;
+      lane.session.restart(queries_[refill].src, queries_[refill].target);
+      lane.rng = util::substream(seed_base_, refill);
+      lane.query = refill;
+      g.prefetch(lane.session.current());  // first header of the new search
+    } else {
+      // Drain phase: compact the retired lane out of the ring so rotation
+      // and lookahead only ever touch live searches. The lane moved into
+      // this slot is stepped on the next tick, never skipped.
+      if (&lane != &lanes_.back()) lane = std::move(lanes_.back());
+      lanes_.pop_back();
+      if (cursor_ == lanes_.size()) cursor_ = 0;
+      return !lanes_.empty();
     }
   }
-  state_ = State::kTtlExpired;
-  result_.status = RouteResult::Status::kTtlExpired;
-  return std::nullopt;
+  if (++cursor_ == lanes_.size()) cursor_ = 0;
+  return true;
 }
 
 }  // namespace p2p::core

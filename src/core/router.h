@@ -30,14 +30,27 @@
 // for tests and offline analysis; select_candidate(u, t, rank) must always
 // equal candidates(u, t)[rank].
 //
-// Two entry points share one implementation: Router::route() walks a search
-// synchronously (hop counting, the paper's measurements), and RouteSession
+// Three entry points share one implementation: Router::route() walks a
+// search synchronously (hop counting, the paper's measurements), RouteSession
 // exposes the same walk one message-transmission at a time for the
-// discrete-event simulator.
+// discrete-event simulator, and Router::route_batch() software-pipelines many
+// independent searches through a rotating ring of RouteSessions. The shared
+// per-hop advance lives in RouteSession::step_inline (this header) so all
+// three stay bit-identical per query.
+//
+// Batching exists because a single search is a serial chain of dependent
+// header loads (~one cache line per hop, see overlay_graph.h): at large n the
+// scalar path is bound by DRAM latency, not work. route_batch keeps W
+// searches in flight and advances them round-robin — each lane's next header
+// was prefetched ~W ticks earlier, so the misses of independent searches
+// overlap instead of serializing. Per-query results are bit-identical to
+// route() seeded with util::substream(base, query_index), independent of the
+// interleaving.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -86,6 +99,22 @@ struct RouteResult {
   }
 };
 
+/// One search request of a batch: route from node `src` to the node nearest
+/// `target`.
+struct Query {
+  graph::NodeId src = 0;
+  metric::Point target = 0;
+};
+
+/// Shape of the software-pipelined batch: `width` searches in flight in a
+/// rotating ring; each scheduler tick prefetches the header of the lane
+/// `prefetch_distance` positions ahead before advancing the current lane, so
+/// a lane's line is resident by the time its turn comes around.
+struct BatchConfig {
+  std::size_t width = 32;
+  std::size_t prefetch_distance = 4;
+};
+
 /// Stateless greedy router over a graph + failure view.
 ///
 /// The router never mutates the graph or the view, so a single (graph, view)
@@ -105,6 +134,17 @@ class Router {
   /// targets; a dead target makes delivery impossible by definition).
   [[nodiscard]] RouteResult route(graph::NodeId src, metric::Point target,
                                   util::Rng& rng) const;
+
+  /// Routes `queries` through the software-pipelined batch scheduler,
+  /// writing results[i] for queries[i]. Preconditions as route() for every
+  /// query; results must be at least as long as queries.
+  ///
+  /// Draws exactly one value `base` from `rng`; query i then runs on the
+  /// private stream util::substream(base, i), so results[i] is bit-identical
+  /// to route(queries[i].src, queries[i].target, util::substream(base, i))
+  /// regardless of batch width, prefetch distance or interleaving.
+  void route_batch(std::span<const Query> queries, std::span<RouteResult> results,
+                   util::Rng& rng, const BatchConfig& batch = {}) const;
 
   /// The single best next hop from `u` toward `target` under this
   /// configuration, or kInvalidNode when u is stuck. Ignores the stuck
@@ -134,6 +174,9 @@ class Router {
   const graph::OverlayGraph* graph_;
   const failure::FailureView* view_;
   RouterConfig config_;
+  /// True when this (graph, config, CPU) combination may take the vectorized
+  /// rank-0 selection fast path; per-call view intactness still gates it.
+  bool simd_ok_ = false;
 };
 
 /// One in-flight search, advanced a single message transmission at a time.
@@ -153,11 +196,96 @@ class RouteSession {
   [[nodiscard]] graph::NodeId current() const noexcept { return current_; }
   [[nodiscard]] graph::NodeId target_node() const noexcept { return target_node_; }
 
+  /// Rebinds the session to a fresh search (preconditions as the
+  /// constructor), reusing the trail and path buffers — the batch pipeline's
+  /// lane-refill path. Never allocates unless record_path is set.
+  void restart(graph::NodeId src, metric::Point target);
+
   /// Advances until the next physical message transmission or a terminal
   /// state. Returns the node the message moved to, or std::nullopt when the
   /// session ended (check state()). Each returned hop is one unit of
   /// delivery time.
   std::optional<graph::NodeId> step(util::Rng& rng);
+
+  /// Body of step(), visible here so the batch pipeline's tick loop and the
+  /// single-stream entry points compile against the one implementation and
+  /// stay bit-identical per query. Allocation-free except record_path.
+  std::optional<graph::NodeId> step_inline(util::Rng& rng) {
+    if (state_ != State::kInTransit) return std::nullopt;
+    const RouterConfig& cfg = router_->config();
+    const graph::OverlayGraph& g = router_->graph();
+
+    while (budget_ > 0) {
+      --budget_;
+      if (current_ == target_node_) {
+        state_ = State::kDelivered;
+        result_.status = RouteResult::Status::kDelivered;
+        return std::nullopt;
+      }
+      if (interim_ && current_ == interim_node_) {
+        interim_.reset();  // reached the detour node; resume toward the target
+        cursor_ = 0;
+        continue;
+      }
+      const metric::Point goal = interim_ ? *interim_ : final_goal_;
+      graph::NodeId next = router_->select_candidate(current_, goal, cursor_);
+      if (next != graph::kInvalidNode && cfg.knowledge == Knowledge::kStale &&
+          !router_->view().node_alive(next)) {
+        // §6: "once a node chooses its best neighbour, it does not send the
+        // message to any other link" — a dead pick means this node is stuck.
+        next = graph::kInvalidNode;
+      }
+
+      if (next != graph::kInvalidNode) {
+        if (cfg.stuck_policy == StuckPolicy::kBacktrack) {
+          trail_.push(current_, cursor_ + 1);
+        }
+        current_ = next;
+        cursor_ = 0;
+        ++result_.hops;
+        if (cfg.record_path) result_.path.push_back(current_);
+        return current_;
+      }
+
+      // Stuck: no (further) live neighbour strictly closer to the goal.
+      switch (cfg.stuck_policy) {
+        case StuckPolicy::kTerminate:
+          state_ = State::kStuck;
+          result_.status = RouteResult::Status::kStuck;
+          return std::nullopt;
+        case StuckPolicy::kRandomReroute: {
+          if (result_.reroutes >= cfg.max_reroutes ||
+              router_->view().alive_count() == 0) {
+            state_ = State::kStuck;
+            result_.status = RouteResult::Status::kStuck;
+            return std::nullopt;
+          }
+          ++result_.reroutes;
+          interim_node_ = router_->view().random_alive(rng);
+          interim_ = g.position(interim_node_);
+          cursor_ = 0;
+          continue;
+        }
+        case StuckPolicy::kBacktrack: {
+          if (trail_.empty()) {
+            state_ = State::kStuck;
+            result_.status = RouteResult::Status::kStuck;
+            return std::nullopt;
+          }
+          const auto [prev, next_rank] = trail_.pop();
+          current_ = prev;
+          cursor_ = next_rank;
+          ++result_.hops;  // the message physically travels back
+          ++result_.backtracks;
+          if (cfg.record_path) result_.path.push_back(current_);
+          return current_;
+        }
+      }
+    }
+    state_ = State::kTtlExpired;
+    result_.status = RouteResult::Status::kTtlExpired;
+    return std::nullopt;
+  }
 
   /// Hops, backtracks, reroutes and status so far (status meaningful once
   /// finished()).
@@ -165,12 +293,15 @@ class RouteSession {
 
  private:
   /// Fixed-capacity ring buffer of (node, next candidate rank) — the
-  /// backtrack trail. Capacity backtrack_window; allocated lazily on the
-  /// first push so terminate/reroute searches stay allocation-free.
+  /// backtrack trail. Sessions under kBacktrack allocate the full window up
+  /// front (the batch tick loop must never allocate mid-flight); other
+  /// policies never push and carry an empty buffer.
   class Trail {
    public:
-    void push(graph::NodeId node, std::size_t rank, std::size_t window) {
-      if (buf_.empty()) buf_.resize(window);
+    Trail() = default;
+    explicit Trail(std::size_t window) : buf_(window) {}
+    /// Precondition: constructed with a window (kBacktrack sessions only).
+    void push(graph::NodeId node, std::size_t rank) noexcept {
       if (count_ == buf_.size()) {
         head_ = (head_ + 1) % buf_.size();  // evict the oldest
         --count_;
@@ -178,6 +309,7 @@ class RouteSession {
       buf_[(head_ + count_) % buf_.size()] = {node, rank};
       ++count_;
     }
+    void clear() noexcept { head_ = count_ = 0; }
     [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
     [[nodiscard]] std::pair<graph::NodeId, std::size_t> pop() noexcept {
       --count_;
@@ -201,6 +333,58 @@ class RouteSession {
   std::size_t budget_;
   State state_ = State::kInTransit;
   RouteResult result_;
+};
+
+/// The software-pipelined batch scheduler behind Router::route_batch,
+/// exposed so churn experiments and tests can mutate the failure view
+/// *between ticks* (sessions re-read the view every step, so mid-batch churn
+/// is honoured exactly as in RouteSession).
+///
+/// Keeps min(width, #queries) lanes in flight. Each tick issues a prefetch
+/// for the lane `prefetch_distance` ahead in the ring, advances the current
+/// lane by one message transmission, retires it if finished, and refills the
+/// lane from the pending queries (once those run out, retired lanes compact
+/// out of the ring so the drain phase keeps prefetching over live lanes
+/// only). After construction the tick loop performs no allocations
+/// (record_path excepted).
+class BatchPipeline {
+ public:
+  /// Lane i of the batch runs on util::substream(seed_base, i); see
+  /// Router::route_batch for the determinism contract. `queries` and
+  /// `results` must outlive the pipeline; results.size() >= queries.size().
+  BatchPipeline(const Router& router, std::span<const Query> queries,
+                std::span<RouteResult> results, std::uint64_t seed_base,
+                const BatchConfig& config = {});
+
+  /// Advances one in-flight search by one transmission. Returns false once
+  /// every query has retired (the final retiring advance included).
+  bool tick();
+
+  /// Ticks until every query has retired.
+  void run() {
+    while (tick()) {
+    }
+  }
+
+  [[nodiscard]] std::size_t in_flight() const noexcept { return lanes_.size(); }
+  [[nodiscard]] std::size_t retired() const noexcept { return retired_; }
+
+ private:
+  struct Lane {
+    RouteSession session;
+    util::Rng rng;
+    std::size_t query = 0;
+  };
+
+  const Router* router_;
+  std::span<const Query> queries_;
+  std::span<RouteResult> results_;
+  std::uint64_t seed_base_;
+  std::size_t prefetch_distance_;
+  std::vector<Lane> lanes_;     // every lane in the ring is in flight
+  std::size_t cursor_ = 0;      // ring position of the lane advanced next
+  std::size_t next_query_ = 0;  // first query not yet assigned to a lane
+  std::size_t retired_ = 0;
 };
 
 }  // namespace p2p::core

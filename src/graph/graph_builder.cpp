@@ -160,32 +160,74 @@ std::vector<metric::Point> draw_present_positions(std::uint64_t grid_size,
   return positions;  // unreachable
 }
 
-void add_power_law_links(GraphBuilder& g, const BuildSpec& spec, util::Rng& rng) {
-  const PowerLawLinkSampler sampler(g.space(), spec.exponent);
+/// Samples node u's long-link targets into `out[0..long_links)` using u's
+/// private rng. Read-only on the builder, so any number of nodes can sample
+/// concurrently; a slot is kInvalidNode when the draw produced no link.
+void sample_power_law_targets(const GraphBuilder& g, const BuildSpec& spec,
+                              const PowerLawLinkSampler& sampler, NodeId u,
+                              util::Rng& rng, NodeId* out) {
   const bool sparse = spec.presence < 1.0;
   constexpr int kMaxRejections = 256;
-  for (NodeId u = 0; u < g.size(); ++u) {
-    const metric::Point src = g.position(u);
-    for (std::size_t k = 0; k < spec.long_links; ++k) {
-      NodeId target = kInvalidNode;
-      if (!sparse) {
-        target = g.node_at(sampler.sample_target(rng, src));
-      } else if (spec.sparse_mode == BuildSpec::SparseLinkMode::kRejection) {
-        for (int tries = 0; tries < kMaxRejections; ++tries) {
-          const NodeId candidate = g.node_at(sampler.sample_target(rng, src));
-          if (candidate != kInvalidNode) {
-            target = candidate;
-            break;
-          }
+  const metric::Point src = g.position(u);
+  for (std::size_t k = 0; k < spec.long_links; ++k) {
+    NodeId target = kInvalidNode;
+    if (!sparse) {
+      target = g.node_at(sampler.sample_target(rng, src));
+    } else if (spec.sparse_mode == BuildSpec::SparseLinkMode::kRejection) {
+      for (int tries = 0; tries < kMaxRejections; ++tries) {
+        const NodeId candidate = g.node_at(sampler.sample_target(rng, src));
+        if (candidate != kInvalidNode) {
+          target = candidate;
+          break;
         }
-        if (target == kInvalidNode) {
-          // Degenerate sparsity: fall back to snapping so the build finishes.
-          target = g.node_nearest(sampler.sample_target(rng, src));
-        }
-      } else {
+      }
+      if (target == kInvalidNode) {
+        // Degenerate sparsity: fall back to snapping so the build finishes.
         target = g.node_nearest(sampler.sample_target(rng, src));
       }
-      if (target != kInvalidNode && target != u) g.add_long_link(u, target);
+    } else {
+      target = g.node_nearest(sampler.sample_target(rng, src));
+    }
+    out[k] = target == u ? kInvalidNode : target;
+  }
+}
+
+/// The long-link sampling loop, optionally fanned over `pool`. Each node
+/// samples from util::substream(base, u), so the built graph depends only on
+/// (spec, rng) — serial and parallel builds of any thread count are
+/// bit-identical. Sampling (the expensive part: one binary search per draw,
+/// plus rejection in sparse mode) runs in parallel into a flat target table;
+/// the cheap appends stay serial because GraphBuilder mutation is not
+/// thread-safe.
+void add_power_law_links(GraphBuilder& g, const BuildSpec& spec, util::Rng& rng,
+                         util::ThreadPool* pool) {
+  if (spec.long_links == 0) return;  // before the base draw: no links, no rng use
+  const PowerLawLinkSampler sampler(g.space(), spec.exponent);
+  const std::uint64_t base = rng();
+  const std::size_t n = g.size();
+  std::vector<NodeId> targets(n * spec.long_links);
+  const auto sample_node = [&](NodeId u, util::Rng& node_rng) {
+    sample_power_law_targets(g, spec, sampler, u, node_rng,
+                             targets.data() + static_cast<std::size_t>(u) * spec.long_links);
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && n >= 1024) {
+    pool->parallel_chunks(n, pool->thread_count() * 8,
+                          [&](std::size_t lo, std::size_t hi) {
+                            for (std::size_t u = lo; u < hi; ++u) {
+                              util::Rng node_rng = util::substream(base, u);
+                              sample_node(static_cast<NodeId>(u), node_rng);
+                            }
+                          });
+  } else {
+    for (NodeId u = 0; u < n; ++u) {
+      util::Rng node_rng = util::substream(base, u);
+      sample_node(u, node_rng);
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId* row = targets.data() + static_cast<std::size_t>(u) * spec.long_links;
+    for (std::size_t k = 0; k < spec.long_links; ++k) {
+      if (row[k] != kInvalidNode) g.add_long_link(u, row[k]);
     }
   }
 }
@@ -216,9 +258,9 @@ void add_base_b_links(GraphBuilder& g, const BuildSpec& spec) {
   }
 }
 
-}  // namespace
-
-OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng) {
+/// Shared implementation of the two public overloads (pool may be null).
+OverlayGraph build_overlay_impl(const BuildSpec& spec, util::Rng& rng,
+                                util::ThreadPool* pool) {
   util::require(spec.grid_size >= 2, "build_overlay: grid_size must be >= 2");
   util::require(spec.presence > 0.0 && spec.presence <= 1.0,
                 "build_overlay: presence must be in (0,1]");
@@ -238,12 +280,23 @@ OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng) {
   builder.reserve_links(spec.long_links + 2);
   builder.wire_short_links();
   if (spec.link_model == BuildSpec::LinkModel::kPowerLaw) {
-    add_power_law_links(builder, spec, rng);
+    add_power_law_links(builder, spec, rng, pool);
   } else {
     add_base_b_links(builder, spec);
   }
   if (spec.bidirectional) builder.make_bidirectional();
   return builder.freeze();
+}
+
+}  // namespace
+
+OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng) {
+  return build_overlay_impl(spec, rng, nullptr);
+}
+
+OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng,
+                           util::ThreadPool& pool) {
+  return build_overlay_impl(spec, rng, &pool);
 }
 
 }  // namespace p2p::graph

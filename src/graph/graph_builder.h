@@ -22,6 +22,7 @@
 #include "graph/overlay_graph.h"
 #include "metric/space1d.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace p2p::graph {
 
@@ -154,11 +155,18 @@ struct BuildSpec {
 };
 
 /// Builds a frozen overlay per `spec` through a GraphBuilder. All randomness
-/// comes from `rng`.
+/// comes from `rng`: each node samples its long links from a private
+/// util::substream, so the result depends only on (spec, rng).
 ///
 /// Throws std::invalid_argument on malformed specs (grid_size < 2,
 /// presence outside (0,1], exponent < 0, base < 2).
 [[nodiscard]] OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng);
+
+/// As above, fanning the long-link sampling loop (the dominant build cost)
+/// across `pool`. Bit-identical to the serial overload for any thread count.
+/// Must not be called from inside a task already running on `pool`.
+[[nodiscard]] OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng,
+                                         util::ThreadPool& pool);
 
 /// Wires only the immediate-neighbour (short) links of g: every node to its
 /// nearest neighbour on each side (wrapping on a ring). Legacy incremental

@@ -147,6 +147,15 @@ class OverlayGraph {
     __builtin_prefetch(&headers_[u]);
   }
 
+  /// Prefetches the spill line of a node whose degree exceeds the inline
+  /// prefix. The spill address lives in the header, so this is only
+  /// possible once the header is resident — the batch pipeline issues it a
+  /// few ticks ahead of the hop, hiding the second dependent load of
+  /// high-degree nodes that the in-scan header prefetch cannot cover.
+  void prefetch_tail(const NodeHeader& h) const noexcept {
+    __builtin_prefetch(tail_.data() + h.tail);
+  }
+
   /// Number of short (immediate-neighbour) links of u.
   [[nodiscard]] std::size_t short_degree(NodeId u) const noexcept {
     return short_degree_[u];

@@ -9,7 +9,7 @@ std::vector<double> run_trials(util::ThreadPool& pool, std::size_t trials,
                                const std::function<double(std::size_t, util::Rng&)>& fn) {
   std::vector<double> results(trials, 0.0);
   pool.parallel_for(trials, [&](std::size_t trial) {
-    util::Rng rng(util::splitmix64(seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1))));
+    util::Rng rng = util::substream(seed, trial);
     results[trial] = fn(trial, rng);
   });
   return results;
@@ -20,7 +20,7 @@ std::vector<std::vector<double>> run_trials_multi(
     const std::function<std::vector<double>(std::size_t, util::Rng&)>& fn) {
   std::vector<std::vector<double>> results(trials);
   pool.parallel_for(trials, [&](std::size_t trial) {
-    util::Rng rng(util::splitmix64(seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1))));
+    util::Rng rng = util::substream(seed, trial);
     results[trial] = fn(trial, rng);
   });
   return results;

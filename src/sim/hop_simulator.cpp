@@ -1,5 +1,7 @@
 #include "sim/hop_simulator.h"
 
+#include <vector>
+
 #include "util/require.h"
 
 namespace p2p::sim {
@@ -16,18 +18,22 @@ void BatchResult::merge(const BatchResult& other) noexcept {
 }
 
 BatchResult run_batch(const core::Router& router, std::size_t messages,
-                      util::Rng& rng) {
+                      util::Rng& rng, const core::BatchConfig& config) {
   const failure::FailureView& view = router.view();
   util::require(view.alive_count() >= 2, "run_batch: need at least two live nodes");
 
-  BatchResult batch;
-  for (std::size_t m = 0; m < messages; ++m) {
+  std::vector<core::Query> queries(messages);
+  for (auto& query : queries) {
     const graph::NodeId src = view.random_alive(rng);
     graph::NodeId dst = src;
     while (dst == src) dst = view.random_alive(rng);
+    query = {src, router.graph().position(dst)};
+  }
+  std::vector<core::RouteResult> results(messages);
+  router.route_batch(queries, results, rng, config);
 
-    const core::RouteResult result =
-        router.route(src, router.graph().position(dst), rng);
+  BatchResult batch;
+  for (const core::RouteResult& result : results) {
     ++batch.messages;
     batch.backtracks.add(static_cast<double>(result.backtracks));
     batch.reroutes.add(static_cast<double>(result.reroutes));

@@ -36,8 +36,12 @@ struct BatchResult {
 };
 
 /// Routes `messages` searches between uniformly random distinct *live*
-/// src/dst pairs. Preconditions: the view has at least two live nodes.
+/// src/dst pairs, software-pipelined through Router::route_batch (`batch`
+/// sets the width/prefetch shape). Draws all pairs from `rng` up front, then
+/// one more value as the batch's substream base. Preconditions: the view has
+/// at least two live nodes.
 [[nodiscard]] BatchResult run_batch(const core::Router& router, std::size_t messages,
-                                    util::Rng& rng);
+                                    util::Rng& rng,
+                                    const core::BatchConfig& batch = {});
 
 }  // namespace p2p::sim

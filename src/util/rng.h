@@ -115,6 +115,16 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Deterministic substream `index` of the family identified by `base`: the
+/// returned generator depends only on (base, index), never on which thread
+/// draws from it or how many sibling substreams exist. This is the one
+/// derivation shared by the experiment driver (per-trial streams), the batch
+/// route pipeline (per-query streams) and the parallel graph build (per-node
+/// streams), so interleaved and sequential executions stay bit-identical.
+[[nodiscard]] constexpr Rng substream(std::uint64_t base, std::uint64_t index) noexcept {
+  return Rng(splitmix64(base ^ (0x9e3779b97f4a7c15ULL * (index + 1))));
+}
+
 /// Samples a Poisson(mean) variate by inversion (mean expected to be small,
 /// e.g. the per-node link count ℓ ≤ ~40 used throughout the paper).
 [[nodiscard]] int poisson_sample(Rng& rng, double mean) noexcept;

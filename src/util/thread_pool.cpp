@@ -44,6 +44,19 @@ void ThreadPool::parallel_for(std::size_t jobs, const std::function<void(std::si
   wait_idle();
 }
 
+void ThreadPool::parallel_chunks(
+    std::size_t jobs, std::size_t max_chunks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (jobs == 0) return;
+  const std::size_t chunks = std::min(jobs, max_chunks < 1 ? 1 : max_chunks);
+  const std::size_t per_chunk = (jobs + chunks - 1) / chunks;
+  parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * per_chunk;
+    const std::size_t hi = std::min(jobs, lo + per_chunk);
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

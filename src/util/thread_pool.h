@@ -39,6 +39,15 @@ class ThreadPool {
   /// Runs `fn(i)` for i in [0, jobs) across the pool and waits for completion.
   void parallel_for(std::size_t jobs, const std::function<void(std::size_t)>& fn);
 
+  /// Runs `fn(lo, hi)` over a fixed decomposition of [0, jobs) into at most
+  /// max(1, max_chunks) contiguous ranges and waits for completion. The
+  /// decomposition depends only on (jobs, max_chunks) — never on the thread
+  /// count — so callers that derive per-index Rng substreams inside chunks
+  /// stay deterministic on any machine; several chunks per worker lets
+  /// stragglers rebalance. No-op when jobs == 0.
+  void parallel_chunks(std::size_t jobs, std::size_t max_chunks,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
 

@@ -187,7 +187,10 @@ TEST(Flood, TtlCutsOffDistantTargets) {
 }
 
 TEST(Flood, MessageCostExplodesWithTtl) {
-  const auto g = flood_graph(1024, 5, 12);
+  // Fixture seed picked so the target is not reachable within the shallow
+  // TTL (a shallow hit ends the flood early and hides the blow-up); re-check
+  // the depth profile if the builder's sampling stream ever changes.
+  const auto g = flood_graph(1024, 5, 15);
   const auto view = failure::FailureView::all_alive(g);
   // Count messages to a far target at increasing TTLs (§3's trade-off).
   const auto shallow = flood_search(g, view, 0, 512, 2);
