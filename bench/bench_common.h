@@ -5,6 +5,7 @@
 // P2P_MESSAGES (see util/options.h); P2P_CSV=1 switches to CSV.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <iostream>
@@ -26,6 +27,12 @@
 #include "util/thread_pool.h"
 
 namespace p2p::bench {
+
+/// Wall-clock seconds elapsed since `start`.
+inline double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 /// BuildSpec of the paper's §4.3 power-law ring overlay.
 inline graph::BuildSpec power_law_spec(std::uint64_t n, std::size_t links,

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/construction.h"
 #include "core/router.h"
 #include "dht/dht.h"
@@ -187,10 +188,7 @@ BENCHMARK(BM_DhtPutGet);
 // ---------------------------------------------------------------------------
 // Headline JSON trajectory (BENCH_micro.json)
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
+using bench::seconds_since;
 
 /// Replica of the pre-refactor graph layer and router inner loop: adjacency
 /// as vector-of-vectors and a candidate vector materialized, sorted and
@@ -262,6 +260,7 @@ struct JsonMetrics {
   double batch_best_routes_per_sec = 0;
   double batch_speedup = 0;  ///< best batch width vs scalar routes_per_sec
   double parallel_links_per_sec = 0;
+  double freeze_links_per_sec = 0;  ///< pool-parallel freeze packing alone
   std::size_t build_threads = 0;
 };
 
@@ -361,6 +360,21 @@ JsonMetrics measure_headline() {
     const auto g_parallel = graph::build_overlay(spec, build_rng, pool);
     m.parallel_links_per_sec =
         static_cast<double>(g_parallel.link_count()) / seconds_since(t_parallel);
+
+    // Pool-parallel freeze packing in isolation: reassemble the builder
+    // state of the graph above, then time freeze(pool) alone.
+    graph::GraphBuilder builder((metric::Space1D::ring(m.nodes)));
+    builder.reserve_links(m.links + 2);
+    builder.wire_short_links();
+    for (graph::NodeId u = 0; u < g_parallel.size(); ++u) {
+      for (const graph::NodeId v : g_parallel.long_neighbors(u)) {
+        builder.add_long_link(u, v);
+      }
+    }
+    const auto t_freeze = std::chrono::steady_clock::now();
+    const auto frozen = builder.freeze(pool);
+    m.freeze_links_per_sec =
+        static_cast<double>(frozen.link_count()) / seconds_since(t_freeze);
   }
 
   const LegacyOverlay legacy(g);
@@ -387,13 +401,14 @@ void write_json(const JsonMetrics& m, const char* path) {
                "  \"build_seconds\": %.6f,\n"
                "  \"links_per_sec\": %.1f,\n"
                "  \"parallel_links_per_sec\": %.1f,\n"
+               "  \"freeze_links_per_sec\": %.1f,\n"
                "  \"build_threads\": %zu,\n"
                "  \"routes_per_sec\": %.1f,\n"
                "  \"hops_per_sec\": %.1f,\n"
                "  \"batch_routes_per_sec\": {",
                static_cast<unsigned long long>(m.nodes), m.links, m.build_seconds,
-               m.links_per_sec, m.parallel_links_per_sec, m.build_threads,
-               m.routes_per_sec, m.hops_per_sec);
+               m.links_per_sec, m.parallel_links_per_sec, m.freeze_links_per_sec,
+               m.build_threads, m.routes_per_sec, m.hops_per_sec);
   for (std::size_t w = 0; w < std::size(kBatchWidths); ++w) {
     std::fprintf(f, "%s\"w%zu\": %.1f", w == 0 ? " " : ", ", kBatchWidths[w],
                  m.batch_routes_per_sec[w]);
@@ -411,12 +426,12 @@ void write_json(const JsonMetrics& m, const char* path) {
   std::fclose(f);
   std::printf(
       "BENCH_micro.json: n=%llu links/node=%zu build=%.2fs "
-      "links/s=%.3g (parallel %.3g on %zu threads) routes/s=%.3g "
+      "links/s=%.3g (parallel %.3g, freeze %.3g on %zu threads) routes/s=%.3g "
       "(batch best %.3g at W=%zu, %.2fx scalar; legacy alloc %.3g, %.2fx)\n",
       static_cast<unsigned long long>(m.nodes), m.links, m.build_seconds,
-      m.links_per_sec, m.parallel_links_per_sec, m.build_threads,
-      m.routes_per_sec, m.batch_best_routes_per_sec, m.batch_best_width,
-      m.batch_speedup, m.legacy_routes_per_sec, m.speedup);
+      m.links_per_sec, m.parallel_links_per_sec, m.freeze_links_per_sec,
+      m.build_threads, m.routes_per_sec, m.batch_best_routes_per_sec,
+      m.batch_best_width, m.batch_speedup, m.legacy_routes_per_sec, m.speedup);
 }
 
 }  // namespace

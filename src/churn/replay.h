@@ -1,0 +1,101 @@
+// Trace-driven discrete-event churn replay: millions of searches routed
+// through a continuously mutating FailureView.
+//
+// Replay merges a ChurnLog's epoch batches with the discrete-event core
+// (sim::EventQueue) and a software-pipelined search load (core::BatchPipeline,
+// PR 2): every delta is scheduled at its virtual timestamp, and between
+// consecutive events the pipeline advances by ticks_per_ms ticks per virtual
+// millisecond — one message transmission per tick, exactly the granularity
+// RouteSession exposes — so deltas land *between* transmissions and in-flight
+// searches see the mutation on their very next hop (sessions re-read the view
+// every step). After the last delta the pipeline drains to completion.
+//
+// Determinism: the query workload and every per-query routing stream derive
+// from ReplayConfig::seed via util::substream, and the tick/event interleave
+// is a pure function of the log's timestamps, so a (graph, log, config)
+// triple reproduces results bit-for-bit. Each retired RouteResult carries
+// completion_epoch — the view epoch at which the search terminated — so
+// outcomes can be bucketed against the churn timeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "churn/churn_log.h"
+#include "core/router.h"
+#include "failure/failure_model.h"
+#include "sim/event_queue.h"
+
+namespace p2p::churn {
+
+struct ReplayConfig {
+  /// Pipeline ticks (message transmissions) per virtual millisecond.
+  double ticks_per_ms = 256.0;
+  /// Total searches routed over the run (src/dst drawn live at epoch 0).
+  std::size_t queries = 4096;
+  core::BatchConfig batch;
+  /// Master seed: query workload and per-query routing streams.
+  std::uint64_t seed = 1;
+};
+
+struct ReplayStats {
+  std::size_t deltas_applied = 0;
+  std::size_t ticks = 0;
+  std::size_t routed = 0;     ///< searches retired
+  std::size_t delivered = 0;  ///< subset that reached the target
+  double mean_hops_delivered = 0.0;
+  std::uint64_t final_epoch = 0;
+  double sim_end = 0.0;  ///< virtual time of the last delta
+
+  [[nodiscard]] double success_rate() const noexcept {
+    return routed == 0 ? 0.0
+                       : static_cast<double>(delivered) / static_cast<double>(routed);
+  }
+};
+
+/// One replay run binding a router, a log, and the view the router reads.
+///
+/// `view` must be the FailureView `router` was constructed over, positioned
+/// at epoch 0 of `log`; Replay mutates it in place as deltas fire. The
+/// router, log, view and queue must outlive the Replay.
+class Replay {
+ public:
+  Replay(const core::Router& router, const ChurnLog& log,
+         failure::FailureView& view, sim::EventQueue& queue,
+         ReplayConfig config = {});
+
+  /// Schedules every delta on the queue, runs it to exhaustion (advancing
+  /// the pipeline between events), drains the remaining searches, and
+  /// returns the aggregate stats. Single-shot: construct a fresh Replay (and
+  /// reset the queue) for another run.
+  ReplayStats run();
+
+  /// Per-query results, valid after run(). results()[i] corresponds to
+  /// queries()[i].
+  [[nodiscard]] std::span<const core::RouteResult> results() const noexcept {
+    return results_;
+  }
+  [[nodiscard]] std::span<const core::Query> queries() const noexcept {
+    return queries_;
+  }
+
+ private:
+  /// Advances the pipeline to the tick budget implied by virtual time `now`.
+  void advance_to(double now);
+
+  const ChurnLog* log_;
+  failure::FailureView* view_;
+  sim::EventQueue* queue_;
+  ReplayConfig config_;
+  std::vector<core::Query> queries_;
+  std::vector<core::RouteResult> results_;
+  core::BatchPipeline pipeline_;
+  double start_time_ = 0.0;
+  std::size_t ticks_done_ = 0;
+  bool pipeline_live_ = true;
+  ReplayStats stats_;
+};
+
+}  // namespace p2p::churn

@@ -1,0 +1,288 @@
+#include "churn/trace_gen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.h"
+
+namespace p2p::churn {
+
+namespace {
+
+using graph::NodeId;
+
+/// O(1) uniform sampling from both the alive and the dead node population:
+/// two swap-remove vectors plus a per-node (which list, where) index. The
+/// generator keeps its own tracker rather than querying the log's shadow so
+/// kills and revives cost O(1) draws instead of rejection sampling at low
+/// alive fractions.
+class Membership {
+ public:
+  explicit Membership(std::size_t n) : alive_(n), where_(n), is_alive_(n, 1) {
+    std::iota(alive_.begin(), alive_.end(), NodeId{0});
+    std::iota(where_.begin(), where_.end(), std::uint32_t{0});
+  }
+
+  [[nodiscard]] std::size_t alive_count() const noexcept { return alive_.size(); }
+  [[nodiscard]] std::size_t dead_count() const noexcept { return dead_.size(); }
+  [[nodiscard]] bool alive(NodeId u) const noexcept { return is_alive_[u] != 0; }
+
+  [[nodiscard]] NodeId random_alive(util::Rng& rng) const {
+    return alive_[rng.next_below(alive_.size())];
+  }
+  [[nodiscard]] NodeId random_dead(util::Rng& rng) const {
+    return dead_[rng.next_below(dead_.size())];
+  }
+
+  void kill(NodeId u) {
+    if (!alive(u)) return;
+    swap_remove(alive_, where_[u]);
+    is_alive_[u] = 0;
+    where_[u] = static_cast<std::uint32_t>(dead_.size());
+    dead_.push_back(u);
+  }
+
+  void revive(NodeId u) {
+    if (alive(u)) return;
+    swap_remove(dead_, where_[u]);
+    is_alive_[u] = 1;
+    where_[u] = static_cast<std::uint32_t>(alive_.size());
+    alive_.push_back(u);
+  }
+
+ private:
+  void swap_remove(std::vector<NodeId>& list, std::uint32_t at) {
+    const NodeId moved = list.back();
+    list[at] = moved;
+    where_[moved] = at;
+    list.pop_back();
+  }
+
+  std::vector<NodeId> alive_;
+  std::vector<NodeId> dead_;
+  std::vector<std::uint32_t> where_;   // index within the node's current list
+  std::vector<std::uint8_t> is_alive_;
+};
+
+/// Keep at least two live nodes so every epoch stays routable (the same
+/// floor sim::make_churn_trace maintains).
+constexpr std::size_t kAliveFloor = 2;
+
+void kill_random_nodes(ChurnLog& log, Membership& members, std::size_t count,
+                       util::Rng& rng) {
+  for (std::size_t i = 0; i < count && members.alive_count() > kAliveFloor; ++i) {
+    const NodeId u = members.random_alive(rng);
+    members.kill(u);
+    log.kill_node(u);
+  }
+}
+
+void revive_random_nodes(ChurnLog& log, Membership& members, std::size_t count,
+                         util::Rng& rng) {
+  for (std::size_t i = 0; i < count && members.dead_count() > 0; ++i) {
+    const NodeId u = members.random_dead(rng);
+    members.revive(u);
+    log.revive_node(u);
+  }
+}
+
+void commit_if_staged(ChurnLog& log, double when) {
+  if (!log.staged_empty()) log.commit(when);
+}
+
+/// Memoryless background churn over [from, to): one batch per interval,
+/// Poisson event counts per batch.
+void poisson_phase(ChurnLog& log, Membership& members, const TraceSpec& spec,
+                   double from, double to, double kill_rate, double revive_rate,
+                   util::Rng& rng) {
+  for (double t = from + spec.batch_interval; t <= to; t += spec.batch_interval) {
+    kill_random_nodes(log, members,
+                      static_cast<std::size_t>(util::poisson_sample(
+                          rng, kill_rate * spec.batch_interval)),
+                      rng);
+    revive_random_nodes(log, members,
+                        static_cast<std::size_t>(util::poisson_sample(
+                            rng, revive_rate * spec.batch_interval)),
+                        rng);
+    commit_if_staged(log, t);
+  }
+}
+
+ChurnLog make_poisson(const graph::OverlayGraph& g, const TraceSpec& spec,
+                      util::Rng& rng) {
+  ChurnLog log(g);
+  Membership members(g.size());
+  poisson_phase(log, members, spec, 0.0, spec.duration, spec.kill_rate,
+                spec.revive_rate, rng);
+  return log;
+}
+
+ChurnLog make_flash_crowd(const graph::OverlayGraph& g, const TraceSpec& spec,
+                          util::Rng& rng) {
+  ChurnLog log(g);
+  Membership members(g.size());
+  const double crowd_at = spec.crowd_time * spec.duration;
+  poisson_phase(log, members, spec, 0.0, crowd_at, spec.kill_rate,
+                spec.revive_rate, rng);
+  // The flash departure: one delta, crowd_fraction of the live population.
+  const auto crowd = static_cast<std::size_t>(
+      spec.crowd_fraction * static_cast<double>(members.alive_count()));
+  kill_random_nodes(log, members, crowd, rng);
+  commit_if_staged(log, crowd_at);
+  // Recovery: departures stop, revivals trickle back.
+  poisson_phase(log, members, spec, crowd_at, spec.duration, /*kill_rate=*/0.0,
+                spec.revive_rate, rng);
+  return log;
+}
+
+ChurnLog make_regional(const graph::OverlayGraph& g, const TraceSpec& spec,
+                       util::Rng& rng) {
+  ChurnLog log(g);
+  const std::size_t n = g.size();
+  util::require(spec.outages > 0, "make_trace: outages must be > 0");
+  // Node order equals position order, so a contiguous id arc is a contiguous
+  // region of the metric space (wrapping on a ring).
+  std::size_t width = static_cast<std::size_t>(
+      spec.region_fraction * static_cast<double>(n));
+  width = std::max<std::size_t>(1, std::min(width, n - kAliveFloor));
+  const double gap = spec.duration / static_cast<double>(spec.outages);
+  for (std::size_t k = 0; k < spec.outages; ++k) {
+    const double start = gap * static_cast<double>(k);
+    const auto base = static_cast<std::size_t>(rng.next_below(n));
+    for (std::size_t i = 0; i < width; ++i) {
+      log.kill_node(static_cast<NodeId>((base + i) % n));
+    }
+    commit_if_staged(log, start);
+    for (std::size_t i = 0; i < width; ++i) {
+      log.revive_node(static_cast<NodeId>((base + i) % n));
+    }
+    commit_if_staged(log, start + gap * 0.5);
+  }
+  return log;
+}
+
+ChurnLog make_adversarial(const graph::OverlayGraph& g, const TraceSpec& spec,
+                          util::Rng& rng) {
+  static_cast<void>(rng);  // hub ranking is deterministic; kept for API symmetry
+  ChurnLog log(g);
+  const std::size_t n = g.size();
+  const std::size_t wave = std::max<std::size_t>(
+      1, std::min(spec.wave_size, n - kAliveFloor));
+  // Rank every node once; wave k rotates through the ranking so successive
+  // waves decapitate fresh hubs instead of re-killing the same set.
+  const auto ranked = high_degree_targets(g, n - kAliveFloor);
+  util::require(spec.wave_period > 0.0, "make_trace: wave_period must be > 0");
+  std::size_t k = 0;
+  for (double t = 0.0; t < spec.duration; t += spec.wave_period, ++k) {
+    const std::size_t base = (k * wave) % ranked.size();
+    for (std::size_t i = 0; i < wave; ++i) {
+      log.kill_node(ranked[(base + i) % ranked.size()]);
+    }
+    commit_if_staged(log, t);
+    for (std::size_t i = 0; i < wave; ++i) {
+      log.revive_node(ranked[(base + i) % ranked.size()]);
+    }
+    commit_if_staged(log, t + spec.wave_period * 0.5);
+  }
+  return log;
+}
+
+ChurnLog make_link_flap(const graph::OverlayGraph& g, const TraceSpec& spec,
+                        util::Rng& rng) {
+  ChurnLog log(g);
+  // All long-link (u, link_index) pairs — short ±1 links never fail (§4.3.3).
+  std::vector<std::pair<NodeId, std::uint32_t>> longs;
+  for (NodeId u = 0; u < g.size(); ++u) {
+    for (std::size_t i = g.short_degree(u); i < g.out_degree(u); ++i) {
+      longs.emplace_back(u, static_cast<std::uint32_t>(i));
+    }
+  }
+  if (longs.empty()) return log;
+  const auto per_batch = static_cast<std::size_t>(
+      spec.flap_fraction * static_cast<double>(longs.size()));
+  std::vector<std::pair<NodeId, std::uint32_t>> flapped;
+  for (double t = spec.batch_interval; t <= spec.duration;
+       t += spec.batch_interval) {
+    for (const auto& [u, i] : flapped) log.revive_link(u, i);
+    flapped.clear();
+    // Draws with replacement; in-batch duplicates normalize away in the log,
+    // so a batch flaps *up to* per_batch distinct links.
+    for (std::size_t d = 0; d < per_batch; ++d) {
+      const auto& [u, i] = longs[rng.next_below(longs.size())];
+      log.kill_link(u, i);
+      flapped.emplace_back(u, i);
+    }
+    commit_if_staged(log, t);
+  }
+  return log;
+}
+
+}  // namespace
+
+const char* scenario_name(TraceSpec::Scenario s) noexcept {
+  switch (s) {
+    case TraceSpec::Scenario::kPoissonChurn:
+      return "poisson_churn";
+    case TraceSpec::Scenario::kFlashCrowd:
+      return "flash_crowd";
+    case TraceSpec::Scenario::kRegionalOutage:
+      return "regional_outage";
+    case TraceSpec::Scenario::kAdversarialWaves:
+      return "adversarial_waves";
+    case TraceSpec::Scenario::kLinkFlap:
+      return "link_flap";
+  }
+  return "unknown";
+}
+
+ChurnLog make_trace(const graph::OverlayGraph& g, const TraceSpec& spec,
+                    util::Rng& rng) {
+  util::require(g.size() > kAliveFloor, "make_trace: graph too small to churn");
+  util::require(spec.duration >= 0.0, "make_trace: duration must be >= 0");
+  util::require(spec.batch_interval > 0.0,
+                "make_trace: batch_interval must be > 0");
+  util::require(spec.kill_rate >= 0.0 && spec.revive_rate >= 0.0,
+                "make_trace: rates must be >= 0");
+  util::require(spec.crowd_fraction >= 0.0 && spec.crowd_fraction <= 1.0,
+                "make_trace: crowd_fraction must be in [0,1]");
+  util::require(spec.crowd_time >= 0.0 && spec.crowd_time <= 1.0,
+                "make_trace: crowd_time must be in [0,1]");
+  util::require(spec.region_fraction >= 0.0 && spec.region_fraction <= 1.0,
+                "make_trace: region_fraction must be in [0,1]");
+  util::require(spec.flap_fraction >= 0.0 && spec.flap_fraction <= 1.0,
+                "make_trace: flap_fraction must be in [0,1]");
+  switch (spec.scenario) {
+    case TraceSpec::Scenario::kPoissonChurn:
+      return make_poisson(g, spec, rng);
+    case TraceSpec::Scenario::kFlashCrowd:
+      return make_flash_crowd(g, spec, rng);
+    case TraceSpec::Scenario::kRegionalOutage:
+      return make_regional(g, spec, rng);
+    case TraceSpec::Scenario::kAdversarialWaves:
+      return make_adversarial(g, spec, rng);
+    case TraceSpec::Scenario::kLinkFlap:
+      return make_link_flap(g, spec, rng);
+  }
+  util::require(false, "make_trace: unknown scenario");
+  return ChurnLog(g);  // unreachable
+}
+
+std::vector<graph::NodeId> high_degree_targets(const graph::OverlayGraph& g,
+                                               std::size_t k) {
+  const auto in = g.in_degrees();
+  std::vector<NodeId> ids(g.size());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  k = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(k),
+                    ids.end(), [&](NodeId a, NodeId b) {
+                      return in[a] != in[b] ? in[a] > in[b] : a < b;
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+failure::ByzantineSet hub_adversary(const graph::OverlayGraph& g, std::size_t k) {
+  return failure::ByzantineSet::of(g, high_degree_targets(g, k));
+}
+
+}  // namespace p2p::churn

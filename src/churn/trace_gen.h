@@ -1,0 +1,97 @@
+// Churn-trace generators: diverse failure dynamics compiled into a ChurnLog.
+//
+// The paper evaluates static failure draws; the DHT measurement literature
+// (Kong et al., PAPERS.md) and the robust-routing line (Lenzen–Medina)
+// evaluate under *sustained* dynamics. Each generator here emits a different
+// dynamic regime over one frozen overlay:
+//
+//  * kPoissonChurn     — memoryless join/leave: alive nodes die at kill_rate,
+//    dead nodes revive at revive_rate (per ms, whole network), batched into
+//    one delta per batch_interval.
+//  * kFlashCrowd       — a mass departure: normal Poisson churn until
+//    crowd_time, then crowd_fraction of the live nodes leave in ONE delta,
+//    then departed nodes trickle back at revive_rate.
+//  * kRegionalOutage   — correlated failures over the metric space: `outages`
+//    times, a contiguous arc of region_fraction of the nodes dies in one
+//    delta and revives midway to the next outage (positions are correlated,
+//    exactly the case independent-failure analysis misses).
+//  * kAdversarialWaves — targeted attack: waves at wave_period kill the
+//    wave_size highest in-degree nodes (the CSR hubs greedy routing leans
+//    on), reviving them at half-period; wave k rotates through the ranked
+//    hub list so successive waves hit fresh hubs.
+//  * kLinkFlap         — link-level churn: every batch_interval, revive the
+//    previously flapped long links and kill a fresh random flap_fraction of
+//    the long-link slots (±1 short links never fail, per §4.3.3).
+//
+// All generators draw exclusively from the caller's Rng, so a (graph, spec,
+// seed) triple identifies a trace bit-for-bit. A floor of two live nodes is
+// maintained throughout (a routable core, as sim::make_churn_trace does).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "churn/churn_log.h"
+#include "failure/byzantine.h"
+#include "graph/overlay_graph.h"
+#include "util/rng.h"
+
+namespace p2p::churn {
+
+/// Parameters of one generated trace. Fields are grouped by the scenario
+/// that reads them; unrelated fields are ignored.
+struct TraceSpec {
+  enum class Scenario {
+    kPoissonChurn,
+    kFlashCrowd,
+    kRegionalOutage,
+    kAdversarialWaves,
+    kLinkFlap,
+  };
+  Scenario scenario = Scenario::kPoissonChurn;
+
+  /// Trace length in virtual ms; deltas are committed every batch_interval.
+  double duration = 1000.0;
+  double batch_interval = 1.0;
+
+  // kPoissonChurn / kFlashCrowd background churn.
+  double kill_rate = 0.5;    ///< node deaths per ms across the network
+  double revive_rate = 0.5;  ///< dead-node revivals per ms across the network
+
+  // kFlashCrowd.
+  double crowd_fraction = 0.25;  ///< fraction of live nodes departing at once
+  double crowd_time = 0.25;      ///< departure instant, as a fraction of duration
+
+  // kRegionalOutage.
+  double region_fraction = 0.1;  ///< contiguous fraction of nodes per outage
+  std::size_t outages = 4;
+
+  // kAdversarialWaves.
+  std::size_t wave_size = 64;  ///< hubs killed per wave
+  double wave_period = 100.0;  ///< ms between wave starts (revive at half)
+
+  // kLinkFlap.
+  double flap_fraction = 0.05;  ///< fraction of long links flapped per batch
+};
+
+/// Human-readable scenario name (tables, logs).
+[[nodiscard]] const char* scenario_name(TraceSpec::Scenario s) noexcept;
+
+/// Generates a trace over the all-alive baseline of `g` per `spec`.
+[[nodiscard]] ChurnLog make_trace(const graph::OverlayGraph& g,
+                                  const TraceSpec& spec, util::Rng& rng);
+
+/// The `k` nodes with the highest in-degree, descending (ties broken by
+/// lower id) — the hub set adversarial waves target. O(links + n log k).
+[[nodiscard]] std::vector<graph::NodeId> high_degree_targets(
+    const graph::OverlayGraph& g, std::size_t k);
+
+/// The same hub set as a Byzantine adversary (failure/byzantine.h): nodes
+/// that would be killed by the first adversarial wave instead stay up and
+/// misbehave — links the crash-churn and Byzantine experiments to the same
+/// targeting logic.
+[[nodiscard]] failure::ByzantineSet hub_adversary(const graph::OverlayGraph& g,
+                                                  std::size_t k);
+
+}  // namespace p2p::churn

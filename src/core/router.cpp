@@ -344,6 +344,7 @@ void RouteSession::restart(graph::NodeId src, metric::Point target) {
   result_.hops = 0;
   result_.backtracks = 0;
   result_.reroutes = 0;
+  result_.completion_epoch = 0;
   result_.path.clear();
   if (router_->config().record_path) result_.path.push_back(current_);
 }

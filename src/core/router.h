@@ -91,6 +91,10 @@ struct RouteResult {
   std::size_t backtracks = 0;
   /// Random reroutes consumed.
   std::size_t reroutes = 0;
+  /// FailureView::epoch() at the moment the search terminated. Static views
+  /// leave this 0; under delta-log churn (churn::Replay) it buckets each
+  /// outcome against the churn timeline.
+  std::uint64_t completion_epoch = 0;
   /// Visited nodes, when RouterConfig::record_path is set (src first).
   std::vector<graph::NodeId> path;
 
@@ -218,9 +222,7 @@ class RouteSession {
     while (budget_ > 0) {
       --budget_;
       if (current_ == target_node_) {
-        state_ = State::kDelivered;
-        result_.status = RouteResult::Status::kDelivered;
-        return std::nullopt;
+        return finish(State::kDelivered, RouteResult::Status::kDelivered);
       }
       if (interim_ && current_ == interim_node_) {
         interim_.reset();  // reached the detour node; resume toward the target
@@ -250,15 +252,11 @@ class RouteSession {
       // Stuck: no (further) live neighbour strictly closer to the goal.
       switch (cfg.stuck_policy) {
         case StuckPolicy::kTerminate:
-          state_ = State::kStuck;
-          result_.status = RouteResult::Status::kStuck;
-          return std::nullopt;
+          return finish(State::kStuck, RouteResult::Status::kStuck);
         case StuckPolicy::kRandomReroute: {
           if (result_.reroutes >= cfg.max_reroutes ||
               router_->view().alive_count() == 0) {
-            state_ = State::kStuck;
-            result_.status = RouteResult::Status::kStuck;
-            return std::nullopt;
+            return finish(State::kStuck, RouteResult::Status::kStuck);
           }
           ++result_.reroutes;
           interim_node_ = router_->view().random_alive(rng);
@@ -268,9 +266,7 @@ class RouteSession {
         }
         case StuckPolicy::kBacktrack: {
           if (trail_.empty()) {
-            state_ = State::kStuck;
-            result_.status = RouteResult::Status::kStuck;
-            return std::nullopt;
+            return finish(State::kStuck, RouteResult::Status::kStuck);
           }
           const auto [prev, next_rank] = trail_.pop();
           current_ = prev;
@@ -282,9 +278,7 @@ class RouteSession {
         }
       }
     }
-    state_ = State::kTtlExpired;
-    result_.status = RouteResult::Status::kTtlExpired;
-    return std::nullopt;
+    return finish(State::kTtlExpired, RouteResult::Status::kTtlExpired);
   }
 
   /// Hops, backtracks, reroutes and status so far (status meaningful once
@@ -292,6 +286,16 @@ class RouteSession {
   [[nodiscard]] const RouteResult& progress() const noexcept { return result_; }
 
  private:
+  /// Terminal transition shared by every exit of step_inline: records the
+  /// outcome and stamps the failure-view epoch the search ended at.
+  std::optional<graph::NodeId> finish(State state,
+                                      RouteResult::Status status) noexcept {
+    state_ = state;
+    result_.status = status;
+    result_.completion_epoch = router_->view().epoch();
+    return std::nullopt;
+  }
+
   /// Fixed-capacity ring buffer of (node, next candidate rank) — the
   /// backtrack trail. Sessions under kBacktrack allocate the full window up
   /// front (the batch tick loop must never allocate mid-flight); other

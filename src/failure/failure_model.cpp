@@ -4,6 +4,9 @@
 
 namespace p2p::failure {
 
+FailureView::FailureView(const graph::OverlayGraph& g)
+    : graph_(&g), graph_generation_(g.structural_generation()) {}
+
 FailureView FailureView::all_alive(const graph::OverlayGraph& g) {
   FailureView view(g);
   view.alive_count_ = g.size();
@@ -90,21 +93,142 @@ void FailureView::revive_node(graph::NodeId u) {
   }
 }
 
+void FailureView::ensure_link_bits() {
+  if (link_dead_.empty()) {
+    // First link bit: key the bitset to the graph's current slot layout.
+    graph_generation_ = graph_->structural_generation();
+    link_slots_ = graph_->edge_slots();
+    link_dead_.assign(words_for(link_slots_), 0);
+    return;
+  }
+  // Structural growth moves flat slots, silently mis-keying every bit
+  // recorded so far — fail loudly instead (see the class comment: views
+  // holding link bits must be rebuilt after a slot-moving mutation).
+  util::require(graph_->structural_generation() == graph_generation_,
+                "FailureView: graph changed structurally; rebuild the view");
+}
+
 void FailureView::kill_link(graph::NodeId u, std::size_t link_index) {
   util::require_in_range(u < graph_->size(), "kill_link: node out of range");
   util::require_in_range(link_index < graph_->out_degree(u),
                          "kill_link: link index out of range");
-  if (link_dead_.empty()) {
-    link_slots_ = graph_->edge_slots();
-    link_dead_.assign(words_for(link_slots_), 0);
-  } else {
-    // Structural growth moves flat slots, silently mis-keying every bit
-    // recorded so far — fail loudly instead (see the class comment: views
-    // must be rebuilt after a slot-moving mutation).
-    util::require(graph_->edge_slots() == link_slots_,
-                  "kill_link: graph changed structurally; rebuild the view");
-  }
+  ensure_link_bits();
   set_bit(link_dead_, graph_->edge_base(u) + link_index);
+}
+
+void FailureView::revive_link(graph::NodeId u, std::size_t link_index) {
+  util::require_in_range(u < graph_->size(), "revive_link: node out of range");
+  util::require_in_range(link_index < graph_->out_degree(u),
+                         "revive_link: link index out of range");
+  if (link_dead_.empty()) return;
+  ensure_link_bits();
+  reset_bit(link_dead_, graph_->edge_base(u) + link_index);
+}
+
+void FailureView::kill_link_slot(std::size_t slot) {
+  util::require_in_range(slot < graph_->edge_slots(),
+                         "kill_link_slot: slot out of range");
+  ensure_link_bits();
+  set_bit(link_dead_, slot);
+}
+
+void FailureView::revive_link_slot(std::size_t slot) {
+  util::require_in_range(slot < graph_->edge_slots(),
+                         "revive_link_slot: slot out of range");
+  if (link_dead_.empty()) return;
+  ensure_link_bits();
+  reset_bit(link_dead_, slot);
+}
+
+void FailureView::apply(const FailureDelta& delta) {
+  util::require(link_dead_.empty() ||
+                    graph_->structural_generation() == graph_generation_,
+                "FailureView::apply: graph changed structurally; rebuild the view");
+  if (!delta.link_kills.empty() || !delta.link_revives.empty()) {
+    // Delta link slots are keyed to the layout this view was created
+    // against; unlike the slot-computing mutators (which may re-key a fresh
+    // bitset to the current layout), a stale generation cannot be re-stamped
+    // away here — the delta's slot basis is unknowable.
+    util::require(graph_->structural_generation() == graph_generation_,
+                  "FailureView::apply: graph changed structurally since the "
+                  "delta's slots were recorded");
+    ensure_link_bits();
+  }
+  if (!delta.node_kills.empty() && node_dead_.empty()) {
+    node_dead_.assign(words_for(graph_->size()), 0);
+  }
+  for (const graph::NodeId u : delta.node_kills) {
+    util::require_in_range(u < graph_->size(), "apply: node out of range");
+    util::require(!test_bit(node_dead_, u),
+                  "apply: kill of a dead node (delta not normalized)");
+    set_bit(node_dead_, u);
+    --alive_count_;
+  }
+  for (const graph::NodeId u : delta.node_revives) {
+    util::require_in_range(u < graph_->size(), "apply: node out of range");
+    util::require(!node_dead_.empty() && test_bit(node_dead_, u),
+                  "apply: revive of a live node (delta not normalized)");
+    reset_bit(node_dead_, u);
+    ++alive_count_;
+  }
+  for (const std::uint32_t slot : delta.link_kills) {
+    util::require_in_range(slot < link_slots_, "apply: link slot out of range");
+    util::require(!test_bit(link_dead_, slot),
+                  "apply: kill of a dead link (delta not normalized)");
+    set_bit(link_dead_, slot);
+  }
+  for (const std::uint32_t slot : delta.link_revives) {
+    util::require_in_range(slot < link_slots_, "apply: link slot out of range");
+    util::require(test_bit(link_dead_, slot),
+                  "apply: revive of a live link (delta not normalized)");
+    reset_bit(link_dead_, slot);
+  }
+  ++epoch_;
+}
+
+void FailureView::revert(const FailureDelta& delta) {
+  util::require(epoch_ > 0, "revert: already at epoch 0");
+  util::require(link_dead_.empty() ||
+                    graph_->structural_generation() == graph_generation_,
+                "FailureView::revert: graph changed structurally; rebuild the view");
+  // The inverse batch: what apply killed gets revived and vice versa. The
+  // normalization requires mirror apply's, so a revert with the wrong delta
+  // (or out of order) fails loudly instead of silently corrupting the view.
+  for (const graph::NodeId u : delta.node_kills) {
+    util::require_in_range(u < graph_->size(), "revert: node out of range");
+    util::require(!node_dead_.empty() && test_bit(node_dead_, u),
+                  "revert: node not dead (wrong delta for this epoch)");
+    reset_bit(node_dead_, u);
+    ++alive_count_;
+  }
+  for (const graph::NodeId u : delta.node_revives) {
+    util::require_in_range(u < graph_->size(), "revert: node out of range");
+    if (node_dead_.empty()) node_dead_.assign(words_for(graph_->size()), 0);
+    util::require(!test_bit(node_dead_, u),
+                  "revert: node not alive (wrong delta for this epoch)");
+    set_bit(node_dead_, u);
+    --alive_count_;
+  }
+  if (!delta.link_kills.empty() || !delta.link_revives.empty()) {
+    // See apply: delta slots cannot be re-keyed to a changed layout.
+    util::require(graph_->structural_generation() == graph_generation_,
+                  "FailureView::revert: graph changed structurally since the "
+                  "delta's slots were recorded");
+    ensure_link_bits();
+  }
+  for (const std::uint32_t slot : delta.link_kills) {
+    util::require_in_range(slot < link_slots_, "revert: link slot out of range");
+    util::require(test_bit(link_dead_, slot),
+                  "revert: link not dead (wrong delta for this epoch)");
+    reset_bit(link_dead_, slot);
+  }
+  for (const std::uint32_t slot : delta.link_revives) {
+    util::require_in_range(slot < link_slots_, "revert: link slot out of range");
+    util::require(!test_bit(link_dead_, slot),
+                  "revert: link not alive (wrong delta for this epoch)");
+    set_bit(link_dead_, slot);
+  }
+  --epoch_;
 }
 
 }  // namespace p2p::failure

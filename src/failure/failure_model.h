@@ -11,7 +11,18 @@
 // the router's inner loop pays one shift-and-mask per query and the common
 // all-alive case is a null check. Views key link bits by flat slot index:
 // after a structural graph mutation that moves slots (see overlay_graph.h),
-// rebuild the view. replace_long_link and clear_links never move slots.
+// a view holding link bits must be rebuilt — an invariant enforced against
+// the graph's structural generation counter: once link bits exist, mutators
+// throw and (debug builds) queries assert when the graph has structurally
+// changed since the bits were allocated. Views without link bits (the
+// all-alive fast path, node-only failures) have no slot-keyed state and stay
+// valid across growth. replace_long_link and clear_links never move slots.
+//
+// Views also carry an *epoch*: a cursor into a churn::ChurnLog delta log.
+// apply(delta) / revert(delta) flip exactly the bits a FailureDelta lists —
+// O(changed bits), the incremental alternative to an O(n) rebuild — and move
+// the epoch forward/backward by one. Manual kill_/revive_ calls leave the
+// epoch untouched (they are not part of any log).
 //
 // Three factory models:
 //  * with_link_failures(p)  — each *long-distance* link is independently dead
@@ -25,6 +36,7 @@
 // the graph at all, so it lives in graph::GraphBuilder (BuildSpec::presence).
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -33,6 +45,31 @@
 #include "util/rng.h"
 
 namespace p2p::failure {
+
+/// One epoch's batch of liveness flips, stamped with its virtual time.
+///
+/// A delta is *normalized*: every listed node/link is a real state change
+/// relative to the epoch before it (no killing the dead, no reviving the
+/// living), which makes apply and revert exact inverses. churn::ChurnLog is
+/// the sanctioned producer; FailureView::apply/revert enforce normalization.
+struct FailureDelta {
+  /// Virtual time (sim::SimTime milliseconds) the batch takes effect.
+  double when = 0.0;
+  std::vector<graph::NodeId> node_kills;
+  std::vector<graph::NodeId> node_revives;
+  /// Flat CSR slots (OverlayGraph::edge_base(u) + link_index).
+  std::vector<std::uint32_t> link_kills;
+  std::vector<std::uint32_t> link_revives;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return node_kills.empty() && node_revives.empty() && link_kills.empty() &&
+           link_revives.empty();
+  }
+  [[nodiscard]] std::size_t change_count() const noexcept {
+    return node_kills.size() + node_revives.size() + link_kills.size() +
+           link_revives.size();
+  }
+};
 
 /// Records node/link aliveness for one failure scenario over a fixed graph.
 class FailureView {
@@ -65,6 +102,9 @@ class FailureView {
 
   /// Aliveness of the link at `link_index` within neighbors(u).
   [[nodiscard]] bool link_alive(graph::NodeId u, std::size_t link_index) const noexcept {
+    assert((link_dead_.empty() ||
+            graph_->structural_generation() == graph_generation_) &&
+           "FailureView: graph changed structurally; rebuild the view");
     return link_dead_.empty() ||
            !test_bit(link_dead_, graph_->edge_base(u) + link_index);
   }
@@ -72,6 +112,9 @@ class FailureView {
   /// Aliveness of the link in flat CSR slot `slot` (= edge_base(u) + i).
   /// The router's inner loop uses this to skip the per-node base lookup.
   [[nodiscard]] bool link_alive_at(std::size_t slot) const noexcept {
+    assert((link_dead_.empty() ||
+            graph_->structural_generation() == graph_generation_) &&
+           "FailureView: graph changed structurally; rebuild the view");
     return link_dead_.empty() || !test_bit(link_dead_, slot);
   }
 
@@ -87,13 +130,34 @@ class FailureView {
   /// Draws a uniformly random alive node. Precondition: alive_count() > 0.
   [[nodiscard]] graph::NodeId random_alive(util::Rng& rng) const;
 
-  /// Manual failure injection (tests, churn simulations).
+  /// Manual failure injection (tests, churn simulations). Leaves epoch()
+  /// untouched.
   void kill_node(graph::NodeId u);
   void revive_node(graph::NodeId u);
   void kill_link(graph::NodeId u, std::size_t link_index);
+  void revive_link(graph::NodeId u, std::size_t link_index);
+  /// Same, keyed by flat CSR slot (= edge_base(u) + link_index).
+  void kill_link_slot(std::size_t slot);
+  void revive_link_slot(std::size_t slot);
+
+  /// Delta-log cursor: how many FailureDeltas have been applied on top of
+  /// the state this view was created with. See churn::ChurnLog.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Applies one normalized delta batch: kills the listed nodes/links,
+  /// revives the listed nodes/links, advances epoch() by one. O(changed
+  /// bits). Throws if the delta is not normalized against the current state
+  /// (a listed change that is a no-op means the view and the log are out of
+  /// sync) or the graph changed structurally since the view was built.
+  void apply(const FailureDelta& delta);
+
+  /// Exact inverse of apply(delta): rewinds epoch() by one. Preconditions as
+  /// apply, plus epoch() > 0 and `delta` being the batch that produced the
+  /// current epoch.
+  void revert(const FailureDelta& delta);
 
  private:
-  explicit FailureView(const graph::OverlayGraph& g) : graph_(&g) {}
+  explicit FailureView(const graph::OverlayGraph& g);
 
   [[nodiscard]] static bool test_bit(const std::vector<std::uint64_t>& bits,
                                      std::size_t i) noexcept {
@@ -107,11 +171,18 @@ class FailureView {
   }
   static std::size_t words_for(std::size_t bits) noexcept { return (bits + 63) / 64; }
 
+  /// Allocates the link bitset on first use, stamping the graph generation
+  /// the slots are keyed against; once bits exist, throws when the graph
+  /// has structurally changed since (slots would be mis-keyed).
+  void ensure_link_bits();
+
   const graph::OverlayGraph* graph_;
   std::vector<std::uint64_t> node_dead_;  // packed, 1 = dead; empty = all alive
   std::vector<std::uint64_t> link_dead_;  // packed over CSR slots; empty = all alive
   std::size_t link_slots_ = 0;  // edge_slots() when link_dead_ was allocated
   std::size_t alive_count_ = 0;
+  std::uint64_t epoch_ = 0;             // delta-log cursor (see apply/revert)
+  std::uint64_t graph_generation_ = 0;  // structural_generation() at creation
 };
 
 }  // namespace p2p::failure

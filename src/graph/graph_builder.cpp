@@ -108,18 +108,78 @@ void GraphBuilder::make_bidirectional() {
   make_bidirectional_impl(*this, scratch);
 }
 
-OverlayGraph GraphBuilder::freeze() {
+void GraphBuilder::make_bidirectional(util::ThreadPool& pool) {
+  const std::size_t n = adjacency_.size();
+  if (pool.thread_count() <= 1 || n < 1024) {
+    make_bidirectional();
+    return;
+  }
+  // Phase 1 (parallel, read-only): for every original long link u -> v,
+  // decide whether the reverse v -> u must be added. The serial loop's
+  // has_link checks only ever see reverse links whose forward twin already
+  // exists (adding v -> u cannot make any later has_link(x, y) flip for a
+  // pair the serial loop still tests), so "missing" is decidable against the
+  // immutable pre-call graph plus first-occurrence dedup within u's slice —
+  // which is what makes this phase safely parallel and the result
+  // bit-identical to the serial overload.
+  std::vector<std::vector<NodeId>> missing(n);
+  pool.parallel_chunks(n, pool.thread_count() * 8,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t u = lo; u < hi; ++u) {
+                           const auto id = static_cast<NodeId>(u);
+                           const auto longs = long_neighbors(id);
+                           for (std::size_t k = 0; k < longs.size(); ++k) {
+                             const NodeId v = longs[k];
+                             bool first = true;
+                             for (std::size_t j = 0; j < k; ++j) {
+                               if (longs[j] == v) {
+                                 first = false;
+                                 break;
+                               }
+                             }
+                             if (first && !has_link(v, id)) {
+                               missing[u].push_back(v);
+                             }
+                           }
+                         }
+                       });
+  // Phase 2 (serial, cheap appends) in the serial loop's exact order.
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const NodeId v : missing[u]) add_long_link(v, static_cast<NodeId>(u));
+  }
+}
+
+OverlayGraph GraphBuilder::freeze() { return freeze_impl(nullptr); }
+
+OverlayGraph GraphBuilder::freeze(util::ThreadPool& pool) {
+  return freeze_impl(&pool);
+}
+
+OverlayGraph GraphBuilder::freeze_impl(util::ThreadPool* pool) {
   util::require(link_count_ <= std::numeric_limits<std::uint32_t>::max(),
                 "GraphBuilder::freeze: edge slot index overflow");
   const std::size_t n = adjacency_.size();
   std::vector<std::uint32_t> slice_sizes(n);
+  std::vector<std::uint32_t> offsets(n);
+  std::uint32_t offset = 0;
   for (std::size_t u = 0; u < n; ++u) {
     slice_sizes[u] = static_cast<std::uint32_t>(adjacency_[u].size());
+    offsets[u] = offset;
+    offset += slice_sizes[u];
   }
-  std::vector<NodeId> edges;
-  edges.reserve(link_count_);
-  for (const auto& adj : adjacency_) {
-    edges.insert(edges.end(), adj.begin(), adj.end());
+  // Every slice's destination is fixed by the prefix sum above, so packing
+  // is embarrassingly parallel and bit-identical to the serial copy.
+  std::vector<NodeId> edges(link_count_);
+  const auto pack = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      std::copy(adjacency_[u].begin(), adjacency_[u].end(),
+                edges.begin() + offsets[u]);
+    }
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && n >= 1024) {
+    pool->parallel_chunks(n, pool->thread_count() * 8, pack);
+  } else {
+    pack(0, n);
   }
   OverlayGraph g(space_, std::move(positions_), std::move(slice_sizes),
                  std::move(short_degree_), std::move(edges));
@@ -284,8 +344,14 @@ OverlayGraph build_overlay_impl(const BuildSpec& spec, util::Rng& rng,
   } else {
     add_base_b_links(builder, spec);
   }
-  if (spec.bidirectional) builder.make_bidirectional();
-  return builder.freeze();
+  if (spec.bidirectional) {
+    if (pool != nullptr) {
+      builder.make_bidirectional(*pool);
+    } else {
+      builder.make_bidirectional();
+    }
+  }
+  return pool != nullptr ? builder.freeze(*pool) : builder.freeze();
 }
 
 }  // namespace

@@ -93,12 +93,25 @@ class GraphBuilder {
   /// whole overlay usable in both directions (see BuildSpec::bidirectional).
   void make_bidirectional();
 
+  /// As make_bidirectional(), fanning the missing-reverse discovery (the
+  /// O(links · degree) has_link scans that dominate) across `pool`; the
+  /// cheap appends stay serial in node order, so the result is bit-identical
+  /// to the serial overload for any thread count.
+  void make_bidirectional(util::ThreadPool& pool);
+
   /// Packs the accumulated links into a frozen CSR OverlayGraph. The builder
   /// is consumed: it is left empty (size 0) afterwards.
   [[nodiscard]] OverlayGraph freeze();
 
+  /// As freeze(), fanning the edge packing (per-node slice copies into the
+  /// flat CSR array) across `pool`. Bit-identical to the serial overload:
+  /// every slice lands at an offset fixed by the serial prefix sum.
+  [[nodiscard]] OverlayGraph freeze(util::ThreadPool& pool);
+
  private:
   void check_node(NodeId u) const;
+
+  [[nodiscard]] OverlayGraph freeze_impl(util::ThreadPool* pool);
 
   metric::Space1D space_;
   std::vector<metric::Point> positions_;        // empty when dense
@@ -162,7 +175,8 @@ struct BuildSpec {
 /// presence outside (0,1], exponent < 0, base < 2).
 [[nodiscard]] OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng);
 
-/// As above, fanning the long-link sampling loop (the dominant build cost)
+/// As above, fanning the long-link sampling loop (the dominant build cost),
+/// the make_bidirectional reverse-link discovery and the freeze edge packing
 /// across `pool`. Bit-identical to the serial overload for any thread count.
 /// Must not be called from inside a task already running on `pool`.
 [[nodiscard]] OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng,

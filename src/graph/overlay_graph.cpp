@@ -131,6 +131,7 @@ void OverlayGraph::append_slot(NodeId u, NodeId v) {
   } else {
     util::require(edges_.size() < std::numeric_limits<std::uint32_t>::max(),
                   "OverlayGraph: edge slot index overflow");
+    ++structural_generation_;  // every later node's slots are about to move
     const std::size_t slot = h.offset + h.degree;
     edges_.insert(edges_.begin() + static_cast<std::ptrdiff_t>(slot), v);
     if (h.degree >= kInlineEdges) {

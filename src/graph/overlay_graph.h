@@ -175,6 +175,16 @@ class OverlayGraph {
   /// clear_links truncation). Flat slot indices are < edge_slots().
   [[nodiscard]] std::size_t edge_slots() const noexcept { return edges_.size(); }
 
+  /// Incremented by every slot-moving mutation (an add_* call that could not
+  /// reuse a reserved slot and had to shift the flat arrays). FailureViews
+  /// record the generation they were built against and refuse to operate —
+  /// throw in mutators, assert in debug-build queries — once it moves, so
+  /// "rebuild the view after structural growth" is enforced, not advisory.
+  /// replace_long_link and clear_links never change the generation.
+  [[nodiscard]] std::uint64_t structural_generation() const noexcept {
+    return structural_generation_;
+  }
+
   /// Total number of live directed links in the graph.
   [[nodiscard]] std::size_t link_count() const noexcept { return link_count_; }
 
@@ -239,6 +249,7 @@ class OverlayGraph {
   std::vector<NodeId> edges_;                // canonical flat slices, shorts first
   std::vector<NodeId> tail_;                 // spill replica of slice entries > prefix
   std::size_t link_count_ = 0;
+  std::uint64_t structural_generation_ = 0;  // bumped when slots move
 };
 
 }  // namespace p2p::graph

@@ -33,4 +33,10 @@ std::size_t EventQueue::run_until(SimTime until) {
   return executed;
 }
 
+void EventQueue::reset() {
+  heap_ = {};
+  now_ = 0.0;
+  next_seq_ = 0;
+}
+
 }  // namespace p2p::sim

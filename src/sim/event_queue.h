@@ -42,6 +42,11 @@ class EventQueue {
   /// Runs events with time <= `until` (events beyond stay queued).
   std::size_t run_until(SimTime until);
 
+  /// Discards every pending event and rewinds the clock to 0 — reuse across
+  /// independent simulation runs (e.g. per-trial churn replays) without
+  /// reconstructing the queue.
+  void reset();
+
  private:
   struct Entry {
     SimTime when;

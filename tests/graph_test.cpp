@@ -13,6 +13,7 @@
 #include "graph/link_distribution.h"
 #include "graph/overlay_graph.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace p2p::graph {
 namespace {
@@ -437,6 +438,102 @@ TEST(GraphBuilder, AggregateLinkLengthsFollowInverseLaw) {
   const double ratio = count[1] / count[16];
   EXPECT_GT(ratio, 16.0 * 0.7);
   EXPECT_LT(ratio, 16.0 * 1.4);
+}
+
+// ---------------------------------------------------------------------------
+// Pool-parallel builder paths must be bit-identical to their serial twins.
+
+void expect_graphs_identical(const OverlayGraph& got, const OverlayGraph& want,
+                             const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  ASSERT_EQ(got.link_count(), want.link_count()) << label;
+  ASSERT_EQ(got.edge_slots(), want.edge_slots()) << label;
+  for (NodeId u = 0; u < got.size(); ++u) {
+    ASSERT_EQ(got.position(u), want.position(u)) << label << " node " << u;
+    ASSERT_EQ(got.short_degree(u), want.short_degree(u)) << label << " node " << u;
+    ASSERT_EQ(got.edge_base(u), want.edge_base(u)) << label << " node " << u;
+    const auto a = got.neighbors(u);
+    const auto b = want.neighbors(u);
+    ASSERT_EQ(a.size(), b.size()) << label << " node " << u;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << label << " node " << u << " link " << i;
+    }
+  }
+}
+
+/// One builder state with duplicate long links and missing reverses — the
+/// corner cases make_bidirectional's serial/parallel equivalence hinges on.
+GraphBuilder tricky_builder(std::uint64_t n, std::uint64_t seed) {
+  GraphBuilder b(Space1D::ring(n));
+  b.wire_short_links();
+  util::Rng rng(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t links = 1 + rng.next_below(4);
+    for (std::size_t k = 0; k < links; ++k) {
+      NodeId v = static_cast<NodeId>(rng.next_below(n));
+      if (v == u) v = static_cast<NodeId>((u + 1) % n);
+      b.add_long_link(u, v);  // duplicates allowed, as in sampling w/ replacement
+    }
+  }
+  return b;
+}
+
+TEST(GraphBuilderParallel, FreezeMatchesSerial) {
+  util::ThreadPool pool(4);
+  GraphBuilder serial = tricky_builder(2048, 21);
+  GraphBuilder parallel = tricky_builder(2048, 21);
+  const OverlayGraph a = serial.freeze();
+  const OverlayGraph b = parallel.freeze(pool);
+  expect_graphs_identical(b, a, "freeze");
+}
+
+TEST(GraphBuilderParallel, MakeBidirectionalMatchesSerial) {
+  util::ThreadPool pool(4);
+  GraphBuilder serial = tricky_builder(2048, 22);
+  GraphBuilder parallel = tricky_builder(2048, 22);
+  serial.make_bidirectional();
+  parallel.make_bidirectional(pool);
+  const OverlayGraph a = serial.freeze();
+  const OverlayGraph b = parallel.freeze(pool);
+  expect_graphs_identical(b, a, "make_bidirectional");
+}
+
+TEST(GraphBuilderParallel, SmallBuildersFallBackToSerial) {
+  util::ThreadPool pool(4);
+  GraphBuilder serial = tricky_builder(64, 23);
+  GraphBuilder parallel = tricky_builder(64, 23);
+  serial.make_bidirectional();
+  parallel.make_bidirectional(pool);  // below the parallel threshold
+  expect_graphs_identical(parallel.freeze(pool), serial.freeze(), "small");
+}
+
+TEST(GraphBuilderParallel, BidirectionalBuildOverlayMatchesSerial) {
+  BuildSpec spec;
+  spec.grid_size = 4096;
+  spec.long_links = 6;
+  spec.bidirectional = true;
+  util::Rng rng_a(24), rng_b(24);
+  util::ThreadPool pool(4);
+  const OverlayGraph a = build_overlay(spec, rng_a);
+  const OverlayGraph b = build_overlay(spec, rng_b, pool);
+  expect_graphs_identical(b, a, "build_overlay bidirectional");
+}
+
+TEST(OverlayGraph, StructuralGenerationTracksSlotMoves) {
+  GraphBuilder builder(Space1D::ring(8));
+  builder.wire_short_links();
+  OverlayGraph g = builder.freeze();
+  EXPECT_EQ(g.structural_generation(), 0u);
+  g.clear_links(3);
+  EXPECT_EQ(g.structural_generation(), 0u);  // truncation reserves slots
+  g.add_short_link(3, 4);                    // slot reuse
+  EXPECT_EQ(g.structural_generation(), 0u);
+  g.add_short_link(3, 2);  // second reuse
+  EXPECT_EQ(g.structural_generation(), 0u);
+  g.add_long_link(3, 6);  // out of reserved slots: the flat arrays shift
+  EXPECT_EQ(g.structural_generation(), 1u);
+  g.add_long_link(5, 1);
+  EXPECT_EQ(g.structural_generation(), 2u);
 }
 
 }  // namespace

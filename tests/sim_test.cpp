@@ -74,6 +74,23 @@ TEST(EventQueue, RejectsSchedulingIntoThePast) {
   EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
 }
 
+TEST(EventQueue, ResetDiscardsPendingAndRewindsClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(9.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0.0);
+  // Scheduling "into the past" of the old clock is legal again.
+  q.schedule(0.5, [&] { ++fired; });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 0.5);
+}
+
 OverlayGraph test_graph(std::uint64_t n, std::size_t links, std::uint64_t seed) {
   util::Rng rng(seed);
   BuildSpec spec;
