@@ -6,6 +6,11 @@
 // dimension-matched exponent r = 2 and q long links per node, greedy
 // delivery time should scale as O(log² n / q) — the same shape as
 // Theorem 13 — and degrade gracefully under node failures, just as in 1-D.
+//
+// Since the metric layer grew the torus, the overlays here are frozen CSR
+// graphs (graph::build_kleinberg_overlay) routed through the same
+// software-pipelined Router::route_batch as every 1-D sweep — no bespoke
+// torus adjacency, and failures come from the shared FailureView machinery.
 #include <cmath>
 #include <cstdint>
 #include <iostream>
@@ -13,8 +18,24 @@
 #include <vector>
 
 #include "analysis/fit.h"
-#include "baselines/kleinberg_grid.h"
 #include "bench_common.h"
+#include "core/router.h"
+#include "failure/failure_model.h"
+#include "graph/graph_builder.h"
+
+namespace {
+
+using namespace p2p;
+
+/// Batch-routes `messages` uniform random src/dst searches over g.
+sim::BatchResult torus_batch(const graph::OverlayGraph& g,
+                             const failure::FailureView& view,
+                             std::size_t messages, util::Rng& rng) {
+  const core::Router router(g, view);
+  return sim::run_batch(router, messages, rng);
+}
+
+}  // namespace
 
 int main() {
   using namespace p2p;
@@ -31,20 +52,15 @@ int main() {
     std::vector<double> measured, model;
     for (std::uint32_t side = 16; static_cast<std::uint64_t>(side) * side <= max_nodes;
          side *= 2) {
-      const baselines::KleinbergGrid grid(side, 1, 2.0, rng);
-      util::Accumulator hops;
-      for (std::size_t i = 0; i < messages; ++i) {
-        const auto src = static_cast<metric::Point>(rng.next_below(grid.size()));
-        const auto dst = static_cast<metric::Point>(rng.next_below(grid.size()));
-        const auto res = grid.route(src, dst);
-        if (res.ok) hops.add(static_cast<double>(res.hops));
-      }
-      const double n = static_cast<double>(grid.size());
+      const auto g = graph::build_kleinberg_overlay(side, 1, 2.0, rng);
+      const auto view = failure::FailureView::all_alive(g);
+      const auto batch = torus_batch(g, view, messages, rng);
+      const double n = static_cast<double>(g.size());
       const double lg2 = std::log2(n) * std::log2(n);
-      measured.push_back(hops.mean());
+      measured.push_back(batch.hops_success.mean());
       model.push_back(lg2);
-      table.add_row({std::to_string(side), std::to_string(grid.size()),
-                     util::format_double(hops.mean(), 2),
+      table.add_row({std::to_string(side), std::to_string(g.size()),
+                     util::format_double(batch.hops_success.mean(), 2),
                      util::format_double(lg2, 1)});
     }
     const auto fit = analysis::fit_scale(model, measured);
@@ -59,15 +75,11 @@ int main() {
     const std::uint32_t side = 64;
     util::Table table({"links_q", "mean_hops"});
     for (const std::size_t q : {1u, 2u, 4u, 8u}) {
-      const baselines::KleinbergGrid grid(side, q, 2.0, rng);
-      util::Accumulator hops;
-      for (std::size_t i = 0; i < messages; ++i) {
-        const auto src = static_cast<metric::Point>(rng.next_below(grid.size()));
-        const auto dst = static_cast<metric::Point>(rng.next_below(grid.size()));
-        const auto res = grid.route(src, dst);
-        if (res.ok) hops.add(static_cast<double>(res.hops));
-      }
-      table.add_row({std::to_string(q), util::format_double(hops.mean(), 2)});
+      const auto g = graph::build_kleinberg_overlay(side, q, 2.0, rng);
+      const auto view = failure::FailureView::all_alive(g);
+      const auto batch = torus_batch(g, view, messages, rng);
+      table.add_row({std::to_string(q),
+                     util::format_double(batch.hops_success.mean(), 2)});
     }
     table.emit(std::cout, "Delivery time vs link count q (side 64)");
   }
@@ -75,31 +87,17 @@ int main() {
   // -- Failure tolerance mirrors the 1-D behaviour ---------------------------
   {
     const std::uint32_t side = 64;
-    const baselines::KleinbergGrid grid(side, 4, 2.0, rng);
+    const auto g = graph::build_kleinberg_overlay(side, 4, 2.0, rng);
     util::Table table({"p_failed", "failed_frac", "mean_hops_success"});
     for (const double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
-      std::vector<std::uint8_t> dead(grid.size(), 0);
-      for (auto& d : dead) d = rng.next_bool(p);
-      std::size_t ok = 0, total = 0;
-      util::Accumulator hops;
-      for (std::size_t i = 0; i < messages; ++i) {
-        metric::Point src, dst;
-        do {
-          src = static_cast<metric::Point>(rng.next_below(grid.size()));
-        } while (dead[static_cast<std::size_t>(src)]);
-        do {
-          dst = static_cast<metric::Point>(rng.next_below(grid.size()));
-        } while (dead[static_cast<std::size_t>(dst)] || dst == src);
-        const auto res = grid.route(src, dst, &dead);
-        ++total;
-        if (res.ok) {
-          ++ok;
-          hops.add(static_cast<double>(res.hops));
-        }
+      const auto view = failure::FailureView::with_node_failures(g, p, rng);
+      if (view.alive_count() < 2) {
+        table.add_numeric_row({p, 1.0, 0.0}, 3);
+        continue;
       }
-      table.add_numeric_row({p, 1.0 - static_cast<double>(ok) / total,
-                             hops.mean()},
-                            3);
+      const auto batch = torus_batch(g, view, messages, rng);
+      table.add_numeric_row(
+          {p, batch.failure_fraction(), batch.hops_success.mean()}, 3);
     }
     table.emit(std::cout,
                "Node failures on the 2-D torus (4 lattice + 4 long links)");

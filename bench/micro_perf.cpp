@@ -239,7 +239,7 @@ struct LegacyOverlay {
     return hops;
   }
 
-  metric::Space1D space;
+  metric::Space space;
   std::vector<std::vector<graph::NodeId>> adjacency;
 };
 
@@ -262,6 +262,11 @@ struct JsonMetrics {
   double parallel_links_per_sec = 0;
   double freeze_links_per_sec = 0;  ///< pool-parallel freeze packing alone
   std::size_t build_threads = 0;
+  /// Kleinberg torus on the shared CSR hot path (side² ≈ nodes, r = 2).
+  std::uint64_t torus_nodes = 0;
+  double torus_routes_per_sec = 0;        ///< scalar route()
+  double torus_batch_routes_per_sec = 0;  ///< route_batch at width 32
+  double torus_batch_speedup = 0;
 };
 
 JsonMetrics measure_headline() {
@@ -384,6 +389,61 @@ JsonMetrics measure_headline() {
   static_cast<void>(legacy_hps);
   m.legacy_routes_per_sec = legacy_rps;
   m.speedup = m.routes_per_sec / m.legacy_routes_per_sec;
+
+  // Kleinberg torus on the same frozen-CSR hot path: scalar route() vs the
+  // batch pipeline, side chosen so the torus has at least `nodes` nodes.
+  {
+    std::uint32_t side = 2;
+    while (static_cast<std::uint64_t>(side) * side < m.nodes) ++side;
+    util::Rng torus_rng(43);
+    const auto tg = graph::build_kleinberg_overlay(side, links, 2.0, torus_rng);
+    m.torus_nodes = tg.size();
+    const auto tview = failure::FailureView::all_alive(tg);
+    const core::Router trouter(tg, tview);
+
+    util::Rng troute_rng(11);
+    const auto scalar = [&] {
+      constexpr std::size_t kBatch = 2000;
+      std::size_t routes = 0;
+      util::Rng pick(7);
+      const auto start = std::chrono::steady_clock::now();
+      double elapsed = 0;
+      do {
+        for (std::size_t i = 0; i < kBatch; ++i) {
+          const auto src = static_cast<graph::NodeId>(pick.next_below(tg.size()));
+          const auto dst = static_cast<graph::NodeId>(pick.next_below(tg.size()));
+          benchmark::DoNotOptimize(
+              trouter.route(src, tg.position(dst), troute_rng));
+        }
+        routes += kBatch;
+        elapsed = seconds_since(start);
+      } while (elapsed < 0.5);
+      return static_cast<double>(routes) / elapsed;
+    };
+    m.torus_routes_per_sec = scalar();
+
+    constexpr std::size_t kBatch = 2000;
+    std::vector<core::Query> queries(kBatch);
+    std::vector<core::RouteResult> results(kBatch);
+    core::BatchConfig batch;
+    batch.width = 32;
+    util::Rng pick(7);
+    util::Rng batch_rng(11);
+    std::size_t routes = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0;
+    do {
+      for (auto& q : queries) {
+        q = {static_cast<graph::NodeId>(pick.next_below(tg.size())),
+             tg.position(static_cast<graph::NodeId>(pick.next_below(tg.size())))};
+      }
+      trouter.route_batch(queries, results, batch_rng, batch);
+      routes += kBatch;
+      elapsed = seconds_since(start);
+    } while (elapsed < 0.5);
+    m.torus_batch_routes_per_sec = static_cast<double>(routes) / elapsed;
+    m.torus_batch_speedup = m.torus_batch_routes_per_sec / m.torus_routes_per_sec;
+  }
   return m;
 }
 
@@ -419,19 +479,29 @@ void write_json(const JsonMetrics& m, const char* path) {
                "  \"batch_best_routes_per_sec\": %.1f,\n"
                "  \"batch_speedup_vs_scalar\": %.3f,\n"
                "  \"legacy_alloc_routes_per_sec\": %.1f,\n"
-               "  \"speedup_vs_legacy_alloc\": %.3f\n"
+               "  \"speedup_vs_legacy_alloc\": %.3f,\n"
+               "  \"torus_nodes\": %llu,\n"
+               "  \"torus_routes_per_sec\": %.1f,\n"
+               "  \"torus_batch_routes_per_sec\": %.1f,\n"
+               "  \"torus_batch_speedup_vs_scalar\": %.3f\n"
                "}\n",
                m.batch_best_width, m.batch_best_routes_per_sec, m.batch_speedup,
-               m.legacy_routes_per_sec, m.speedup);
+               m.legacy_routes_per_sec, m.speedup,
+               static_cast<unsigned long long>(m.torus_nodes),
+               m.torus_routes_per_sec, m.torus_batch_routes_per_sec,
+               m.torus_batch_speedup);
   std::fclose(f);
   std::printf(
       "BENCH_micro.json: n=%llu links/node=%zu build=%.2fs "
       "links/s=%.3g (parallel %.3g, freeze %.3g on %zu threads) routes/s=%.3g "
-      "(batch best %.3g at W=%zu, %.2fx scalar; legacy alloc %.3g, %.2fx)\n",
+      "(batch best %.3g at W=%zu, %.2fx scalar; legacy alloc %.3g, %.2fx; "
+      "torus n=%llu %.3g scalar, %.3g batch, %.2fx)\n",
       static_cast<unsigned long long>(m.nodes), m.links, m.build_seconds,
       m.links_per_sec, m.parallel_links_per_sec, m.freeze_links_per_sec,
       m.build_threads, m.routes_per_sec, m.batch_best_routes_per_sec,
-      m.batch_best_width, m.batch_speedup, m.legacy_routes_per_sec, m.speedup);
+      m.batch_best_width, m.batch_speedup, m.legacy_routes_per_sec, m.speedup,
+      static_cast<unsigned long long>(m.torus_nodes), m.torus_routes_per_sec,
+      m.torus_batch_routes_per_sec, m.torus_batch_speedup);
 }
 
 }  // namespace

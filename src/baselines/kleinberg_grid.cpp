@@ -1,5 +1,8 @@
 #include "baselines/kleinberg_grid.h"
 
+#include <utility>
+
+#include "graph/link_distribution.h"
 #include "util/require.h"
 
 namespace p2p::baselines {
@@ -8,13 +11,26 @@ KleinbergGrid::KleinbergGrid(std::uint32_t side, std::size_t long_links,
                              double exponent, util::Rng& rng)
     : torus_(side) {
   util::require(side >= 2, "KleinbergGrid: side must be >= 2");
-  const graph::KleinbergGridSampler sampler(torus_, exponent);
+  const graph::PowerLawLinkSampler sampler(metric::Space(torus_), exponent);
   long_links_.resize(size());
   for (std::size_t u = 0; u < size(); ++u) {
     long_links_[u].reserve(long_links);
     for (std::size_t k = 0; k < long_links; ++k) {
       long_links_[u].push_back(
           sampler.sample_target(rng, static_cast<metric::Point>(u)));
+    }
+  }
+}
+
+KleinbergGrid::KleinbergGrid(std::uint32_t side,
+                             std::vector<std::vector<metric::Point>> long_links)
+    : torus_(side), long_links_(std::move(long_links)) {
+  util::require(side >= 2, "KleinbergGrid: side must be >= 2");
+  util::require(long_links_.size() == size(),
+                "KleinbergGrid: need one long-link set per torus point");
+  for (const auto& links : long_links_) {
+    for (const metric::Point v : links) {
+      util::require(torus_.contains(v), "KleinbergGrid: link outside the torus");
     }
   }
 }

@@ -1,4 +1,4 @@
-// Kleinberg small-world grid baseline (§2, [5]).
+// Kleinberg small-world grid baseline (§2, [5]) — reference implementation.
 //
 // Nodes at every point of a 2-D torus, each connected to its four lattice
 // neighbours plus q long-range links drawn with P ∝ d^-r (Manhattan
@@ -6,12 +6,19 @@
 // target. Sweeping r reproduces Kleinberg's classic result that r = 2 (the
 // grid dimension) is the unique efficient exponent — the paper's motivation
 // for using exponent 1 on a 1-D space.
+//
+// Since the metric layer grew the torus (metric/space.h), the production
+// path for this topology is graph::build_kleinberg_overlay: a frozen CSR
+// overlay routed through the shared core::Router / route_batch hot path,
+// with FailureView / churn support for free. This class survives as the
+// independent reference the CSR path is pinned against —
+// tests/torus_overlay_test.cpp checks hop-for-hop equivalence on identical
+// link sets — and is not used by any bench or example.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "graph/link_distribution.h"
 #include "metric/grid2d.h"
 #include "util/rng.h"
 
@@ -24,6 +31,12 @@ class KleinbergGrid {
   /// Preconditions: side >= 2, exponent >= 0.
   KleinbergGrid(std::uint32_t side, std::size_t long_links, double exponent,
                 util::Rng& rng);
+
+  /// A grid over an explicit per-node long-link table (one vector per torus
+  /// point, entries are flattened positions) — lets tests pin this reference
+  /// against a CSR overlay built on the *same* sampled links.
+  /// Preconditions: side >= 2, long_links.size() == side², entries in range.
+  KleinbergGrid(std::uint32_t side, std::vector<std::vector<metric::Point>> long_links);
 
   [[nodiscard]] const metric::Torus2D& torus() const noexcept { return torus_; }
   [[nodiscard]] std::size_t size() const noexcept {

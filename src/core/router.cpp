@@ -32,6 +32,11 @@ bool simd_disabled_by_env() noexcept {
 bool simd_select_eligible(const graph::OverlayGraph& g,
                           const RouterConfig& cfg) noexcept {
 #if defined(__x86_64__) && defined(__GNUC__)
+  // Every metric kind has a vectorized rank-0 scan: the 1-D kernel packs
+  // line/ring distances, the torus kernel splits row/col by reciprocal
+  // multiplication. size <= 2^32 keeps ids and distances inside the
+  // (dist << 32 | id) key packing — and, on the torus, bounds the side by
+  // 2^16, the domain where the double-reciprocal coordinate split is exact.
   return __builtin_cpu_supports("avx512f") != 0 && !simd_disabled_by_env() &&
          g.dense() &&
          cfg.sidedness == Sidedness::kTwoSided &&
@@ -50,6 +55,14 @@ Router::Router(const graph::OverlayGraph& g, const failure::FailureView& view,
     : graph_(&g), view_(&view), config_(config) {
   util::require(&view.graph() == &g, "Router: view must be over the same graph");
   util::require(config_.backtrack_window >= 1, "Router: backtrack_window must be >= 1");
+  // §4.2.1's one-sided variant needs an ordering of the space ("never
+  // traverses a link that would take it past its target"), which only the
+  // line and the ring define; reject the combination here rather than
+  // silently misroute on a 2-D metric.
+  util::require(g.space().one_dimensional() ||
+                    config_.sidedness == Sidedness::kTwoSided,
+                "Router: one-sided routing requires a one-dimensional metric "
+                "(line or ring)");
   simd_ok_ = simd_select_eligible(g, config_);
 }
 
@@ -76,7 +89,7 @@ graph::NodeId select_impl(const graph::OverlayGraph& g,
                           const failure::FailureView& view, graph::NodeId u,
                           metric::Point target, std::size_t rank) noexcept {
   constexpr std::size_t kInline = graph::OverlayGraph::kInlineEdges;
-  const metric::Space1D& space = g.space();
+  const metric::Space& space = g.space();
   const metric::Point up = g.position(u);
   const metric::Distance du = space.distance(up, target);
   // One header cache line carries the offsets and the inline slice prefix;
@@ -201,8 +214,9 @@ __attribute__((target("avx512f")))
 graph::NodeId select_best_avx512(const graph::OverlayGraph& g, graph::NodeId u,
                                  metric::Point target) noexcept {
   constexpr std::size_t kInline = graph::OverlayGraph::kInlineEdges;
-  const metric::Space1D& space = g.space();
-  const bool ring = space.kind() == metric::Space1D::Kind::kRing;
+  const metric::Space& space = g.space();
+  // simd_ok_ admits 1-D spaces only, so the kind is line or ring here.
+  const bool ring = space.kind() == metric::Space::Kind::kRing;
   const graph::OverlayGraph::NodeHeader& h = g.header(u);
   const std::uint32_t degree = h.degree;
   const auto inline_n =
@@ -225,6 +239,93 @@ graph::NodeId select_best_avx512(const graph::OverlayGraph& g, graph::NodeId u,
   g.prefetch(best_v);
   return best_v;
 }
+
+/// Torus leg of the vectorized selection: eight neighbours at a time, each
+/// flattened id split into (row, col) and scored by wrapped Manhattan
+/// distance to the target, packed into the same (distance << 32 | id) key.
+///
+/// The split is id / side via a double-precision reciprocal: ids are < 2^32
+/// (exact in a double) and sides < 2^16, so the truncated product is off by
+/// at most one — only at exact multiples of the side — and a two-sided
+/// masked fixup (col wrapped negative → row-1, col >= side → row+1) restores
+/// floor division exactly. This keeps the whole scan in AVX-512F: the only
+/// integer multiply needed is row * side, which fits vpmuludq's 32-bit
+/// operands. Without it the scalar path burns two 64-bit divides per
+/// neighbour and the torus hop is compute-bound instead of memory-bound.
+__attribute__((target("avx512f")))
+inline __m512i avx512_torus_scan_ids(__m512i vbest, const graph::NodeId* ids,
+                                     std::uint32_t count, __m512i vtr, __m512i vtc,
+                                     __m512i vside, __m512d vinv_side) noexcept {
+  const __m512i vone = _mm512_set1_epi64(1);
+  const __m512i vmax32 = _mm512_set1_epi64(0xffffffffll);
+  for (std::uint32_t i = 0; i < count; i += 8) {
+    const std::uint32_t left = count - i;
+    const __mmask16 m16 =
+        left >= 8 ? static_cast<__mmask16>(0xff)
+                  : static_cast<__mmask16>((1u << left) - 1u);
+    const auto m = static_cast<__mmask8>(m16);
+    const __m256i ids32 =
+        _mm512_castsi512_si256(_mm512_maskz_loadu_epi32(m16, ids + i));
+    const __m512i vid = _mm512_cvtepu32_epi64(ids32);
+    // row = floor(id / side): reciprocal multiply, truncate, then fix up.
+    const __m256i row32 = _mm512_cvttpd_epu32(
+        _mm512_mul_pd(_mm512_cvtepu32_pd(ids32), vinv_side));
+    __m512i vrow = _mm512_cvtepu32_epi64(row32);
+    __m512i vcol = _mm512_sub_epi64(vid, _mm512_mul_epu32(vrow, vside));
+    // Overestimated row: col wrapped negative (appears as > 2^32 - 1).
+    const __mmask8 over =
+        _mm512_cmp_epu64_mask(vcol, vmax32, _MM_CMPINT_NLE);
+    vrow = _mm512_mask_sub_epi64(vrow, over, vrow, vone);
+    vcol = _mm512_mask_add_epi64(vcol, over, vcol, vside);
+    // Underestimated row: col landed in [side, 2*side).
+    const __mmask8 under = _mm512_cmp_epu64_mask(vcol, vside, _MM_CMPINT_NLT);
+    vrow = _mm512_mask_add_epi64(vrow, under, vrow, vone);
+    vcol = _mm512_mask_sub_epi64(vcol, under, vcol, vside);
+    // Wrapped Manhattan distance to the (pre-split) target.
+    const __m512i drd = _mm512_abs_epi64(_mm512_sub_epi64(vrow, vtr));
+    const __m512i dr = _mm512_min_epu64(drd, _mm512_sub_epi64(vside, drd));
+    const __m512i dcd = _mm512_abs_epi64(_mm512_sub_epi64(vcol, vtc));
+    const __m512i dc = _mm512_min_epu64(dcd, _mm512_sub_epi64(vside, dcd));
+    const __m512i dv = _mm512_add_epi64(dr, dc);
+    const __m512i key = _mm512_or_epi64(_mm512_slli_epi64(dv, 32), vid);
+    vbest = _mm512_mask_min_epu64(vbest, m, vbest, key);
+  }
+  return vbest;
+}
+
+__attribute__((target("avx512f")))
+graph::NodeId select_best_torus_avx512(const graph::OverlayGraph& g,
+                                       graph::NodeId u,
+                                       metric::Point target) noexcept {
+  constexpr std::size_t kInline = graph::OverlayGraph::kInlineEdges;
+  const metric::Space& space = g.space();
+  // simd_ok_ bounds size by 2^32, so the side is < 2^16 here.
+  const auto side = static_cast<std::uint64_t>(space.as_torus().side());
+  const graph::OverlayGraph::NodeHeader& h = g.header(u);
+  const std::uint32_t degree = h.degree;
+  const auto inline_n =
+      degree < kInline ? degree : static_cast<std::uint32_t>(kInline);
+  const metric::Distance du =
+      space.distance(static_cast<metric::Point>(u), target);
+
+  const auto tv = static_cast<std::uint64_t>(target);
+  const __m512i vtr = _mm512_set1_epi64(static_cast<long long>(tv / side));
+  const __m512i vtc = _mm512_set1_epi64(static_cast<long long>(tv % side));
+  const __m512i vside = _mm512_set1_epi64(static_cast<long long>(side));
+  const __m512d vinv_side = _mm512_set1_pd(1.0 / static_cast<double>(side));
+  __m512i vbest = _mm512_set1_epi64(-1);
+  vbest = avx512_torus_scan_ids(vbest, h.inline_edges, inline_n, vtr, vtc,
+                                vside, vinv_side);
+  if (degree > kInline) {
+    vbest = avx512_torus_scan_ids(vbest, g.tail(h), degree - inline_n, vtr, vtc,
+                                  vside, vinv_side);
+  }
+  const std::uint64_t best = _mm512_reduce_min_epu64(vbest);
+  if (best >= (static_cast<std::uint64_t>(du) << 32)) return graph::kInvalidNode;
+  const auto best_v = static_cast<graph::NodeId>(best & 0xffffffffu);
+  g.prefetch(best_v);
+  return best_v;
+}
 #pragma GCC diagnostic pop
 #else
 #define P2P_HAVE_AVX512_SELECT 0
@@ -243,9 +344,13 @@ graph::NodeId Router::select_candidate(graph::NodeId u, metric::Point target,
 #if P2P_HAVE_AVX512_SELECT
   // The failure-free §6/§4 sweeps spend nearly all their time in this one
   // call shape; simd_ok_ folds the per-router invariants (dense two-sided
-  // graph, narrow positions, CPU support) computed at construction.
+  // graph, narrow positions, CPU support) computed at construction. Each
+  // metric family has its own kernel; both share the key packing and the
+  // min-reduction.
   if (rank == 0 && simd_ok_ && !check_links && !check_nodes) {
-    return select_best_avx512(*graph_, u, target);
+    return graph_->space().one_dimensional()
+               ? select_best_avx512(*graph_, u, target)
+               : select_best_torus_avx512(*graph_, u, target);
   }
 #endif
   const bool one_sided = config_.sidedness == Sidedness::kOneSided;
@@ -256,7 +361,7 @@ graph::NodeId Router::select_candidate(graph::NodeId u, metric::Point target,
 
 std::vector<graph::NodeId> Router::candidates(graph::NodeId u,
                                               metric::Point target) const {
-  const metric::Space1D& space = graph_->space();
+  const metric::Space& space = graph_->space();
   const metric::Point up = graph_->position(u);
   const metric::Distance du = space.distance(up, target);
   const auto neigh = graph_->neighbors(u);

@@ -6,7 +6,9 @@
 //    regardless of which side of the target it lands on (the default);
 //  * one-sided — never traverse a link that would take the message past the
 //    target (models Chord-style unidirectional routing and is the variant
-//    with the stronger lower bound).
+//    with the stronger lower bound). Sidedness is an ordering notion that
+//    only 1-D spaces define; constructing a one-sided Router over a 2-D
+//    (torus) overlay throws std::invalid_argument.
 //
 // §6 studies three ways to recover when a node has no live neighbour closer
 // to the target than itself:
@@ -56,7 +58,7 @@
 
 #include "failure/failure_model.h"
 #include "graph/overlay_graph.h"
-#include "metric/space1d.h"
+#include "metric/space.h"
 #include "util/rng.h"
 
 namespace p2p::core {
@@ -126,7 +128,9 @@ struct BatchConfig {
 /// caller).
 class Router {
  public:
-  /// The referenced graph and view must outlive the router.
+  /// The referenced graph and view must outlive the router. Throws
+  /// std::invalid_argument when config asks for one-sided routing over a
+  /// graph whose metric is not one-dimensional (see Sidedness above).
   Router(const graph::OverlayGraph& g, const failure::FailureView& view,
          RouterConfig config = {});
 

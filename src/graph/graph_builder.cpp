@@ -11,12 +11,12 @@ namespace p2p::graph {
 // ---------------------------------------------------------------------------
 // GraphBuilder
 
-GraphBuilder::GraphBuilder(metric::Space1D space)
+GraphBuilder::GraphBuilder(metric::Space space)
     : space_(space),
       adjacency_(space.size()),
       short_degree_(space.size(), 0) {}
 
-GraphBuilder::GraphBuilder(metric::Space1D space, std::vector<metric::Point> positions)
+GraphBuilder::GraphBuilder(metric::Space space, std::vector<metric::Point> positions)
     : space_(space), positions_(std::move(positions)) {
   util::require(!positions_.empty(), "GraphBuilder: need at least one node");
   for (std::size_t i = 0; i < positions_.size(); ++i) {
@@ -66,12 +66,17 @@ namespace {
 
 /// Shared short-link wiring over anything with size/space/add_short_link.
 /// Node order equals position order, so index neighbours are the nearest
-/// occupied grid points on either side.
+/// occupied grid points on either side — a 1-D notion; the torus wires its
+/// lattice in build_kleinberg_overlay instead.
 template <typename GraphLike>
 void wire_short_links_impl(GraphLike& g) {
+  util::require(g.space().one_dimensional(),
+                "wire_short_links: side neighbours are only defined on a "
+                "one-dimensional space (use build_kleinberg_overlay for the "
+                "torus lattice)");
   const std::size_t n = g.size();
   if (n < 2) return;
-  const bool ring = g.space().kind() == metric::Space1D::Kind::kRing;
+  const bool ring = g.space().kind() == metric::Space::Kind::kRing;
   for (NodeId u = 0; u < n; ++u) {
     if (u + 1 < n) {
       g.add_short_link(u, u + 1);
@@ -363,6 +368,57 @@ OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng) {
 OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng,
                            util::ThreadPool& pool) {
   return build_overlay_impl(spec, rng, &pool);
+}
+
+namespace {
+
+OverlayGraph build_kleinberg_overlay_impl(std::uint32_t side,
+                                          std::size_t long_links, double exponent,
+                                          util::Rng& rng, util::ThreadPool* pool) {
+  util::require(side >= 2, "build_kleinberg_overlay: side must be >= 2");
+  util::require(exponent >= 0.0, "build_kleinberg_overlay: exponent must be >= 0");
+  const metric::Torus2D torus(side);
+  util::require(torus.size() <= std::numeric_limits<NodeId>::max(),
+                "build_kleinberg_overlay: torus larger than the node id space");
+
+  GraphBuilder builder{metric::Space(torus)};
+  builder.reserve_links(long_links + 4);
+  // Four lattice neighbours per node (wrapping, so every node has all four).
+  // These are the "short" links a failure model keeps alive, exactly like
+  // the ±1 links of the 1-D overlays. At side 2 the ±1 neighbours coincide,
+  // so only the two distinct ones are wired: duplicate slots would make
+  // slot-keyed link kills silent no-ops (the twin slot stays alive).
+  const bool tiny = side == 2;
+  for (NodeId u = 0; u < builder.size(); ++u) {
+    const auto [row, col] = torus.coords(static_cast<metric::Point>(u));
+    const auto r = static_cast<std::int64_t>(row);
+    const auto c = static_cast<std::int64_t>(col);
+    builder.add_short_link(u, static_cast<NodeId>(torus.at(r + 1, c)));
+    if (!tiny) builder.add_short_link(u, static_cast<NodeId>(torus.at(r - 1, c)));
+    builder.add_short_link(u, static_cast<NodeId>(torus.at(r, c + 1)));
+    if (!tiny) builder.add_short_link(u, static_cast<NodeId>(torus.at(r, c - 1)));
+  }
+  // Long-range links through the same unified sampler + per-node-substream
+  // machinery as the 1-D builds; only the long-link fields of the spec are
+  // read (the torus is always fully populated).
+  BuildSpec link_spec;
+  link_spec.long_links = long_links;
+  link_spec.exponent = exponent;
+  add_power_law_links(builder, link_spec, rng, pool);
+  return pool != nullptr ? builder.freeze(*pool) : builder.freeze();
+}
+
+}  // namespace
+
+OverlayGraph build_kleinberg_overlay(std::uint32_t side, std::size_t long_links,
+                                     double exponent, util::Rng& rng) {
+  return build_kleinberg_overlay_impl(side, long_links, exponent, rng, nullptr);
+}
+
+OverlayGraph build_kleinberg_overlay(std::uint32_t side, std::size_t long_links,
+                                     double exponent, util::Rng& rng,
+                                     util::ThreadPool& pool) {
+  return build_kleinberg_overlay_impl(side, long_links, exponent, rng, &pool);
 }
 
 }  // namespace p2p::graph

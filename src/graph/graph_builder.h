@@ -20,7 +20,7 @@
 
 #include "graph/link_distribution.h"
 #include "graph/overlay_graph.h"
-#include "metric/space1d.h"
+#include "metric/space.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -32,13 +32,13 @@ namespace p2p::graph {
 class GraphBuilder {
  public:
   /// A builder whose node i sits at grid position i (fully populated grid).
-  explicit GraphBuilder(metric::Space1D space);
+  explicit GraphBuilder(metric::Space space);
 
   /// A builder over a sparse, strictly increasing set of occupied positions.
   /// Preconditions: positions sorted strictly increasing, all within space.
-  GraphBuilder(metric::Space1D space, std::vector<metric::Point> positions);
+  GraphBuilder(metric::Space space, std::vector<metric::Point> positions);
 
-  [[nodiscard]] const metric::Space1D& space() const noexcept { return space_; }
+  [[nodiscard]] const metric::Space& space() const noexcept { return space_; }
   [[nodiscard]] std::size_t size() const noexcept { return adjacency_.size(); }
 
   /// Grid position of node u. Precondition: u < size().
@@ -86,7 +86,8 @@ class GraphBuilder {
   [[nodiscard]] bool has_link(NodeId u, NodeId v) const noexcept;
 
   /// Wires every node to its nearest occupied neighbour on each side
-  /// (wrapping on a ring). Call before any long links are added.
+  /// (wrapping on a ring). Call before any long links are added. 1-D spaces
+  /// only (throws on a torus — lattice wiring is build_kleinberg_overlay's).
   void wire_short_links();
 
   /// Adds the reverse of every long link not already present, making the
@@ -113,7 +114,7 @@ class GraphBuilder {
 
   [[nodiscard]] OverlayGraph freeze_impl(util::ThreadPool* pool);
 
-  metric::Space1D space_;
+  metric::Space space_;
   std::vector<metric::Point> positions_;        // empty when dense
   std::vector<std::vector<NodeId>> adjacency_;  // short links first
   std::vector<std::uint32_t> short_degree_;
@@ -181,6 +182,28 @@ struct BuildSpec {
 /// Must not be called from inside a task already running on `pool`.
 [[nodiscard]] OverlayGraph build_overlay(const BuildSpec& spec, util::Rng& rng,
                                          util::ThreadPool& pool);
+
+/// Builds Kleinberg's small-world torus (§2, [5]) as a frozen CSR overlay on
+/// the shared routing hot path: side × side nodes, each wired to its four
+/// lattice neighbours (short links; the two distinct ones at side 2, where
+/// ±1 coincide) plus `long_links` long-range links drawn with
+/// P ∝ d^-exponent under wrapped Manhattan distance. Long links are
+/// directed, as in Kleinberg's model; lattice links exist both ways by
+/// symmetry. Randomness follows the build_overlay contract: one substream
+/// per node, so the graph depends only on (side, long_links, exponent, rng)
+/// and serial and pooled builds are bit-identical.
+///
+/// Preconditions (throws std::invalid_argument): side >= 2, exponent >= 0,
+/// long_links == 0 allowed (bare lattice).
+[[nodiscard]] OverlayGraph build_kleinberg_overlay(std::uint32_t side,
+                                                   std::size_t long_links,
+                                                   double exponent, util::Rng& rng);
+
+/// As above, fanning the long-link sampling and freeze packing across `pool`.
+[[nodiscard]] OverlayGraph build_kleinberg_overlay(std::uint32_t side,
+                                                   std::size_t long_links,
+                                                   double exponent, util::Rng& rng,
+                                                   util::ThreadPool& pool);
 
 /// Wires only the immediate-neighbour (short) links of g: every node to its
 /// nearest neighbour on each side (wrapping on a ring). Legacy incremental

@@ -7,15 +7,26 @@
 
 namespace p2p::graph {
 
-PowerLawLinkSampler::PowerLawLinkSampler(metric::Space1D space, double exponent)
+PowerLawLinkSampler::PowerLawLinkSampler(metric::Space space, double exponent)
     : space_(space), exponent_(exponent) {
   util::require(space_.size() >= 2, "PowerLawLinkSampler: need >= 2 grid points");
   util::require(exponent >= 0.0, "PowerLawLinkSampler: exponent must be >= 0");
   const metric::Distance diam = space_.diameter();
   prefix_.resize(diam + 1);
   prefix_[0] = 0.0;
-  for (metric::Distance d = 1; d <= diam; ++d) {
-    prefix_[d] = prefix_[d - 1] + std::pow(static_cast<double>(d), -exponent_);
+  if (space_.one_dimensional()) {
+    for (metric::Distance d = 1; d <= diam; ++d) {
+      prefix_[d] = prefix_[d - 1] + std::pow(static_cast<double>(d), -exponent_);
+    }
+  } else {
+    // Torus: weight each radius by its point count so a radius draw followed
+    // by a uniform point at that radius is the exact per-point distribution.
+    const metric::Torus2D torus = space_.as_torus();
+    for (metric::Distance d = 1; d <= diam; ++d) {
+      const double w = static_cast<double>(torus.ring_size(d)) *
+                       std::pow(static_cast<double>(d), -exponent_);
+      prefix_[d] = prefix_[d - 1] + w;
+    }
   }
 }
 
@@ -30,10 +41,65 @@ metric::Distance PowerLawLinkSampler::sample_magnitude(util::Rng& rng,
   return d > limit ? limit : d;
 }
 
+metric::Point PowerLawLinkSampler::sample_torus_target(util::Rng& rng,
+                                                       metric::Point source) const {
+  const metric::Torus2D torus = space_.as_torus();
+  // Draw the radius first (P ∝ ring_size(d) * d^-r), then a uniform point at
+  // that radius.
+  const double u = rng.next_double() * prefix_.back();
+  const auto it = std::upper_bound(prefix_.begin() + 1, prefix_.end(), u);
+  auto d = static_cast<metric::Distance>(it - prefix_.begin());
+  if (d >= prefix_.size()) d = prefix_.size() - 1;
+
+  const auto s = static_cast<std::int64_t>(torus.side());
+  const std::uint64_t half = static_cast<std::uint64_t>(s) / 2;
+  // Count of offsets at wrapped axis-distance `x` within one period.
+  const auto axis_count = [&](std::uint64_t x) -> std::uint64_t {
+    if (x == 0) return 1;
+    if (x < half) return 2;
+    if (x == half) return (s % 2 == 0) ? 1 : 2;
+    return 0;
+  };
+  const std::uint64_t max_axis = half;  // floor(s/2) for either parity
+  // Choose the row component rd of the Manhattan distance with weight
+  // axis_count(rd) * axis_count(d - rd).
+  double total = 0.0;
+  const std::uint64_t rd_max = std::min<std::uint64_t>(d, max_axis);
+  for (std::uint64_t rd = 0; rd <= rd_max; ++rd) {
+    total += static_cast<double>(axis_count(rd) * axis_count(d - rd));
+  }
+  double pick = rng.next_double() * total;
+  std::uint64_t rd = 0;
+  for (std::uint64_t r = 0; r <= rd_max; ++r) {
+    const double w = static_cast<double>(axis_count(r) * axis_count(d - r));
+    if (pick < w) {
+      rd = r;
+      break;
+    }
+    pick -= w;
+    rd = r;  // fall back to the last valid radius on FP underflow
+  }
+  const std::uint64_t cd = d - rd;
+  const auto signed_offset = [&](std::uint64_t dist) -> std::int64_t {
+    const std::uint64_t options = axis_count(dist);
+    if (options == 1) {
+      return dist == 0 ? 0 : static_cast<std::int64_t>(dist);
+    }
+    return rng.next_bool(0.5) ? static_cast<std::int64_t>(dist)
+                              : -static_cast<std::int64_t>(dist);
+  };
+  const auto [row, col] = torus.coords(source);
+  return torus.at(static_cast<std::int64_t>(row) + signed_offset(rd),
+                  static_cast<std::int64_t>(col) + signed_offset(cd));
+}
+
 metric::Point PowerLawLinkSampler::sample_target(util::Rng& rng,
                                                  metric::Point source) const {
   util::require(space_.contains(source), "sample_target: source outside space");
-  if (space_.kind() == metric::Space1D::Kind::kLine) {
+  if (space_.kind() == metric::Space::Kind::kTorus2D) {
+    return sample_torus_target(rng, source);
+  }
+  if (space_.kind() == metric::Space::Kind::kLine) {
     const auto left = static_cast<metric::Distance>(source);
     const auto right = space_.size() - 1 - static_cast<metric::Distance>(source);
     const double mass_left = prefix_[left];
@@ -86,7 +152,12 @@ double PowerLawLinkSampler::probability(metric::Point source, metric::Point targ
   if (source == target) return 0.0;
   const double w = std::pow(static_cast<double>(space_.distance(source, target)),
                             -exponent_);
-  if (space_.kind() == metric::Space1D::Kind::kLine) {
+  if (space_.kind() == metric::Space::Kind::kTorus2D) {
+    // prefix_.back() is sum_d ring_size(d) d^-r — the per-point normalizer,
+    // identical for every source by translation invariance.
+    return w / prefix_.back();
+  }
+  if (space_.kind() == metric::Space::Kind::kLine) {
     const auto left = static_cast<metric::Distance>(source);
     const auto right = space_.size() - 1 - static_cast<metric::Distance>(source);
     return w / (prefix_[left] + prefix_[right]);
@@ -122,72 +193,6 @@ std::vector<std::uint64_t> base_b_power_offsets(std::uint64_t n, unsigned base) 
     if (power > n / base) break;
   }
   return offsets;
-}
-
-KleinbergGridSampler::KleinbergGridSampler(metric::Torus2D torus, double exponent)
-    : torus_(torus), exponent_(exponent) {
-  util::require(torus_.size() >= 2, "KleinbergGridSampler: need >= 2 grid points");
-  util::require(exponent >= 0.0, "KleinbergGridSampler: exponent must be >= 0");
-  const metric::Distance diam = torus_.diameter();
-  radius_prefix_.resize(diam + 1);
-  radius_prefix_[0] = 0.0;
-  for (metric::Distance d = 1; d <= diam; ++d) {
-    const double w = static_cast<double>(torus_.ring_size(d)) *
-                     std::pow(static_cast<double>(d), -exponent_);
-    radius_prefix_[d] = radius_prefix_[d - 1] + w;
-  }
-}
-
-metric::Point KleinbergGridSampler::sample_target(util::Rng& rng,
-                                                  metric::Point source) const {
-  util::require(torus_.contains(source), "sample_target: source outside torus");
-  // Draw the radius first (P ∝ ring_size(d) * d^-r), then a uniform point at
-  // that radius.
-  const double u = rng.next_double() * radius_prefix_.back();
-  const auto it = std::upper_bound(radius_prefix_.begin() + 1, radius_prefix_.end(), u);
-  auto d = static_cast<metric::Distance>(it - radius_prefix_.begin());
-  if (d >= radius_prefix_.size()) d = radius_prefix_.size() - 1;
-
-  const auto s = static_cast<std::int64_t>(torus_.side());
-  const std::uint64_t half = static_cast<std::uint64_t>(s) / 2;
-  // Count of offsets at wrapped axis-distance `x` within one period.
-  const auto axis_count = [&](std::uint64_t x) -> std::uint64_t {
-    if (x == 0) return 1;
-    if (x < half) return 2;
-    if (x == half) return (s % 2 == 0) ? 1 : 2;
-    return 0;
-  };
-  const std::uint64_t max_axis = (s % 2 == 0) ? half : half;  // floor(s/2)
-  // Choose the row component rd of the Manhattan distance with weight
-  // axis_count(rd) * axis_count(d - rd).
-  double total = 0.0;
-  const std::uint64_t rd_max = std::min<std::uint64_t>(d, max_axis);
-  for (std::uint64_t rd = 0; rd <= rd_max; ++rd) {
-    total += static_cast<double>(axis_count(rd) * axis_count(d - rd));
-  }
-  double pick = rng.next_double() * total;
-  std::uint64_t rd = 0;
-  for (std::uint64_t r = 0; r <= rd_max; ++r) {
-    const double w = static_cast<double>(axis_count(r) * axis_count(d - r));
-    if (pick < w) {
-      rd = r;
-      break;
-    }
-    pick -= w;
-    rd = r;  // fall back to the last valid radius on FP underflow
-  }
-  const std::uint64_t cd = d - rd;
-  const auto signed_offset = [&](std::uint64_t dist) -> std::int64_t {
-    const std::uint64_t options = axis_count(dist);
-    if (options == 1) {
-      return dist == 0 ? 0 : static_cast<std::int64_t>(dist);
-    }
-    return rng.next_bool(0.5) ? static_cast<std::int64_t>(dist)
-                              : -static_cast<std::int64_t>(dist);
-  };
-  const auto [row, col] = torus_.coords(source);
-  return torus_.at(static_cast<std::int64_t>(row) + signed_offset(rd),
-                   static_cast<std::int64_t>(col) + signed_offset(cd));
 }
 
 }  // namespace p2p::graph

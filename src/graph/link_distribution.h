@@ -3,35 +3,38 @@
 // The paper's core construction draws each long-distance neighbour v of u
 // with probability proportional to 1/d(u,v) — the inverse power-law
 // distribution with exponent 1 (§4.3). PowerLawLinkSampler implements the
-// exact distribution for any exponent r >= 0 over a Space1D (r = 0 gives
-// uniform links; sweeping r reproduces Kleinberg's sensitivity result).
+// exact distribution P ∝ d(u,v)^-r for any exponent r >= 0 over any
+// metric::Space: the line and the ring (r = 1 is the paper's model) and the
+// Kleinberg 2-D torus under Manhattan distance (r = 2 is the
+// dimension-matched exponent of [5]). One sampler, every topology — the
+// cross-topology baselines draw their links from the same machinery.
 //
 // The deterministic strategies of Theorems 14 and 16 use fixed offset sets
 // (digits times powers of a base b); base_b_full_offsets / base_b_power_offsets
 // generate those sets.
-//
-// KleinbergGridSampler draws links with P ∝ d^-r under Manhattan distance on
-// a 2-D torus for the baseline comparison.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "metric/grid2d.h"
-#include "metric/space1d.h"
+#include "metric/space.h"
 #include "util/rng.h"
 
 namespace p2p::graph {
 
-/// Exact sampler for P[target = v | source = u] ∝ d(u,v)^-r over a Space1D.
+/// Exact sampler for P[target = v | source = u] ∝ d(u,v)^-r over a
+/// metric::Space.
 ///
 /// Build cost O(diameter), memory O(diameter) shared by all nodes of the
 /// space; each draw costs O(log diameter) (inverse-CDF by binary search on a
-/// prefix-sum table).
+/// prefix-sum table). On the torus the table weights each radius d by
+/// ring_size(d) — the number of points at that distance, position
+/// independent by translation invariance — so a draw picks a radius first
+/// and then a uniform point at that radius.
 class PowerLawLinkSampler {
  public:
   /// Preconditions: space.size() >= 2, exponent >= 0.
-  PowerLawLinkSampler(metric::Space1D space, double exponent);
+  PowerLawLinkSampler(metric::Space space, double exponent);
 
   /// Draws a target position != source. Precondition: space().contains(source).
   [[nodiscard]] metric::Point sample_target(util::Rng& rng, metric::Point source) const;
@@ -39,17 +42,21 @@ class PowerLawLinkSampler {
   /// Exact probability that `target` is drawn for `source` (for tests).
   [[nodiscard]] double probability(metric::Point source, metric::Point target) const;
 
-  [[nodiscard]] const metric::Space1D& space() const noexcept { return space_; }
+  [[nodiscard]] const metric::Space& space() const noexcept { return space_; }
   [[nodiscard]] double exponent() const noexcept { return exponent_; }
 
  private:
-  /// Draws a magnitude in [1, limit] with P(d) ∝ d^-r via the prefix table.
+  /// Draws a magnitude in [1, limit] with P(d) ∝ prefix weights (1-D only).
   [[nodiscard]] metric::Distance sample_magnitude(util::Rng& rng,
                                                   metric::Distance limit) const;
 
-  metric::Space1D space_;
+  [[nodiscard]] metric::Point sample_torus_target(util::Rng& rng,
+                                                  metric::Point source) const;
+
+  metric::Space space_;
   double exponent_;
-  // prefix_[d] = sum_{i=1..d} i^-r; prefix_[0] = 0.
+  // 1-D: prefix_[d] = sum_{i=1..d} i^-r. Torus: prefix_[d] additionally
+  // weights each radius by ring_size(i). prefix_[0] = 0 in both.
   std::vector<double> prefix_;
 };
 
@@ -61,23 +68,5 @@ class PowerLawLinkSampler {
 /// Offsets {b^i : 0 <= i <= floor(log_b n)} truncated to < n — the simplified
 /// Theorem 16 link set. Preconditions: base >= 2, n >= 2.
 [[nodiscard]] std::vector<std::uint64_t> base_b_power_offsets(std::uint64_t n, unsigned base);
-
-/// Exact sampler for P[target = v | source = u] ∝ d(u,v)^-r with Manhattan
-/// distance on a 2-D torus (Kleinberg's model; baseline).
-class KleinbergGridSampler {
- public:
-  /// Preconditions: torus.size() >= 2, exponent >= 0.
-  KleinbergGridSampler(metric::Torus2D torus, double exponent);
-
-  /// Draws a target position != source.
-  [[nodiscard]] metric::Point sample_target(util::Rng& rng, metric::Point source) const;
-
-  [[nodiscard]] const metric::Torus2D& torus() const noexcept { return torus_; }
-
- private:
-  metric::Torus2D torus_;
-  double exponent_;
-  std::vector<double> radius_prefix_;  // prefix sums of ring_size(d) * d^-r
-};
 
 }  // namespace p2p::graph

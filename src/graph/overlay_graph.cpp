@@ -10,7 +10,7 @@ namespace p2p::graph {
 
 namespace detail {
 
-NodeId node_at(const metric::Space1D& space,
+NodeId node_at(const metric::Space& space,
                std::span<const metric::Point> positions, metric::Point p) noexcept {
   if (positions.empty()) {
     return space.contains(p) ? static_cast<NodeId>(p) : kInvalidNode;
@@ -20,15 +20,12 @@ NodeId node_at(const metric::Space1D& space,
   return static_cast<NodeId>(it - positions.begin());
 }
 
-NodeId node_nearest(const metric::Space1D& space,
+NodeId node_nearest(const metric::Space& space,
                     std::span<const metric::Point> positions,
                     metric::Point p) noexcept {
   if (positions.empty()) {
     return space.contains(p) ? static_cast<NodeId>(p) : kInvalidNode;
   }
-  const auto it = std::lower_bound(positions.begin(), positions.end(), p);
-  // Candidate indices around the insertion point; on a ring also the two ends
-  // (wraparound neighbours).
   NodeId best = kInvalidNode;
   metric::Distance best_d = 0;
   const auto consider = [&](std::size_t idx) {
@@ -40,10 +37,20 @@ NodeId node_nearest(const metric::Space1D& space,
       best_d = d;
     }
   };
+  if (!space.one_dimensional()) {
+    // Flattened row-major order is not metric order on a torus, so the
+    // sorted-positions bisection below does not apply; scan. Sparse 2-D
+    // overlays only occur at test scale — the torus builds fully populated.
+    for (std::size_t idx = 0; idx < positions.size(); ++idx) consider(idx);
+    return best;
+  }
+  const auto it = std::lower_bound(positions.begin(), positions.end(), p);
+  // Candidate indices around the insertion point; on a ring also the two ends
+  // (wraparound neighbours).
   if (it != positions.end()) consider(static_cast<std::size_t>(it - positions.begin()));
   if (it != positions.begin())
     consider(static_cast<std::size_t>(it - positions.begin()) - 1);
-  if (space.kind() == metric::Space1D::Kind::kRing) {
+  if (space.kind() == metric::Space::Kind::kRing) {
     consider(0);
     consider(positions.size() - 1);
   }
@@ -52,12 +59,12 @@ NodeId node_nearest(const metric::Space1D& space,
 
 }  // namespace detail
 
-OverlayGraph::OverlayGraph(metric::Space1D space)
+OverlayGraph::OverlayGraph(metric::Space space)
     : space_(space),
       headers_(space.size() + 1),
       short_degree_(space.size(), 0) {}
 
-OverlayGraph::OverlayGraph(metric::Space1D space, std::vector<metric::Point> positions)
+OverlayGraph::OverlayGraph(metric::Space space, std::vector<metric::Point> positions)
     : space_(space), positions_(std::move(positions)) {
   util::require(!positions_.empty(), "OverlayGraph: need at least one node");
   for (std::size_t i = 0; i < positions_.size(); ++i) {
@@ -72,7 +79,7 @@ OverlayGraph::OverlayGraph(metric::Space1D space, std::vector<metric::Point> pos
   short_degree_.assign(positions_.size(), 0);
 }
 
-OverlayGraph::OverlayGraph(metric::Space1D space, std::vector<metric::Point> positions,
+OverlayGraph::OverlayGraph(metric::Space space, std::vector<metric::Point> positions,
                            std::vector<std::uint32_t> slice_sizes,
                            std::vector<std::uint32_t> short_degree,
                            std::vector<NodeId> edges)

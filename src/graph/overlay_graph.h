@@ -1,5 +1,6 @@
 // The virtual overlay network: a directed graph over grid positions of a
-// one-dimensional metric space, frozen into a flat CSR layout.
+// metric space (line, ring, or 2-D torus — see metric/space.h), frozen into
+// a flat CSR layout.
 //
 // Nodes are identified by dense indices (NodeId); node i occupies grid
 // position positions()[i]. In the common fully-populated case position ==
@@ -41,7 +42,7 @@
 #include <span>
 #include <vector>
 
-#include "metric/space1d.h"
+#include "metric/space.h"
 
 namespace p2p::graph {
 
@@ -55,19 +56,22 @@ namespace detail {
 
 /// The index whose position equals p exactly, or kInvalidNode. `positions`
 /// empty means the dense (position == index) case.
-[[nodiscard]] NodeId node_at(const metric::Space1D& space,
+[[nodiscard]] NodeId node_at(const metric::Space& space,
                              std::span<const metric::Point> positions,
                              metric::Point p) noexcept;
 
 /// The index whose position is closest to p (ties break to the lower
 /// position). Preconditions: at least one node, space.contains(p).
-[[nodiscard]] NodeId node_nearest(const metric::Space1D& space,
+/// O(log nodes) on a 1-D space (positions are sorted along the metric);
+/// O(nodes) on a torus, whose flattened order is not metric order — sparse
+/// 2-D overlays are a test-scale configuration, the torus builds dense.
+[[nodiscard]] NodeId node_nearest(const metric::Space& space,
                                   std::span<const metric::Point> positions,
                                   metric::Point p) noexcept;
 
 }  // namespace detail
 
-/// Directed overlay graph embedded in a Space1D, stored as CSR with a
+/// Directed overlay graph embedded in a metric::Space, stored as CSR with a
 /// cache-line header per node for the routing hot path.
 class OverlayGraph {
  public:
@@ -87,13 +91,13 @@ class OverlayGraph {
   static_assert(sizeof(NodeHeader) == 64);
 
   /// A graph whose node i sits at grid position i (fully populated grid).
-  explicit OverlayGraph(metric::Space1D space);
+  explicit OverlayGraph(metric::Space space);
 
   /// A graph over a sparse, strictly increasing set of occupied positions.
   /// Preconditions: positions sorted strictly increasing, all within space.
-  OverlayGraph(metric::Space1D space, std::vector<metric::Point> positions);
+  OverlayGraph(metric::Space space, std::vector<metric::Point> positions);
 
-  [[nodiscard]] const metric::Space1D& space() const noexcept { return space_; }
+  [[nodiscard]] const metric::Space& space() const noexcept { return space_; }
 
   /// Number of nodes (not grid points).
   [[nodiscard]] std::size_t size() const noexcept { return headers_.size() - 1; }
@@ -222,7 +226,7 @@ class OverlayGraph {
 
   /// Frozen-form constructor used by GraphBuilder::freeze. `slice_sizes[u]`
   /// is the degree of node u; `edges` is the concatenated slices.
-  OverlayGraph(metric::Space1D space, std::vector<metric::Point> positions,
+  OverlayGraph(metric::Space space, std::vector<metric::Point> positions,
                std::vector<std::uint32_t> slice_sizes,
                std::vector<std::uint32_t> short_degree, std::vector<NodeId> edges);
 
@@ -242,7 +246,7 @@ class OverlayGraph {
   /// the flat arrays (O(edges), shifts later nodes' offsets).
   void append_slot(NodeId u, NodeId v);
 
-  metric::Space1D space_;
+  metric::Space space_;
   std::vector<metric::Point> positions_;     // empty when dense
   std::vector<NodeHeader> headers_;          // size()+1: last entry is the sentinel
   std::vector<std::uint32_t> short_degree_;  // cold: router never reads it

@@ -1,0 +1,51 @@
+#include "metric/space.h"
+
+#include "util/require.h"
+
+namespace p2p::metric {
+
+Distance Space::max_distance(Point x) const noexcept {
+  if (kind_ != Kind::kTorus2D) return as_1d().max_distance(x);
+  // Every torus point sees the same distance profile (translation
+  // invariance), so the farthest point is always a full diameter away.
+  return diameter();
+}
+
+std::optional<Point> Space::offset(Point x, std::int64_t delta) const {
+  util::require(one_dimensional(),
+                "Space::offset: signed offsets are only defined on a "
+                "one-dimensional metric (line or ring)");
+  return as_1d().offset(x, delta);
+}
+
+int Space::direction(Point from, Point to) const {
+  util::require(one_dimensional(),
+                "Space::direction: sidedness is only defined on a "
+                "one-dimensional metric (line or ring)");
+  return as_1d().direction(from, to);
+}
+
+Space1D Space::as_1d() const {
+  util::require(one_dimensional(),
+                "Space::as_1d: not a one-dimensional space");
+  return one_d_;
+}
+
+Torus2D Space::as_torus() const {
+  util::require(kind_ == Kind::kTorus2D, "Space::as_torus: not a torus");
+  return Torus2D(side_);
+}
+
+std::string Space::to_string() const {
+  switch (kind_) {
+    case Kind::kLine:
+      return "line(" + std::to_string(size_) + ")";
+    case Kind::kRing:
+      return "ring(" + std::to_string(size_) + ")";
+    case Kind::kTorus2D:
+      return "torus(" + std::to_string(side_) + "x" + std::to_string(side_) + ")";
+  }
+  return "space(?)";  // unreachable
+}
+
+}  // namespace p2p::metric

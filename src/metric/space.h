@@ -1,0 +1,188 @@
+// The metric the overlay is embedded in: a closed variant over the paper's
+// one-dimensional spaces (line, ring — space1d.h) and the Kleinberg 2-D
+// torus (grid2d.h).
+//
+// The CSR graph, the routers, the failure/churn machinery and the batch
+// pipeline are all generic over this type: they only ever ask for
+// size/contains/distance/diameter, which every member of the variant
+// answers. The 1-D-only notions — direction(), between() (the §4.2.1
+// one-sided "never past the target" test) and signed offset() — are flagged
+// as such: they throw on a 2-D space, so one-sided routing stays confined to
+// the line and the ring where the paper defines it (Router rejects the
+// combination at construction).
+//
+// Space is a small tagged value type (kind + size + torus side), not a
+// virtual interface: the routing hot path calls distance() once per
+// considered neighbour, and a predictable branch on the kind tag costs
+// nothing next to the dependent cache miss it sits behind, whereas a vtable
+// dispatch could not be inlined. Adding a metric means adding a Kind, the
+// distance branch, and a factory — every consumer above this layer picks it
+// up unchanged.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "metric/grid2d.h"
+#include "metric/space1d.h"
+
+namespace p2p::metric {
+
+/// A metric space over grid points 0..size()-1 — line, ring, or 2-D torus
+/// (flattened row-major). Cheap value type; all queries O(1) and noexcept
+/// unless documented otherwise.
+class Space {
+ public:
+  enum class Kind : std::uint8_t { kLine, kRing, kTorus2D };
+
+  /// Lift a 1-D space into the variant (implicit: every Space1D is a Space).
+  Space(Space1D s) noexcept  // NOLINT(google-explicit-constructor)
+      : kind_(s.kind() == Space1D::Kind::kLine ? Kind::kLine : Kind::kRing),
+        size_(s.size()),
+        one_d_(s) {}
+
+  /// Lift a torus into the variant (implicit: every Torus2D is a Space).
+  Space(Torus2D t) noexcept  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kTorus2D), size_(t.size()), side_(t.side()) {
+#ifdef __SIZEOF_INT128__
+    // Lemire's exact division-by-multiplication: for 2 <= side <= 2^16 every
+    // flattened position is < side^2 <= 2^32, so mulhi(p, ceil(2^64/side))
+    // equals p / side exactly — turning the two per-distance row/column
+    // splits from ~25-cycle divides into 3-cycle multiplies. The routing
+    // inner loop calls distance() once per considered neighbour; with plain
+    // divides the torus hop is compute-bound and the batch pipeline has no
+    // memory latency left to hide.
+    if (side_ >= 2 && side_ <= 0x10000u) {
+      side_magic_ = ~std::uint64_t{0} / side_ + 1;
+    }
+#endif
+  }
+
+  /// Factories mirroring the member types'. Preconditions as theirs.
+  [[nodiscard]] static Space line(std::uint64_t n) { return Space1D::line(n); }
+  [[nodiscard]] static Space ring(std::uint64_t n) { return Space1D::ring(n); }
+  [[nodiscard]] static Space torus(std::uint32_t side) { return Torus2D(side); }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  /// True for the line and the ring — the spaces where sidedness (direction,
+  /// between, signed offsets) is defined.
+  [[nodiscard]] bool one_dimensional() const noexcept {
+    return kind_ != Kind::kTorus2D;
+  }
+
+  /// Number of grid points.
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+  /// True when p is a valid grid position of this space.
+  [[nodiscard]] bool contains(Point p) const noexcept {
+    return p >= 0 && static_cast<std::uint64_t>(p) < size_;
+  }
+
+  /// Metric distance between two grid positions (|a-b| on the line, shorter
+  /// arc on the ring, wrapped Manhattan on the torus).
+  /// Preconditions: contains(a) && contains(b).
+  [[nodiscard]] Distance distance(Point a, Point b) const noexcept {
+    if (kind_ != Kind::kTorus2D) {
+      const auto direct = static_cast<std::uint64_t>(a > b ? a - b : b - a);
+      if (kind_ == Kind::kLine) return direct;
+      return direct <= size_ - direct ? direct : size_ - direct;
+    }
+    const auto side = static_cast<std::uint64_t>(side_);
+    const auto av = static_cast<std::uint64_t>(a);
+    const auto bv = static_cast<std::uint64_t>(b);
+    const std::uint64_t ar = row_of(av);
+    const std::uint64_t br = row_of(bv);
+    const std::uint64_t dr = wrapped_axis(ar, br, side);
+    const std::uint64_t dc = wrapped_axis(av - ar * side, bv - br * side, side);
+    return dr + dc;
+  }
+
+  /// Largest distance between any two positions.
+  [[nodiscard]] Distance diameter() const noexcept {
+    switch (kind_) {
+      case Kind::kLine:
+        return size_ - 1;
+      case Kind::kRing:
+        return size_ / 2;
+      case Kind::kTorus2D:
+        return 2 * (static_cast<Distance>(side_) / 2);
+    }
+    return 0;  // unreachable
+  }
+
+  /// Largest possible distance from position x to any other position.
+  [[nodiscard]] Distance max_distance(Point x) const noexcept;
+
+  // -- 1-D-only operations ---------------------------------------------------
+  //
+  // These encode an ordering of the space (which side of the target a
+  // position lies on) that a 2-D metric does not have. They throw
+  // std::invalid_argument on a torus; between() additionally admits nothing,
+  // so a one-sided scan that slipped past the Router's construction-time
+  // check fails closed instead of misrouting.
+
+  /// The position reached from x by the signed offset `delta` (wraps on the
+  /// ring, nullopt off the ends of the line). Throws on a 2-D space.
+  [[nodiscard]] std::optional<Point> offset(Point x, std::int64_t delta) const;
+
+  /// Signed step (+1/-1) toward `to` along a shortest path; 0 when equal.
+  /// Throws on a 2-D space.
+  [[nodiscard]] int direction(Point from, Point to) const;
+
+  /// §4.2.1 one-sided admissibility: v lies on a shortest path from u to t
+  /// without passing t. Hot-path noexcept; on a 2-D space admits nothing
+  /// (and asserts in debug builds — callers must gate on one_dimensional()).
+  /// Delegates to the stored 1-D representation, so the per-neighbour cost
+  /// of a one-sided scan is the same single call it was before the variant.
+  [[nodiscard]] bool between(Point v, Point u, Point t) const noexcept {
+    if (kind_ == Kind::kTorus2D) {
+      assert(false && "Space::between: sidedness is undefined on a 2-D metric");
+      return false;
+    }
+    return one_d_.between(v, u, t);
+  }
+
+  /// The underlying 1-D space. Precondition (throws): one_dimensional().
+  [[nodiscard]] Space1D as_1d() const;
+
+  /// The underlying torus. Precondition (throws): kind() == kTorus2D.
+  [[nodiscard]] Torus2D as_torus() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Space&, const Space&) = default;
+
+ private:
+  /// Row of a flattened torus position (exact v / side, by reciprocal
+  /// multiplication when the side admits it — see the constructor).
+  [[nodiscard]] std::uint64_t row_of(std::uint64_t v) const noexcept {
+#ifdef __SIZEOF_INT128__
+    if (side_magic_ != 0) {
+      __extension__ using uint128 = unsigned __int128;
+      return static_cast<std::uint64_t>(
+          (static_cast<uint128>(v) * side_magic_) >> 64);
+    }
+#endif
+    return v / side_;
+  }
+
+  [[nodiscard]] static std::uint64_t wrapped_axis(std::uint64_t x, std::uint64_t y,
+                                                  std::uint64_t side) noexcept {
+    const std::uint64_t direct = x > y ? x - y : y - x;
+    return direct <= side - direct ? direct : side - direct;
+  }
+
+  Kind kind_;
+  std::uint64_t size_;
+  std::uint32_t side_ = 0;        // torus only
+  std::uint64_t side_magic_ = 0;  // torus only: ceil(2^64 / side), 0 = divide
+  /// The lifted 1-D space (as_1d/between/offset/direction delegate here);
+  /// a 1-point placeholder for the torus, whose constructor overwrites
+  /// nothing else of it. Deriving it once keeps equality well-defined.
+  Space1D one_d_ = Space1D::line(1);
+};
+
+}  // namespace p2p::metric

@@ -24,7 +24,7 @@ double PoissonProcess::next_gap(util::Rng& rng) const {
   return -std::log(u) / rate;
 }
 
-std::vector<ChurnEvent> make_churn_trace(const metric::Space1D& space,
+std::vector<ChurnEvent> make_churn_trace(const metric::Space& space,
                                          const std::vector<metric::Point>& initial_members,
                                          double join_rate, double leave_rate,
                                          double crash_rate, double duration,

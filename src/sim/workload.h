@@ -8,7 +8,7 @@
 
 #include "failure/failure_model.h"
 #include "graph/overlay_graph.h"
-#include "metric/space1d.h"
+#include "metric/space.h"
 #include "util/rng.h"
 
 namespace p2p::sim {
@@ -35,12 +35,13 @@ struct ChurnEvent {
 
 /// Generates a randomized churn trace over a grid: joins arrive at vacant
 /// positions, leaves/crashes hit occupied ones, with the given rates (events
-/// per ms) over [0, duration].
+/// per ms) over [0, duration]. Positions are flattened grid points, so any
+/// metric::Space (line, ring, torus) works — occupancy is metric-blind.
 ///
 /// `initial_members` seeds the occupancy model so the trace stays
 /// consistent (no leave of a node that never joined).
 [[nodiscard]] std::vector<ChurnEvent> make_churn_trace(
-    const metric::Space1D& space, const std::vector<metric::Point>& initial_members,
+    const metric::Space& space, const std::vector<metric::Point>& initial_members,
     double join_rate, double leave_rate, double crash_rate, double duration,
     util::Rng& rng);
 

@@ -258,11 +258,11 @@ TEST(BaseBOffsets, RejectBadParameters) {
   EXPECT_THROW(base_b_power_offsets(10, 0), std::invalid_argument);
 }
 
-// -- Kleinberg torus sampler ---------------------------------------------------
+// -- Unified sampler on the Kleinberg torus -----------------------------------
 
-TEST(KleinbergGridSampler, NeverReturnsSourceAndStaysInGrid) {
+TEST(TorusSampler, NeverReturnsSourceAndStaysInGrid) {
   const metric::Torus2D torus(8);
-  const KleinbergGridSampler s(torus, 2.0);
+  const PowerLawLinkSampler s(metric::Space(torus), 2.0);
   util::Rng rng(13);
   for (int i = 0; i < 5000; ++i) {
     const metric::Point t = s.sample_target(rng, 11);
@@ -271,10 +271,10 @@ TEST(KleinbergGridSampler, NeverReturnsSourceAndStaysInGrid) {
   }
 }
 
-TEST(KleinbergGridSampler, RadiusDistributionMatchesWeights) {
+TEST(TorusSampler, RadiusDistributionMatchesWeights) {
   const metric::Torus2D torus(9);
   const double r = 2.0;
-  const KleinbergGridSampler s(torus, r);
+  const PowerLawLinkSampler s(metric::Space(torus), r);
   util::Rng rng(17);
   constexpr int kDraws = 200'000;
   std::vector<double> by_radius(torus.diameter() + 1, 0.0);

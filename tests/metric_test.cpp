@@ -1,9 +1,11 @@
-// Unit + property tests for the metric spaces (line, ring, torus).
+// Unit + property tests for the metric spaces (line, ring, torus) and the
+// Space variant the overlay stack is generic over.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
 
 #include "metric/grid2d.h"
+#include "metric/space.h"
 #include "metric/space1d.h"
 #include "util/rng.h"
 
@@ -195,6 +197,169 @@ TEST(Torus2D, RingSizeBeyondDiameterIsZero) {
   const Torus2D t(6);
   EXPECT_EQ(t.ring_size(t.diameter() + 1), 0u);
 }
+
+TEST(Torus2D, RingSizesSumToEveryOtherPoint) {
+  // The rings around any point partition the other size()-1 points.
+  for (const std::uint32_t side : {2u, 3u, 4u, 5u, 8u, 9u, 16u, 17u}) {
+    const Torus2D t(side);
+    std::uint64_t total = 0;
+    for (Distance d = 1; d <= t.diameter(); ++d) total += t.ring_size(d);
+    EXPECT_EQ(total, t.size() - 1) << "side=" << side;
+  }
+}
+
+TEST(Torus2D, DistanceSymmetricOverRandomPairs) {
+  for (const std::uint32_t side : {6u, 7u}) {
+    const Torus2D t(side);
+    util::Rng rng(23);
+    for (int trial = 0; trial < 1000; ++trial) {
+      const auto a = static_cast<Point>(rng.next_below(t.size()));
+      const auto b = static_cast<Point>(rng.next_below(t.size()));
+      EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+    }
+  }
+}
+
+TEST(Torus2D, WraparoundIdentities) {
+  const Torus2D t(8);
+  const auto s = static_cast<std::int64_t>(t.side());
+  util::Rng rng(29);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = static_cast<Point>(rng.next_below(t.size()));
+    const auto b = static_cast<Point>(rng.next_below(t.size()));
+    const auto [ar, ac] = t.coords(a);
+    const auto [br, bc] = t.coords(b);
+    // Coordinates are periodic in the side.
+    EXPECT_EQ(t.at(ar + s, ac), a);
+    EXPECT_EQ(t.at(ar, ac - s), a);
+    // Distance is translation invariant: shifting both points by the same
+    // offset (wrapping) never changes it.
+    const auto dr = static_cast<std::int64_t>(rng.next_below(t.side()));
+    const auto dc = static_cast<std::int64_t>(rng.next_below(t.side()));
+    EXPECT_EQ(t.distance(a, b),
+              t.distance(t.at(ar + dr, ac + dc), t.at(br + dr, bc + dc)));
+    // One full lap along either axis is a no-op.
+    EXPECT_EQ(t.distance(a, t.at(ar + s, ac)), 0u);
+  }
+}
+
+// -- metric::Space — the variant the overlay stack is generic over -----------
+
+TEST(Space, LiftsPreserveEverySharedQuery) {
+  const Space1D ring = Space1D::ring(20);
+  const Space1D line = Space1D::line(20);
+  const Torus2D torus(5);
+  const Space spaces[] = {Space(line), Space(ring), Space(torus)};
+  const auto check_against = [](const Space& s, const auto& underlying) {
+    EXPECT_EQ(s.size(), underlying.size());
+    EXPECT_EQ(s.diameter(), underlying.diameter());
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_FALSE(s.contains(static_cast<Point>(underlying.size())));
+    EXPECT_FALSE(s.contains(-1));
+    util::Rng rng(31);
+    for (int trial = 0; trial < 500; ++trial) {
+      const auto a = static_cast<Point>(rng.next_below(s.size()));
+      const auto b = static_cast<Point>(rng.next_below(s.size()));
+      EXPECT_EQ(s.distance(a, b), underlying.distance(a, b));
+    }
+  };
+  check_against(spaces[0], line);
+  check_against(spaces[1], ring);
+  check_against(spaces[2], torus);
+}
+
+TEST(Space, TorusDistanceMatchesReferenceAcrossSides) {
+  // Exercises the reciprocal-multiplication coordinate split against the
+  // plain-division Torus2D reference, including the largest side the magic
+  // path admits (65536) and sides just around powers of two.
+  for (const std::uint32_t side : {2u, 3u, 317u, 4096u, 4097u, 65535u, 65536u}) {
+    const Torus2D torus(side);
+    const Space s(torus);
+    util::Rng rng(side);
+    for (int trial = 0; trial < 2000; ++trial) {
+      const auto a = static_cast<Point>(rng.next_below(torus.size()));
+      const auto b = static_cast<Point>(rng.next_below(torus.size()));
+      ASSERT_EQ(s.distance(a, b), torus.distance(a, b))
+          << "side=" << side << " a=" << a << " b=" << b;
+    }
+    // Edge positions: corners of the flattened range.
+    const auto last = static_cast<Point>(torus.size() - 1);
+    EXPECT_EQ(s.distance(0, last), torus.distance(0, last));
+    EXPECT_EQ(s.distance(last, last), 0u);
+  }
+}
+
+TEST(Space, KindsAndFactories) {
+  EXPECT_EQ(Space::line(8).kind(), Space::Kind::kLine);
+  EXPECT_EQ(Space::ring(8).kind(), Space::Kind::kRing);
+  EXPECT_EQ(Space::torus(4).kind(), Space::Kind::kTorus2D);
+  EXPECT_TRUE(Space::line(8).one_dimensional());
+  EXPECT_TRUE(Space::ring(8).one_dimensional());
+  EXPECT_FALSE(Space::torus(4).one_dimensional());
+  EXPECT_EQ(Space::torus(4).size(), 16u);
+  EXPECT_EQ(Space::line(8), Space(Space1D::line(8)));
+  EXPECT_NE(Space::line(8), Space::ring(8));
+  EXPECT_NE(Space::ring(16), Space::torus(4));  // same size, different metric
+}
+
+TEST(Space, OneDimensionalRoundTrips) {
+  const Space ring = Space::ring(12);
+  EXPECT_EQ(ring.as_1d(), Space1D::ring(12));
+  EXPECT_EQ(ring.offset(11, 1), Point{0});
+  EXPECT_EQ(ring.direction(0, 3), 1);
+  EXPECT_TRUE(ring.between(0, 1, 10));
+  EXPECT_EQ(ring.max_distance(3), Space1D::ring(12).max_distance(3));
+  const Space torus = Space::torus(6);
+  EXPECT_EQ(torus.as_torus().side(), 6u);
+  EXPECT_EQ(torus.max_distance(0), torus.diameter());
+}
+
+TEST(Space, SidednessOperationsThrowOnTorus) {
+  const Space torus = Space::torus(6);
+  EXPECT_THROW(static_cast<void>(torus.offset(0, 1)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(torus.direction(0, 1)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(torus.as_1d()), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(Space::ring(8).as_torus()), std::invalid_argument);
+}
+
+TEST(Space, ToStringNamesTheMetric) {
+  EXPECT_EQ(Space::line(8).to_string(), "line(8)");
+  EXPECT_EQ(Space::ring(16).to_string(), "ring(16)");
+  EXPECT_EQ(Space::torus(32).to_string(), "torus(32x32)");
+}
+
+struct AnySpaceCase {
+  std::string name;
+  Space space;
+};
+
+class SpaceMetricAxioms : public ::testing::TestWithParam<AnySpaceCase> {};
+
+TEST_P(SpaceMetricAxioms, SymmetryIdentityTriangle) {
+  const Space& s = GetParam().space;
+  util::Rng rng(37);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<Point>(rng.next_below(s.size()));
+    const auto b = static_cast<Point>(rng.next_below(s.size()));
+    const auto c = static_cast<Point>(rng.next_below(s.size()));
+    EXPECT_EQ(s.distance(a, b), s.distance(b, a));
+    EXPECT_EQ(s.distance(a, a), 0u);
+    if (a != b) {
+      EXPECT_GT(s.distance(a, b), 0u);
+    }
+    EXPECT_LE(s.distance(a, c), s.distance(a, b) + s.distance(b, c));
+    EXPECT_LE(s.distance(a, b), s.diameter());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, SpaceMetricAxioms,
+    ::testing::Values(AnySpaceCase{"line64", Space::line(64)},
+                      AnySpaceCase{"ring64", Space::ring(64)},
+                      AnySpaceCase{"torus8", Space::torus(8)},
+                      AnySpaceCase{"torus9_odd", Space::torus(9)},
+                      AnySpaceCase{"torus2", Space::torus(2)}),
+    [](const auto& info) { return info.param.name; });
 
 TEST(Torus2D, RejectsZeroSide) { EXPECT_THROW(Torus2D(0), std::invalid_argument); }
 
