@@ -70,7 +70,7 @@ int main() {
 
       util::Rng rng(opts.seed + net * 131 + 5);
       const auto healthy = failure::FailureView::all_alive(g);
-      hops.add(sim::run_batch(core::Router(g, healthy), messages, rng)
+      hops.add(sim::run_batch(core::Router(g, healthy), messages, rng, bench::batch_config_from_env())
                    .hops_success.mean());
       const auto res = bench::failure_trial(g, 0.5, core::RouterConfig{},
                                             messages, rng);

@@ -96,7 +96,7 @@ int main() {
             const auto g = graph::build_overlay(spec, rng);
             const auto healthy = failure::FailureView::all_alive(g);
             const double h0 =
-                sim::run_batch(core::Router(g, healthy), messages, rng)
+                sim::run_batch(core::Router(g, healthy), messages, rng, bench::batch_config_from_env())
                     .hops_success.mean();
             const auto res = bench::failure_trial(g, 0.3, core::RouterConfig{},
                                                   messages, rng);

@@ -38,7 +38,7 @@ int main() {
       if (backtrack) cfg.stuck_policy = core::StuckPolicy::kBacktrack;
       const auto healthy = failure::FailureView::all_alive(g);
       const double hops0 =
-          sim::run_batch(core::Router(g, healthy), messages, rng)
+          sim::run_batch(core::Router(g, healthy), messages, rng, bench::batch_config_from_env())
               .hops_success.mean();
       std::vector<std::string> row{backtrack ? "ours (backtrack)"
                                              : "ours (terminate)",
@@ -129,7 +129,8 @@ int main() {
     util::Table table(
         {"ttl", "flood_found_frac", "flood_msgs_per_search", "greedy_hops"});
     const double greedy_hops =
-        sim::run_batch(router, messages, rng).hops_success.mean();
+        sim::run_batch(router, messages, rng, bench::batch_config_from_env())
+            .hops_success.mean();
     for (const std::size_t ttl : {1u, 2u, 3u, 4u, 5u}) {
       std::size_t found = 0;
       util::Accumulator msgs;

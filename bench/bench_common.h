@@ -82,6 +82,17 @@ inline std::size_t lg_links(std::uint64_t n) {
   return bits < 1 ? 1 : bits;
 }
 
+/// route_batch shape from the environment: P2P_WIDTH / P2P_PREFETCH
+/// override `dflt`, so width/prefetch perf sweeps run without recompiles.
+inline core::BatchConfig batch_config_from_env(core::BatchConfig dflt = {}) {
+  const util::ScaleOptions opts = util::scale_options_from_env();
+  if (opts.batch_width != 0) dflt.width = opts.batch_width;
+  if (opts.prefetch_distance != util::ScaleOptions::kUnsetPrefetch) {
+    dflt.prefetch_distance = opts.prefetch_distance;
+  }
+  return dflt;
+}
+
 /// One graph + failure view + message batch measurement — the setup block
 /// previously copy-pasted across the theorem/table benches.
 struct TrialSpec {
@@ -107,7 +118,8 @@ inline double trial_mean_hops(const TrialSpec& spec, std::size_t messages,
                 : failure::FailureView::all_alive(g);
   if (view.alive_count() < 2) return std::numeric_limits<double>::quiet_NaN();
   const core::Router router(g, view, spec.router);
-  return sim::run_batch(router, messages, rng).hops_success.mean();
+  return sim::run_batch(router, messages, rng, batch_config_from_env())
+      .hops_success.mean();
 }
 
 /// Mean of trial_mean_hops over `trials` pool-fanned trials (one
@@ -142,7 +154,7 @@ inline FailureTrialResult failure_trial(const graph::OverlayGraph& g,
     return out;
   }
   const core::Router router(g, view, cfg);
-  const auto batch = sim::run_batch(router, messages, rng);
+  const auto batch = sim::run_batch(router, messages, rng, batch_config_from_env());
   out.failed_fraction = batch.failure_fraction();
   out.hops_success = batch.hops_success.mean();
   return out;

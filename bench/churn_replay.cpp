@@ -185,6 +185,7 @@ int main() {
   churn::ReplayConfig replay_cfg;
   replay_cfg.queries = messages;
   replay_cfg.seed = 11;
+  replay_cfg.batch = bench::batch_config_from_env();
   // Spread the workload across the whole trace: tick budget ~= expected
   // transmissions (mean hops ~tens at n = 1e5) over the trace duration.
   replay_cfg.ticks_per_ms =

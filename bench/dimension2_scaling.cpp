@@ -32,7 +32,7 @@ sim::BatchResult torus_batch(const graph::OverlayGraph& g,
                              const failure::FailureView& view,
                              std::size_t messages, util::Rng& rng) {
   const core::Router router(g, view);
-  return sim::run_batch(router, messages, rng);
+  return sim::run_batch(router, messages, rng, bench::batch_config_from_env());
 }
 
 }  // namespace

@@ -245,6 +245,9 @@ struct LegacyOverlay {
 
 constexpr std::size_t kBatchWidths[] = {1, 8, 16, 32, 64};
 
+/// §6 node-failure fractions the failure-aware throughput is tracked at.
+constexpr double kFailFractions[] = {0.1, 0.3};
+
 struct JsonMetrics {
   std::uint64_t nodes = 0;
   std::size_t links = 0;
@@ -262,6 +265,14 @@ struct JsonMetrics {
   double parallel_links_per_sec = 0;
   double freeze_links_per_sec = 0;  ///< pool-parallel freeze packing alone
   std::size_t build_threads = 0;
+  /// Routing *under node failures* (§6's regime) per kFailFractions entry:
+  /// scalar route(), route_batch at width 32, the same batched workload
+  /// through the forced-scalar router (P2P_NO_SIMD — the pre-masked-kernel
+  /// per-link branch loop), and the masked-SIMD speedup over it.
+  double failed_routes_per_sec[std::size(kFailFractions)] = {};
+  double failed_batch_routes_per_sec[std::size(kFailFractions)] = {};
+  double failed_batch_scalar_routes_per_sec[std::size(kFailFractions)] = {};
+  double failed_batch_speedup[std::size(kFailFractions)] = {};
   /// Kleinberg torus on the shared CSR hot path (side² ≈ nodes, r = 2).
   std::uint64_t torus_nodes = 0;
   double torus_routes_per_sec = 0;        ///< scalar route()
@@ -382,6 +393,62 @@ JsonMetrics measure_headline() {
         static_cast<double>(frozen.link_count()) / seconds_since(t_freeze);
   }
 
+  // Routing under node failures — the paper's headline §6 regime. Src/dst
+  // pairs are drawn live (as §6 does); throughput is measured scalar,
+  // batched with the masked SIMD candidate scan, and batched through a
+  // router whose vectorized dispatch is forced off (P2P_NO_SIMD at
+  // construction) — the pre-masked-kernel scalar per-link liveness loop,
+  // i.e. the pre-PR under-failure path the speedup is recorded against.
+  for (std::size_t pi = 0; pi < std::size(kFailFractions); ++pi) {
+    util::Rng fail_rng(17 + pi);
+    const auto fview =
+        failure::FailureView::with_node_failures(g, kFailFractions[pi], fail_rng);
+    const core::Router frouter(g, fview);
+    core::RouterConfig scalar_cfg;
+    scalar_cfg.force_scalar = true;  // the pre-masked-kernel per-link loop
+    const core::Router frouter_scalar(g, fview, scalar_cfg);
+
+    constexpr std::size_t kBatch = 2000;
+    std::vector<core::Query> queries(kBatch);
+    std::vector<core::RouteResult> results(kBatch);
+    const auto draw_queries = [&](util::Rng& pick) {
+      for (auto& q : queries) {
+        const graph::NodeId src = fview.random_alive(pick);
+        const graph::NodeId dst = fview.random_alive(pick);
+        q = {src, g.position(dst)};
+      }
+    };
+    const auto run_failed = [&](auto&& route_all) {
+      util::Rng pick(7);
+      util::Rng batch_rng(11);
+      std::size_t routes = 0;
+      const auto start = std::chrono::steady_clock::now();
+      double elapsed = 0;
+      do {
+        draw_queries(pick);
+        route_all(batch_rng);
+        routes += kBatch;
+        elapsed = seconds_since(start);
+      } while (elapsed < 0.5);
+      return static_cast<double>(routes) / elapsed;
+    };
+
+    m.failed_routes_per_sec[pi] = run_failed([&](util::Rng& r) {
+      for (const auto& q : queries) {
+        benchmark::DoNotOptimize(frouter.route(q.src, q.target, r));
+      }
+    });
+    core::BatchConfig batch;
+    batch.width = 32;
+    m.failed_batch_routes_per_sec[pi] = run_failed(
+        [&](util::Rng& r) { frouter.route_batch(queries, results, r, batch); });
+    m.failed_batch_scalar_routes_per_sec[pi] = run_failed([&](util::Rng& r) {
+      frouter_scalar.route_batch(queries, results, r, batch);
+    });
+    m.failed_batch_speedup[pi] = m.failed_batch_routes_per_sec[pi] /
+                                 m.failed_batch_scalar_routes_per_sec[pi];
+  }
+
   const LegacyOverlay legacy(g);
   const auto [legacy_rps, legacy_hps] = run([&](graph::NodeId src, graph::NodeId dst) {
     return legacy.route(src, dst, g.position(dst));
@@ -477,7 +544,22 @@ void write_json(const JsonMetrics& m, const char* path) {
                " },\n"
                "  \"batch_best_width\": %zu,\n"
                "  \"batch_best_routes_per_sec\": %.1f,\n"
-               "  \"batch_speedup_vs_scalar\": %.3f,\n"
+               "  \"batch_speedup_vs_scalar\": %.3f,\n",
+               m.batch_best_width, m.batch_best_routes_per_sec, m.batch_speedup);
+  const auto fail_series = [&](const char* key, const double* values) {
+    std::fprintf(f, "  \"%s\": {", key);
+    for (std::size_t p = 0; p < std::size(kFailFractions); ++p) {
+      std::fprintf(f, "%s\"p%.1f\": %.1f", p == 0 ? " " : ", ",
+                   kFailFractions[p], values[p]);
+    }
+    std::fprintf(f, " },\n");
+  };
+  fail_series("failed_routes_per_sec", m.failed_routes_per_sec);
+  fail_series("failed_batch_routes_per_sec", m.failed_batch_routes_per_sec);
+  fail_series("failed_batch_scalar_routes_per_sec",
+              m.failed_batch_scalar_routes_per_sec);
+  fail_series("failed_batch_speedup_vs_scalar", m.failed_batch_speedup);
+  std::fprintf(f,
                "  \"legacy_alloc_routes_per_sec\": %.1f,\n"
                "  \"speedup_vs_legacy_alloc\": %.3f,\n"
                "  \"torus_nodes\": %llu,\n"
@@ -485,7 +567,6 @@ void write_json(const JsonMetrics& m, const char* path) {
                "  \"torus_batch_routes_per_sec\": %.1f,\n"
                "  \"torus_batch_speedup_vs_scalar\": %.3f\n"
                "}\n",
-               m.batch_best_width, m.batch_best_routes_per_sec, m.batch_speedup,
                m.legacy_routes_per_sec, m.speedup,
                static_cast<unsigned long long>(m.torus_nodes),
                m.torus_routes_per_sec, m.torus_batch_routes_per_sec,
@@ -495,13 +576,16 @@ void write_json(const JsonMetrics& m, const char* path) {
       "BENCH_micro.json: n=%llu links/node=%zu build=%.2fs "
       "links/s=%.3g (parallel %.3g, freeze %.3g on %zu threads) routes/s=%.3g "
       "(batch best %.3g at W=%zu, %.2fx scalar; legacy alloc %.3g, %.2fx; "
-      "torus n=%llu %.3g scalar, %.3g batch, %.2fx)\n",
+      "torus n=%llu %.3g scalar, %.3g batch, %.2fx; "
+      "failed p=%.1f %.3g scalar, %.3g batch, %.2fx vs scalar-path batch)\n",
       static_cast<unsigned long long>(m.nodes), m.links, m.build_seconds,
       m.links_per_sec, m.parallel_links_per_sec, m.freeze_links_per_sec,
       m.build_threads, m.routes_per_sec, m.batch_best_routes_per_sec,
       m.batch_best_width, m.batch_speedup, m.legacy_routes_per_sec, m.speedup,
       static_cast<unsigned long long>(m.torus_nodes), m.torus_routes_per_sec,
-      m.torus_batch_routes_per_sec, m.torus_batch_speedup);
+      m.torus_batch_routes_per_sec, m.torus_batch_speedup, kFailFractions[1],
+      m.failed_routes_per_sec[1], m.failed_batch_routes_per_sec[1],
+      m.failed_batch_speedup[1]);
 }
 
 }  // namespace

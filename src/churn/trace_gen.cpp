@@ -1,6 +1,8 @@
 #include "churn/trace_gen.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <numeric>
 
 #include "util/require.h"
@@ -140,22 +142,92 @@ ChurnLog make_regional(const graph::OverlayGraph& g, const TraceSpec& spec,
   ChurnLog log(g);
   const std::size_t n = g.size();
   util::require(spec.outages > 0, "make_trace: outages must be > 0");
-  // Node order equals position order, so a contiguous id arc is a contiguous
-  // region of the metric space (wrapping on a ring).
-  std::size_t width = static_cast<std::size_t>(
+  const bool torus = g.space().kind() == metric::Space::Kind::kTorus2D;
+  auto shape = spec.region_shape;
+  if (shape == TraceSpec::RegionShape::kAuto) {
+    shape = torus ? TraceSpec::RegionShape::kRect : TraceSpec::RegionShape::kArc;
+  }
+  util::require(shape == TraceSpec::RegionShape::kArc || torus,
+                "make_trace: 2-D region shapes (rect, L1 ball) need a torus space");
+  std::size_t target = static_cast<std::size_t>(
       spec.region_fraction * static_cast<double>(n));
-  width = std::max<std::size_t>(1, std::min(width, n - kAliveFloor));
+  target = std::max<std::size_t>(1, std::min(target, n - kAliveFloor));
+  const std::size_t max_kills = n - kAliveFloor;
   const double gap = spec.duration / static_cast<double>(spec.outages);
+
+  // Nodes actually killed by the current outage. 2-D shapes collect them
+  // explicitly: a wrapped enumeration can alias (revisit a lattice point on
+  // a side smaller than the footprint) and a sparse overlay can leave grid
+  // points unoccupied, so the revive batch must mirror the shadow state, not
+  // the nominal footprint.
+  std::vector<NodeId> killed;
+  const auto try_kill = [&](metric::Point p) {
+    if (killed.size() >= max_kills) return;
+    const NodeId u = g.node_at(p);
+    if (u == graph::kInvalidNode) return;
+    if (!log.shadow().node_alive(u)) return;  // aliased revisit
+    log.kill_node(u);
+    killed.push_back(u);
+  };
+
   for (std::size_t k = 0; k < spec.outages; ++k) {
     const double start = gap * static_cast<double>(k);
-    const auto base = static_cast<std::size_t>(rng.next_below(n));
-    for (std::size_t i = 0; i < width; ++i) {
-      log.kill_node(static_cast<NodeId>((base + i) % n));
+    killed.clear();
+    switch (shape) {
+      case TraceSpec::RegionShape::kAuto:  // resolved above; not reachable
+      case TraceSpec::RegionShape::kArc: {
+        // Node order equals position order on a 1-D space, so a contiguous
+        // id arc is a contiguous region of the metric (wrapping on a ring).
+        const auto base = static_cast<std::size_t>(rng.next_below(n));
+        for (std::size_t i = 0; i < target && killed.size() < max_kills; ++i) {
+          const auto u = static_cast<NodeId>((base + i) % n);
+          log.kill_node(u);
+          killed.push_back(u);
+        }
+        break;
+      }
+      case TraceSpec::RegionShape::kRect: {
+        // A ~square w x h block of lattice coordinates around a random
+        // anchor, sized to the target node count — the 2-D analogue of the
+        // arc: one cloud region, both axes wrap.
+        const metric::Torus2D t = g.space().as_torus();
+        const auto side = static_cast<std::size_t>(t.side());
+        std::size_t w = static_cast<std::size_t>(
+            std::sqrt(static_cast<double>(target)) + 0.5);
+        w = std::max<std::size_t>(1, std::min(w, side));
+        std::size_t h = (target + w - 1) / w;
+        h = std::max<std::size_t>(1, std::min(h, side));
+        const auto r0 = static_cast<std::int64_t>(rng.next_below(side));
+        const auto c0 = static_cast<std::int64_t>(rng.next_below(side));
+        for (std::size_t dr = 0; dr < h; ++dr) {
+          for (std::size_t dc = 0; dc < w; ++dc) {
+            try_kill(t.at(r0 + static_cast<std::int64_t>(dr),
+                          c0 + static_cast<std::int64_t>(dc)));
+          }
+        }
+        break;
+      }
+      case TraceSpec::RegionShape::kL1Ball: {
+        // The metric ball of the torus: every node within wrapped Manhattan
+        // distance r of a random center, r chosen as the smallest radius
+        // whose lattice ball (2r(r+1)+1 points) covers the target count.
+        const metric::Torus2D t = g.space().as_torus();
+        const auto side = static_cast<std::size_t>(t.side());
+        std::int64_t r = 0;
+        while (static_cast<std::size_t>(2 * r * (r + 1) + 1) < target) ++r;
+        const auto r0 = static_cast<std::int64_t>(rng.next_below(side));
+        const auto c0 = static_cast<std::int64_t>(rng.next_below(side));
+        for (std::int64_t dr = -r; dr <= r; ++dr) {
+          const std::int64_t reach = r - std::abs(dr);
+          for (std::int64_t dc = -reach; dc <= reach; ++dc) {
+            try_kill(t.at(r0 + dr, c0 + dc));
+          }
+        }
+        break;
+      }
     }
     commit_if_staged(log, start);
-    for (std::size_t i = 0; i < width; ++i) {
-      log.revive_node(static_cast<NodeId>((base + i) % n));
-    }
+    for (const NodeId u : killed) log.revive_node(u);
     commit_if_staged(log, start + gap * 0.5);
   }
   return log;

@@ -12,13 +12,18 @@
 //    crowd_time, then crowd_fraction of the live nodes leave in ONE delta,
 //    then departed nodes trickle back at revive_rate.
 //  * kRegionalOutage   — correlated failures over the metric space: `outages`
-//    times, a contiguous arc of region_fraction of the nodes dies in one
-//    delta and revives midway to the next outage (positions are correlated,
-//    exactly the case independent-failure analysis misses).
+//    times, a geographically contiguous region of region_fraction of the
+//    nodes dies in one delta and revives midway to the next outage
+//    (positions are correlated, exactly the case independent-failure
+//    analysis misses). The damage shape follows the metric: a contiguous id
+//    arc on the line/ring, a 2-D rectangle (or L1 ball) of lattice
+//    coordinates on the torus — a flattened-id arc on a torus would be a
+//    thin row stripe, not a region (TraceSpec::region_shape overrides).
 //  * kAdversarialWaves — targeted attack: waves at wave_period kill the
 //    wave_size highest in-degree nodes (the CSR hubs greedy routing leans
-//    on), reviving them at half-period; wave k rotates through the ranked
-//    hub list so successive waves hit fresh hubs.
+//    on — on the torus, the Kleinberg in-degree hubs), reviving them at
+//    half-period; wave k rotates through the ranked hub list so successive
+//    waves hit fresh hubs.
 //  * kLinkFlap         — link-level churn: every batch_interval, revive the
 //    previously flapped long links and kill a fresh random flap_fraction of
 //    the long-link slots (±1 short links never fail, per §4.3.3).
@@ -66,6 +71,13 @@ struct TraceSpec {
   // kRegionalOutage.
   double region_fraction = 0.1;  ///< contiguous fraction of nodes per outage
   std::size_t outages = 4;
+  /// Damage footprint of one outage. kAuto picks the geographically honest
+  /// shape for the space: an id arc on the line/ring, a rectangle of lattice
+  /// coordinates on the torus. kRect / kL1Ball are torus-only (make_trace
+  /// throws on a 1-D space); kArc is valid anywhere (on a torus it is the
+  /// flattened-id row stripe the 2-D shapes exist to replace).
+  enum class RegionShape { kAuto, kArc, kRect, kL1Ball };
+  RegionShape region_shape = RegionShape::kAuto;
 
   // kAdversarialWaves.
   std::size_t wave_size = 64;  ///< hubs killed per wave

@@ -32,13 +32,14 @@ bool simd_disabled_by_env() noexcept {
 bool simd_select_eligible(const graph::OverlayGraph& g,
                           const RouterConfig& cfg) noexcept {
 #if defined(__x86_64__) && defined(__GNUC__)
-  // Every metric kind has a vectorized rank-0 scan: the 1-D kernel packs
-  // line/ring distances, the torus kernel splits row/col by reciprocal
+  // Every metric kind has a vectorized rank-0 scan — in intact and
+  // failure-masked (dead links / dead targets) variants: the 1-D kernel
+  // packs line/ring distances, the torus kernel splits row/col by reciprocal
   // multiplication. size <= 2^32 keeps ids and distances inside the
   // (dist << 32 | id) key packing — and, on the torus, bounds the side by
   // 2^16, the domain where the double-reciprocal coordinate split is exact.
-  return __builtin_cpu_supports("avx512f") != 0 && !simd_disabled_by_env() &&
-         g.dense() &&
+  return __builtin_cpu_supports("avx512f") != 0 && !cfg.force_scalar &&
+         !simd_disabled_by_env() && g.dense() &&
          cfg.sidedness == Sidedness::kTwoSided &&
          g.space().size() <= 0xffffffffull;
 #else
@@ -176,43 +177,87 @@ constexpr std::array<SelectFn, 16> kSelectTable =
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 #pragma GCC diagnostic ignored "-Wuninitialized"
-/// Vectorized rank-0 selection for the hottest configuration: dense graph,
-/// fully intact view, two-sided greedy. Packs each neighbour into the key
+/// Builds the admissibility mask of one 8-lane group: the remainder mask,
+/// narrowed by the link-liveness bits of the scanned slots (kCheckLinks) and
+/// by a byte gather on the view's node-alive sideband (kCheckNodes). The
+/// masked failure-aware scans reuse the intact kernels' key packing — a dead
+/// link or dead target simply never contributes to the min-reduction, which
+/// is exactly the per-candidate branch the scalar path pays, hoisted into
+/// mask arithmetic.
+///
+/// `live` is the caller's 64-bit liveness window cache: one
+/// FailureView::link_live_word fetch covers the next 64 links, and groups
+/// advance by 8, so a group's byte never straddles the fetched window.
+/// `vid_out` receives the (masked-loaded) widened ids for the group.
+template <bool kCheckLinks, bool kCheckNodes>
+__attribute__((target("avx512f")))
+inline __mmask8 avx512_group_mask(const graph::NodeId* ids, std::uint32_t i,
+                                  std::uint32_t count,
+                                  const failure::FailureView& view,
+                                  std::size_t slot_base,
+                                  const std::uint8_t* alive_bytes,
+                                  std::uint64_t& live, __m512i& vid_out) noexcept {
+  const std::uint32_t left = count - i;
+  __mmask8 m = left >= 8 ? static_cast<__mmask8>(0xff)
+                         : static_cast<__mmask8>((1u << left) - 1u);
+  if constexpr (kCheckLinks) {
+    if ((i & 63u) == 0) live = view.link_live_word(slot_base + i);
+    m &= static_cast<__mmask8>(live >> (i & 63u));
+  }
+  // Masked load of up to eight u32 ids (zeroed lanes), widened to u64. Dead
+  // links are folded into the load mask: their lanes never touch memory and
+  // never reach the min.
+  vid_out = _mm512_cvtepu32_epi64(_mm512_castsi512_si256(
+      _mm512_maskz_loadu_epi32(static_cast<__mmask16>(m), ids + i)));
+  if constexpr (kCheckNodes) {
+    // Dead *targets* drop via one byte-granular gather per group instead of
+    // a per-candidate bit-test branch: alive_bytes[v] is 0 or 1, so testing
+    // bit 0 of the gathered dword is the aliveness predicate.
+    const __m256i alive32 = _mm512_mask_i64gather_epi32(
+        _mm256_setzero_si256(), m, vid_out, alive_bytes, 1);
+    m &= _mm512_test_epi64_mask(_mm512_cvtepu32_epi64(alive32),
+                                _mm512_set1_epi64(1));
+  }
+  return m;
+}
+
+/// Vectorized rank-0 selection scan: dense graph, two-sided greedy. Packs
+/// each admissible neighbour into the key
 ///   key(v) = (distance(v, target) << 32) | v
 /// so the lexicographic (distance, id) minimum — candidates()[0] exactly,
 /// ties to the lower id — is a single unsigned 64-bit min-reduction, eight
 /// lanes at a time. The strictly-closer filter needs no per-lane mask: the
 /// global minimum is admissible iff it is < (du << 32), and a self-link or
 /// any not-closer neighbour can never win. Integer-only AVX-512 (no FMA), so
-/// no meaningful license downclocking. Remainder lanes load as zero (which
-/// would be a bogus small key), so the running min must stay masked —
-/// _mm512_mask_min_epu64 keeps vbest unchanged in those lanes.
+/// no meaningful license downclocking. Masked-out lanes (remainder, dead
+/// link, dead target) keep the running min unchanged —
+/// _mm512_mask_min_epu64 keeps vbest in those lanes.
+template <bool kCheckLinks, bool kCheckNodes>
 __attribute__((target("avx512f")))
 inline __m512i avx512_scan_ids(__m512i vbest, const graph::NodeId* ids,
                                std::uint32_t count, __m512i vt, __m512i vn,
-                               bool ring) noexcept {
+                               bool ring, const failure::FailureView& view,
+                               std::size_t slot_base,
+                               const std::uint8_t* alive_bytes) noexcept {
+  std::uint64_t live = 0;
   for (std::uint32_t i = 0; i < count; i += 8) {
-    const std::uint32_t left = count - i;
-    const __mmask16 m =
-        left >= 8 ? static_cast<__mmask16>(0xff)
-                  : static_cast<__mmask16>((1u << left) - 1u);
-    // Masked load of up to eight u32 ids (zeroed lanes), widened to u64.
-    const __m512i vid = _mm512_cvtepu32_epi64(
-        _mm512_castsi512_si256(_mm512_maskz_loadu_epi32(m, ids + i)));
+    __m512i vid;
+    const __mmask8 m = avx512_group_mask<kCheckLinks, kCheckNodes>(
+        ids, i, count, view, slot_base, alive_bytes, live, vid);
     const __m512i diff = _mm512_abs_epi64(_mm512_sub_epi64(vid, vt));
     const __m512i dv =
         ring ? _mm512_min_epu64(diff, _mm512_sub_epi64(vn, diff)) : diff;
     const __m512i key = _mm512_or_epi64(_mm512_slli_epi64(dv, 32), vid);
-    // Masked-out lanes keep the previous best (their zeroed ids must not
-    // contribute a key).
-    vbest = _mm512_mask_min_epu64(vbest, static_cast<__mmask8>(m), vbest, key);
+    vbest = _mm512_mask_min_epu64(vbest, m, vbest, key);
   }
   return vbest;
 }
 
+template <bool kCheckLinks, bool kCheckNodes>
 __attribute__((target("avx512f")))
-graph::NodeId select_best_avx512(const graph::OverlayGraph& g, graph::NodeId u,
-                                 metric::Point target) noexcept {
+graph::NodeId select_best_avx512(const graph::OverlayGraph& g,
+                                 const failure::FailureView& view,
+                                 graph::NodeId u, metric::Point target) noexcept {
   constexpr std::size_t kInline = graph::OverlayGraph::kInlineEdges;
   const metric::Space& space = g.space();
   // simd_ok_ admits 1-D spaces only, so the kind is line or ring here.
@@ -223,13 +268,17 @@ graph::NodeId select_best_avx512(const graph::OverlayGraph& g, graph::NodeId u,
       degree < kInline ? degree : static_cast<std::uint32_t>(kInline);
   const metric::Distance du =
       space.distance(static_cast<metric::Point>(u), target);
+  const std::uint8_t* alive_bytes = kCheckNodes ? view.node_alive_bytes() : nullptr;
 
   const __m512i vt = _mm512_set1_epi64(static_cast<long long>(target));
   const __m512i vn = _mm512_set1_epi64(static_cast<long long>(space.size()));
   __m512i vbest = _mm512_set1_epi64(-1);
-  vbest = avx512_scan_ids(vbest, h.inline_edges, inline_n, vt, vn, ring);
+  vbest = avx512_scan_ids<kCheckLinks, kCheckNodes>(
+      vbest, h.inline_edges, inline_n, vt, vn, ring, view, h.offset, alive_bytes);
   if (degree > kInline) {
-    vbest = avx512_scan_ids(vbest, g.tail(h), degree - inline_n, vt, vn, ring);
+    vbest = avx512_scan_ids<kCheckLinks, kCheckNodes>(
+        vbest, g.tail(h), degree - inline_n, vt, vn, ring, view,
+        h.offset + kInline, alive_bytes);
   }
   const std::uint64_t best = _mm512_reduce_min_epu64(vbest);
   if (best >= (static_cast<std::uint64_t>(du) << 32)) return graph::kInvalidNode;
@@ -252,21 +301,22 @@ graph::NodeId select_best_avx512(const graph::OverlayGraph& g, graph::NodeId u,
 /// integer multiply needed is row * side, which fits vpmuludq's 32-bit
 /// operands. Without it the scalar path burns two 64-bit divides per
 /// neighbour and the torus hop is compute-bound instead of memory-bound.
+template <bool kCheckLinks, bool kCheckNodes>
 __attribute__((target("avx512f")))
 inline __m512i avx512_torus_scan_ids(__m512i vbest, const graph::NodeId* ids,
                                      std::uint32_t count, __m512i vtr, __m512i vtc,
-                                     __m512i vside, __m512d vinv_side) noexcept {
+                                     __m512i vside, __m512d vinv_side,
+                                     const failure::FailureView& view,
+                                     std::size_t slot_base,
+                                     const std::uint8_t* alive_bytes) noexcept {
   const __m512i vone = _mm512_set1_epi64(1);
   const __m512i vmax32 = _mm512_set1_epi64(0xffffffffll);
+  std::uint64_t live = 0;
   for (std::uint32_t i = 0; i < count; i += 8) {
-    const std::uint32_t left = count - i;
-    const __mmask16 m16 =
-        left >= 8 ? static_cast<__mmask16>(0xff)
-                  : static_cast<__mmask16>((1u << left) - 1u);
-    const auto m = static_cast<__mmask8>(m16);
-    const __m256i ids32 =
-        _mm512_castsi512_si256(_mm512_maskz_loadu_epi32(m16, ids + i));
-    const __m512i vid = _mm512_cvtepu32_epi64(ids32);
+    __m512i vid;
+    const __mmask8 m = avx512_group_mask<kCheckLinks, kCheckNodes>(
+        ids, i, count, view, slot_base, alive_bytes, live, vid);
+    const __m256i ids32 = _mm512_cvtepi64_epi32(vid);
     // row = floor(id / side): reciprocal multiply, truncate, then fix up.
     const __m256i row32 = _mm512_cvttpd_epu32(
         _mm512_mul_pd(_mm512_cvtepu32_pd(ids32), vinv_side));
@@ -293,8 +343,10 @@ inline __m512i avx512_torus_scan_ids(__m512i vbest, const graph::NodeId* ids,
   return vbest;
 }
 
+template <bool kCheckLinks, bool kCheckNodes>
 __attribute__((target("avx512f")))
 graph::NodeId select_best_torus_avx512(const graph::OverlayGraph& g,
+                                       const failure::FailureView& view,
                                        graph::NodeId u,
                                        metric::Point target) noexcept {
   constexpr std::size_t kInline = graph::OverlayGraph::kInlineEdges;
@@ -307,6 +359,7 @@ graph::NodeId select_best_torus_avx512(const graph::OverlayGraph& g,
       degree < kInline ? degree : static_cast<std::uint32_t>(kInline);
   const metric::Distance du =
       space.distance(static_cast<metric::Point>(u), target);
+  const std::uint8_t* alive_bytes = kCheckNodes ? view.node_alive_bytes() : nullptr;
 
   const auto tv = static_cast<std::uint64_t>(target);
   const __m512i vtr = _mm512_set1_epi64(static_cast<long long>(tv / side));
@@ -314,11 +367,13 @@ graph::NodeId select_best_torus_avx512(const graph::OverlayGraph& g,
   const __m512i vside = _mm512_set1_epi64(static_cast<long long>(side));
   const __m512d vinv_side = _mm512_set1_pd(1.0 / static_cast<double>(side));
   __m512i vbest = _mm512_set1_epi64(-1);
-  vbest = avx512_torus_scan_ids(vbest, h.inline_edges, inline_n, vtr, vtc,
-                                vside, vinv_side);
+  vbest = avx512_torus_scan_ids<kCheckLinks, kCheckNodes>(
+      vbest, h.inline_edges, inline_n, vtr, vtc, vside, vinv_side, view,
+      h.offset, alive_bytes);
   if (degree > kInline) {
-    vbest = avx512_torus_scan_ids(vbest, g.tail(h), degree - inline_n, vtr, vtc,
-                                  vside, vinv_side);
+    vbest = avx512_torus_scan_ids<kCheckLinks, kCheckNodes>(
+        vbest, g.tail(h), degree - inline_n, vtr, vtc, vside, vinv_side, view,
+        h.offset + kInline, alive_bytes);
   }
   const std::uint64_t best = _mm512_reduce_min_epu64(vbest);
   if (best >= (static_cast<std::uint64_t>(du) << 32)) return graph::kInvalidNode;
@@ -326,6 +381,20 @@ graph::NodeId select_best_torus_avx512(const graph::OverlayGraph& g,
   g.prefetch(best_v);
   return best_v;
 }
+
+/// Masked-kernel dispatch: one instantiation per (metric family, link mask,
+/// node mask) so the intact case keeps its zero-overhead kernel and every
+/// failure-aware shape pays only the masks it needs.
+using SimdSelectFn = graph::NodeId (*)(const graph::OverlayGraph&,
+                                       const failure::FailureView&,
+                                       graph::NodeId, metric::Point) noexcept;
+
+constexpr std::array<SimdSelectFn, 4> kSimdSelect1D = {
+    select_best_avx512<false, false>, select_best_avx512<false, true>,
+    select_best_avx512<true, false>, select_best_avx512<true, true>};
+constexpr std::array<SimdSelectFn, 4> kSimdSelectTorus = {
+    select_best_torus_avx512<false, false>, select_best_torus_avx512<false, true>,
+    select_best_torus_avx512<true, false>, select_best_torus_avx512<true, true>};
 #pragma GCC diagnostic pop
 #else
 #define P2P_HAVE_AVX512_SELECT 0
@@ -342,15 +411,19 @@ graph::NodeId Router::select_candidate(graph::NodeId u, metric::Point target,
   const bool check_nodes =
       config_.knowledge == Knowledge::kLiveness && !view_->nodes_intact();
 #if P2P_HAVE_AVX512_SELECT
-  // The failure-free §6/§4 sweeps spend nearly all their time in this one
-  // call shape; simd_ok_ folds the per-router invariants (dense two-sided
-  // graph, narrow positions, CPU support) computed at construction. Each
-  // metric family has its own kernel; both share the key packing and the
+  // The §6/§4 sweeps — intact *and* failure-aware — spend nearly all their
+  // time in this one call shape; simd_ok_ folds the per-router invariants
+  // (dense two-sided graph, narrow positions, CPU support) computed at
+  // construction, and the per-call view state picks the masked kernel
+  // variant: dead links fold into the lane mask via the view's liveness
+  // words, dead targets via a byte gather on its node-alive sideband. Each
+  // metric family has its own kernel; all share the key packing and the
   // min-reduction.
-  if (rank == 0 && simd_ok_ && !check_links && !check_nodes) {
+  if (rank == 0 && simd_ok_) {
+    const std::size_t masks = (check_links ? 2u : 0u) | (check_nodes ? 1u : 0u);
     return graph_->space().one_dimensional()
-               ? select_best_avx512(*graph_, u, target)
-               : select_best_torus_avx512(*graph_, u, target);
+               ? kSimdSelect1D[masks](*graph_, *view_, u, target)
+               : kSimdSelectTorus[masks](*graph_, *view_, u, target);
   }
 #endif
   const bool one_sided = config_.sidedness == Sidedness::kOneSided;

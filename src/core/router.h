@@ -81,6 +81,11 @@ struct RouterConfig {
   std::size_t ttl = 0;
   /// Record the sequence of visited nodes in RouteResult::path.
   bool record_path = false;
+  /// Force the scalar selection table even where the vectorized scan is
+  /// eligible. Results are identical by construction; tests and benches use
+  /// this to pin SIMD against scalar on one host without mutating the
+  /// process environment (P2P_NO_SIMD=1 is the env-level equivalent).
+  bool force_scalar = false;
 };
 
 /// Outcome of one routed search.
@@ -178,12 +183,18 @@ class Router {
 
   [[nodiscard]] std::size_t effective_ttl() const noexcept;
 
+  /// True when this (graph, config, CPU) combination dispatches the
+  /// vectorized rank-0 selection — intact and failure-masked variants alike.
+  /// Informational (benches, tests asserting the fast path is actually
+  /// exercised); selection results never depend on it.
+  [[nodiscard]] bool simd_eligible() const noexcept { return simd_ok_; }
+
  private:
   const graph::OverlayGraph* graph_;
   const failure::FailureView* view_;
   RouterConfig config_;
   /// True when this (graph, config, CPU) combination may take the vectorized
-  /// rank-0 selection fast path; per-call view intactness still gates it.
+  /// rank-0 selection fast path (see simd_eligible()).
   bool simd_ok_ = false;
 };
 

@@ -18,16 +18,20 @@ FailureView FailureView::with_node_failures(const graph::OverlayGraph& g, double
   util::require(p_fail >= 0.0 && p_fail <= 1.0,
                 "with_node_failures: p_fail must be in [0,1]");
   FailureView view(g);
-  view.node_dead_.assign(words_for(g.size()), 0);
   view.alive_count_ = g.size();
+  view.ensure_node_bits();
   for (graph::NodeId u = 0; u < g.size(); ++u) {
     if (rng.next_bool(p_fail)) {
       set_bit(view.node_dead_, u);
+      view.node_alive_byte_[u] = 0;
       --view.alive_count_;
     }
   }
   // A draw that killed nobody keeps the all-alive fast path.
-  if (view.alive_count_ == g.size()) view.node_dead_.clear();
+  if (view.alive_count_ == g.size()) {
+    view.node_dead_.clear();
+    view.node_alive_byte_.clear();
+  }
   return view;
 }
 
@@ -38,7 +42,8 @@ FailureView FailureView::with_link_failures(const graph::OverlayGraph& g,
   FailureView view(g);
   view.alive_count_ = g.size();
   view.link_slots_ = g.edge_slots();
-  view.link_dead_.assign(words_for(view.link_slots_), 0);
+  // +1: guard word so link_live_word's two-word window stays in bounds.
+  view.link_dead_.assign(words_for(view.link_slots_) + 1, 0);
   bool any_dead = false;
   for (graph::NodeId u = 0; u < g.size(); ++u) {
     const std::size_t base = g.edge_base(u);
@@ -77,9 +82,10 @@ graph::NodeId FailureView::random_alive(util::Rng& rng) const {
 
 void FailureView::kill_node(graph::NodeId u) {
   util::require_in_range(u < graph_->size(), "kill_node: node out of range");
-  if (node_dead_.empty()) node_dead_.assign(words_for(graph_->size()), 0);
+  ensure_node_bits();
   if (!test_bit(node_dead_, u)) {
     set_bit(node_dead_, u);
+    node_alive_byte_[u] = 0;
     --alive_count_;
   }
 }
@@ -89,16 +95,24 @@ void FailureView::revive_node(graph::NodeId u) {
   if (node_dead_.empty()) return;
   if (test_bit(node_dead_, u)) {
     reset_bit(node_dead_, u);
+    node_alive_byte_[u] = 1;
     ++alive_count_;
   }
+}
+
+void FailureView::ensure_node_bits() {
+  if (!node_dead_.empty()) return;
+  node_dead_.assign(words_for(graph_->size()), 0);
+  node_alive_byte_.assign(graph_->size() + kNodeBytePad, 1);
 }
 
 void FailureView::ensure_link_bits() {
   if (link_dead_.empty()) {
     // First link bit: key the bitset to the graph's current slot layout.
+    // +1: guard word so link_live_word's two-word window stays in bounds.
     graph_generation_ = graph_->structural_generation();
     link_slots_ = graph_->edge_slots();
-    link_dead_.assign(words_for(link_slots_), 0);
+    link_dead_.assign(words_for(link_slots_) + 1, 0);
     return;
   }
   // Structural growth moves flat slots, silently mis-keying every bit
@@ -154,14 +168,13 @@ void FailureView::apply(const FailureDelta& delta) {
                   "delta's slots were recorded");
     ensure_link_bits();
   }
-  if (!delta.node_kills.empty() && node_dead_.empty()) {
-    node_dead_.assign(words_for(graph_->size()), 0);
-  }
+  if (!delta.node_kills.empty()) ensure_node_bits();
   for (const graph::NodeId u : delta.node_kills) {
     util::require_in_range(u < graph_->size(), "apply: node out of range");
     util::require(!test_bit(node_dead_, u),
                   "apply: kill of a dead node (delta not normalized)");
     set_bit(node_dead_, u);
+    node_alive_byte_[u] = 0;
     --alive_count_;
   }
   for (const graph::NodeId u : delta.node_revives) {
@@ -169,6 +182,7 @@ void FailureView::apply(const FailureDelta& delta) {
     util::require(!node_dead_.empty() && test_bit(node_dead_, u),
                   "apply: revive of a live node (delta not normalized)");
     reset_bit(node_dead_, u);
+    node_alive_byte_[u] = 1;
     ++alive_count_;
   }
   for (const std::uint32_t slot : delta.link_kills) {
@@ -199,14 +213,16 @@ void FailureView::revert(const FailureDelta& delta) {
     util::require(!node_dead_.empty() && test_bit(node_dead_, u),
                   "revert: node not dead (wrong delta for this epoch)");
     reset_bit(node_dead_, u);
+    node_alive_byte_[u] = 1;
     ++alive_count_;
   }
   for (const graph::NodeId u : delta.node_revives) {
     util::require_in_range(u < graph_->size(), "revert: node out of range");
-    if (node_dead_.empty()) node_dead_.assign(words_for(graph_->size()), 0);
+    ensure_node_bits();
     util::require(!test_bit(node_dead_, u),
                   "revert: node not alive (wrong delta for this epoch)");
     set_bit(node_dead_, u);
+    node_alive_byte_[u] = 0;
     --alive_count_;
   }
   if (!delta.link_kills.empty() || !delta.link_revives.empty()) {

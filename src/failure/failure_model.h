@@ -125,6 +125,31 @@ class FailureView {
            node_alive(graph_->neighbors(u)[link_index]);
   }
 
+  /// 64 link-liveness bits starting at flat CSR slot `first`: bit k is set
+  /// iff slot first+k is alive. Link slots are per-node contiguous
+  /// (edge_base(u)+i), so a node's whole <=64-link slice is one call and the
+  /// SIMD candidate scan refetches every 64 links; bits at or past
+  /// edge_slots() read as alive (a guard word keeps the two-word window in
+  /// bounds). Precondition: !links_intact() and first < edge_slots().
+  [[nodiscard]] std::uint64_t link_live_word(std::size_t first) const noexcept {
+    assert(!link_dead_.empty() && first < link_slots_);
+    assert(graph_->structural_generation() == graph_generation_ &&
+           "FailureView: graph changed structurally; rebuild the view");
+    const std::size_t w = first >> 6;
+    const unsigned sh = static_cast<unsigned>(first & 63);
+    std::uint64_t dead = link_dead_[w] >> sh;
+    if (sh != 0) dead |= link_dead_[w + 1] << (64 - sh);
+    return ~dead;
+  }
+
+  /// Byte-addressable node-liveness sideband: bytes[u] == 1 iff node u is
+  /// alive. nullptr while nodes_intact(). The SIMD candidate scan gathers
+  /// these bytes (one 4-byte load per lane at arbitrary offsets — the array
+  /// is padded past size()) instead of bit-testing node_dead_ per candidate.
+  [[nodiscard]] const std::uint8_t* node_alive_bytes() const noexcept {
+    return node_alive_byte_.empty() ? nullptr : node_alive_byte_.data();
+  }
+
   [[nodiscard]] std::size_t alive_count() const noexcept { return alive_count_; }
 
   /// Draws a uniformly random alive node. Precondition: alive_count() > 0.
@@ -176,9 +201,21 @@ class FailureView {
   /// has structurally changed since (slots would be mis-keyed).
   void ensure_link_bits();
 
+  /// Allocates node_dead_ and the byte sideband together on first node
+  /// death; the two must never exist separately (the SIMD scan trusts
+  /// node_alive_bytes() whenever nodes_intact() is false).
+  void ensure_node_bits();
+
+  /// Gather lanes read 4 bytes at node_alive_byte_[v]; padding keeps the
+  /// load in bounds for v = size()-1.
+  static constexpr std::size_t kNodeBytePad = 8;
+
   const graph::OverlayGraph* graph_;
   std::vector<std::uint64_t> node_dead_;  // packed, 1 = dead; empty = all alive
-  std::vector<std::uint64_t> link_dead_;  // packed over CSR slots; empty = all alive
+  /// bytes[u] == 1 iff u alive; empty exactly when node_dead_ is. Kept in
+  /// lockstep by every mutator so the router can gather bytes per candidate.
+  std::vector<std::uint8_t> node_alive_byte_;
+  std::vector<std::uint64_t> link_dead_;  // packed over CSR slots (+ guard word)
   std::size_t link_slots_ = 0;  // edge_slots() when link_dead_ was allocated
   std::size_t alive_count_ = 0;
   std::uint64_t epoch_ = 0;             // delta-log cursor (see apply/revert)

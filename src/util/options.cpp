@@ -47,6 +47,9 @@ ScaleOptions scale_options_from_env() {
   opts.trials = static_cast<std::size_t>(env_u64("P2P_TRIALS", 0));
   opts.messages = static_cast<std::size_t>(env_u64("P2P_MESSAGES", 0));
   opts.seed = env_u64("P2P_SEED", opts.seed);
+  opts.batch_width = static_cast<std::size_t>(env_u64("P2P_WIDTH", 0));
+  opts.prefetch_distance = static_cast<std::size_t>(
+      env_u64("P2P_PREFETCH", ScaleOptions::kUnsetPrefetch));
   return opts;
 }
 

@@ -10,6 +10,13 @@
 //   P2P_MESSAGES=<int>              override messages per simulation
 //   P2P_SEED=<int>                  override master seed
 //   P2P_CSV=1                       CSV output (see util/table.h)
+//   P2P_WIDTH=<int>                 override route_batch width
+//   P2P_PREFETCH=<int>              override route_batch prefetch distance
+//                                   (0 disables the lookahead prefetch)
+//
+// P2P_WIDTH/P2P_PREFETCH shape the batch pipeline (core::BatchConfig) so
+// width/prefetch perf sweeps don't need recompiles; bench_common.h's
+// batch_config_from_env() applies them.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +34,14 @@ struct ScaleOptions {
   /// Multiplier applied to a bench's default sizes: 1.0 for "default",
   /// <1 for "smoke", and the paper's exact sizes for "paper".
   enum class Preset { kSmoke, kDefault, kPaper } preset = Preset::kDefault;
+
+  /// Sentinel for "P2P_PREFETCH unset" (0 itself is meaningful: it disables
+  /// the batch pipeline's lookahead prefetch).
+  static constexpr std::size_t kUnsetPrefetch = static_cast<std::size_t>(-1);
+  /// route_batch shape overrides; 0 / kUnsetPrefetch keep the caller's
+  /// defaults.
+  std::size_t batch_width = 0;
+  std::size_t prefetch_distance = kUnsetPrefetch;
 
   /// Resolves a size: explicit override > preset-scaled default.
   [[nodiscard]] std::size_t resolve_nodes(std::size_t dflt, std::size_t paper) const;

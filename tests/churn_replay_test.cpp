@@ -198,6 +198,141 @@ TEST(TraceGen, AdversarialWavesHitTheTopHubs) {
   for (const NodeId u : hubs) EXPECT_TRUE(adversary.is_byzantine(u));
 }
 
+TEST(TraceGen, TorusRegionalOutagesAreRectangles) {
+  util::Rng build_rng(12);
+  const auto g = graph::build_kleinberg_overlay(32, 3, 2.0, build_rng);
+  const metric::Torus2D torus = g.space().as_torus();
+  TraceSpec spec;
+  spec.scenario = TraceSpec::Scenario::kRegionalOutage;
+  spec.duration = 400.0;
+  spec.region_fraction = 0.05;  // ~51 nodes -> a ~7x8 block
+  spec.outages = 4;
+  util::Rng rng(13);
+  const auto log = make_trace(g, spec, rng);  // kAuto resolves to kRect
+  ASSERT_EQ(log.size(), 8u);  // kill + revive per outage
+  const std::size_t target = static_cast<std::size_t>(0.05 * g.size());
+  for (std::size_t e = 0; e < log.size(); e += 2) {
+    const auto& kills = log.delta(e).node_kills;
+    ASSERT_GE(kills.size(), target) << "outage " << e;
+    // The footprint is a lattice rectangle: both axes span a contiguous
+    // wrapped run whose extents multiply out to the kill count.
+    std::set<std::uint32_t> rows, cols;
+    for (const NodeId u : kills) {
+      const auto [row, col] = torus.coords(g.position(u));
+      rows.insert(row);
+      cols.insert(col);
+    }
+    const auto wrapped_extent = [&](const std::set<std::uint32_t>& axis) {
+      // The rectangle's span along one axis: side minus the biggest circular
+      // gap between present coordinates, plus one.
+      std::size_t best_gap = 0;
+      std::uint32_t prev = *axis.rbegin();
+      bool first = true;
+      for (const std::uint32_t v : axis) {
+        const std::uint32_t step =
+            first ? static_cast<std::uint32_t>(
+                        (v + torus.side() - *axis.rbegin()) % torus.side())
+                  : v - prev;
+        if (!first || axis.size() > 1) {
+          best_gap = std::max<std::size_t>(best_gap, step);
+        }
+        prev = v;
+        first = false;
+      }
+      return axis.size() == 1 ? std::size_t{1}
+                              : static_cast<std::size_t>(torus.side()) -
+                                    best_gap + 1;
+    };
+    EXPECT_EQ(wrapped_extent(rows) * wrapped_extent(cols), kills.size())
+        << "outage " << e << " is not a full rectangle";
+    EXPECT_EQ(log.delta(e + 1).node_revives.size(), kills.size());
+  }
+}
+
+TEST(TraceGen, TorusL1BallOutagesRespectTheMetric) {
+  util::Rng build_rng(14);
+  const auto g = graph::build_kleinberg_overlay(32, 3, 2.0, build_rng);
+  TraceSpec spec;
+  spec.scenario = TraceSpec::Scenario::kRegionalOutage;
+  spec.region_shape = TraceSpec::RegionShape::kL1Ball;
+  spec.duration = 100.0;
+  spec.region_fraction = 0.04;  // ~41 nodes -> radius 4 ball (41 points)
+  spec.outages = 2;
+  util::Rng rng(15);
+  const auto log = make_trace(g, spec, rng);
+  ASSERT_EQ(log.size(), 4u);
+  const metric::Space& space = g.space();
+  for (std::size_t e = 0; e < log.size(); e += 2) {
+    const auto& kills = log.delta(e).node_kills;
+    ASSERT_FALSE(kills.empty());
+    // An L1 ball has a center: some killed node within distance r of every
+    // other, where |ball(r)| = 2r(r+1)+1 = kill count.
+    std::int64_t r = 0;
+    while (static_cast<std::size_t>(2 * r * (r + 1) + 1) < kills.size()) ++r;
+    ASSERT_EQ(static_cast<std::size_t>(2 * r * (r + 1) + 1), kills.size())
+        << "outage " << e << " kill count is not a whole lattice ball";
+    bool centered = false;
+    for (const NodeId c : kills) {
+      bool all_within = true;
+      for (const NodeId u : kills) {
+        if (space.distance(g.position(c), g.position(u)) >
+            static_cast<metric::Distance>(r)) {
+          all_within = false;
+          break;
+        }
+      }
+      if (all_within) {
+        centered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(centered) << "outage " << e << " has no L1 center";
+  }
+}
+
+TEST(TraceGen, TwoDimensionalShapesRejectedOffTheTorus) {
+  const auto g = make_graph(256, 4, 16);
+  TraceSpec spec;
+  spec.scenario = TraceSpec::Scenario::kRegionalOutage;
+  spec.region_shape = TraceSpec::RegionShape::kRect;
+  util::Rng rng(17);
+  EXPECT_THROW(static_cast<void>(make_trace(g, spec, rng)), std::invalid_argument);
+  spec.region_shape = TraceSpec::RegionShape::kL1Ball;
+  EXPECT_THROW(static_cast<void>(make_trace(g, spec, rng)), std::invalid_argument);
+  // Explicit arcs remain valid on the torus (the legacy row-stripe shape).
+  util::Rng build_rng(18);
+  const auto tg = graph::build_kleinberg_overlay(16, 2, 2.0, build_rng);
+  spec.region_shape = TraceSpec::RegionShape::kArc;
+  EXPECT_NO_THROW(static_cast<void>(make_trace(tg, spec, rng)));
+}
+
+TEST(TraceGen, AdversarialWavesHitTorusInDegreeHubs) {
+  util::Rng build_rng(19);
+  const auto g = graph::build_kleinberg_overlay(24, 4, 2.0, build_rng);
+  TraceSpec spec;
+  spec.scenario = TraceSpec::Scenario::kAdversarialWaves;
+  spec.duration = 100.0;
+  spec.wave_size = 12;
+  spec.wave_period = 100.0;  // exactly one wave
+  util::Rng rng(20);
+  const auto log = make_trace(g, spec, rng);
+  ASSERT_GE(log.size(), 1u);
+  const auto hubs = high_degree_targets(g, 12);
+  const auto& first = log.delta(0).node_kills;
+  EXPECT_EQ(std::set<NodeId>(first.begin(), first.end()),
+            std::set<NodeId>(hubs.begin(), hubs.end()));
+  // The hub ranking is by torus in-degree (reverse long links concentrate
+  // on Kleinberg's well-placed nodes), and the ByzantineSet bridge corrupts
+  // exactly that set.
+  const auto in = g.in_degrees();
+  for (std::size_t i = 1; i < hubs.size(); ++i) {
+    EXPECT_GE(in[hubs[i - 1]], in[hubs[i]]);
+  }
+  const auto adversary = hub_adversary(g, 12);
+  EXPECT_EQ(adversary.count(), 12u);
+  for (const NodeId u : hubs) EXPECT_TRUE(adversary.is_byzantine(u));
+}
+
 TEST(TraceGen, LinkFlapTouchesOnlyLongLinks) {
   const auto g = make_graph(256, 4, 10);
   TraceSpec spec;

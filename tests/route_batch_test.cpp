@@ -281,8 +281,9 @@ TEST(RouteBatch, WidthOneChurnMatchesSteppedSession) {
 
 TEST(RouteBatch, SimdAndScalarSelectionAgree) {
   // On AVX-512 hosts the default Router takes the vectorized rank-0 scan;
-  // P2P_NO_SIMD (read at Router construction) pins it against the scalar
-  // table on the same machine. On other hosts both routers are scalar and
+  // RouterConfig::force_scalar pins it against the scalar table on the same
+  // machine (the *_scalar CTest registration additionally covers the
+  // P2P_NO_SIMD env override). On other hosts both routers are scalar and
   // the test passes trivially.
   const OverlayGraph g = test_graph(2048, 9, 113);
   const auto intact = FailureView::all_alive(g);
@@ -305,9 +306,9 @@ TEST(RouteBatch, SimdAndScalarSelectionAgree) {
     cfg.stuck_policy = StuckPolicy::kBacktrack;
     cfg.record_path = true;
     const Router simd_router(g, *c.view, cfg);
-    setenv("P2P_NO_SIMD", "1", 1);
-    const Router scalar_router(g, *c.view, cfg);
-    unsetenv("P2P_NO_SIMD");
+    RouterConfig scalar_cfg = cfg;
+    scalar_cfg.force_scalar = true;
+    const Router scalar_router(g, *c.view, scalar_cfg);
     for (std::size_t i = 0; i < queries.size(); ++i) {
       util::Rng a(i), b(i);
       const RouteResult with_simd =

@@ -223,18 +223,20 @@ TEST(TorusOverlay, FailureViewKillReviveSmoke) {
 
 TEST(TorusOverlay, SimdAndScalarSelectionAgreeOnTorus) {
   // On AVX-512 hosts the intact two-sided torus takes the vectorized scan
-  // (reciprocal-multiplication row/col split); P2P_NO_SIMD pins it against
-  // the scalar table on the same machine, and both against the allocating
-  // candidates() reference. Odd and non-power-of-two sides exercise the
-  // wrap halves and the fixup paths. Elsewhere the test passes trivially.
+  // (reciprocal-multiplication row/col split); RouterConfig::force_scalar
+  // pins it against the scalar table on the same machine, and both against
+  // the allocating candidates() reference (the *_scalar CTest registration
+  // additionally covers the P2P_NO_SIMD env override). Odd and
+  // non-power-of-two sides exercise the wrap halves and the fixup paths.
+  // Elsewhere the test passes trivially.
   for (const std::uint32_t side : {17u, 32u, 45u}) {
     util::Rng rng(side);
     const auto g = graph::build_kleinberg_overlay(side, 3, 2.0, rng);
     const auto view = failure::FailureView::all_alive(g);
     const core::Router simd_router(g, view);
-    setenv("P2P_NO_SIMD", "1", 1);
-    const core::Router scalar_router(g, view);
-    unsetenv("P2P_NO_SIMD");
+    core::RouterConfig scalar_cfg;
+    scalar_cfg.force_scalar = true;
+    const core::Router scalar_router(g, view, scalar_cfg);
     util::Rng pick(side + 1);
     for (int trial = 0; trial < 2000; ++trial) {
       const auto u = static_cast<NodeId>(pick.next_below(g.size()));

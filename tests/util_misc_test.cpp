@@ -111,6 +111,21 @@ TEST(Options, PresetScaling) {
   EXPECT_EQ(opts.resolve_nodes(1024, 131072), 1024u);
 }
 
+TEST(Options, BatchShapeFromEnv) {
+  ::unsetenv("P2P_WIDTH");
+  ::unsetenv("P2P_PREFETCH");
+  auto opts = scale_options_from_env();
+  EXPECT_EQ(opts.batch_width, 0u);  // 0 = keep the caller's default
+  EXPECT_EQ(opts.prefetch_distance, ScaleOptions::kUnsetPrefetch);
+  ::setenv("P2P_WIDTH", "64", 1);
+  ::setenv("P2P_PREFETCH", "0", 1);  // 0 is meaningful: prefetch disabled
+  opts = scale_options_from_env();
+  EXPECT_EQ(opts.batch_width, 64u);
+  EXPECT_EQ(opts.prefetch_distance, 0u);
+  ::unsetenv("P2P_WIDTH");
+  ::unsetenv("P2P_PREFETCH");
+}
+
 TEST(Options, ExplicitOverrideBeatsPreset) {
   ::setenv("P2P_SCALE", "paper", 1);
   ::setenv("P2P_NODES", "4096", 1);
