@@ -18,7 +18,7 @@ int main() {
   const std::size_t trials = opts.resolve_trials(6, 20);
   const std::size_t messages = opts.resolve_messages(200, 1000);
   bench::banner("Ablation: router variants", n, links, trials, messages);
-  util::ThreadPool pool;
+  util::ThreadPool pool = bench::pool_from_env();
 
   const auto sweep = [&](const core::RouterConfig& cfg, double p_fail) {
     const auto rows = sim::run_trials_multi(

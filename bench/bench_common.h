@@ -93,6 +93,18 @@ inline core::BatchConfig batch_config_from_env(core::BatchConfig dflt = {}) {
   return dflt;
 }
 
+/// Thread count from the environment: P2P_THREADS overrides, 0/unset means
+/// hardware concurrency — the one resolution every bench, example and the
+/// routing service share.
+inline std::size_t thread_count_from_env() {
+  return util::scale_options_from_env().threads;
+}
+
+/// A ThreadPool sized by P2P_THREADS (hardware concurrency when unset).
+inline util::ThreadPool pool_from_env() {
+  return util::ThreadPool(thread_count_from_env());
+}
+
 /// One graph + failure view + message batch measurement — the setup block
 /// previously copy-pasted across the theorem/table benches.
 struct TrialSpec {

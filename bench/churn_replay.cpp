@@ -120,7 +120,7 @@ int main() {
   const auto messages =
       static_cast<std::size_t>(util::env_u64("P2P_MESSAGES", 1 << 18));
 
-  util::ThreadPool pool;
+  util::ThreadPool pool = bench::pool_from_env();
   util::Rng rng(42);
   graph::BuildSpec spec = bench::power_law_spec(m.nodes, bench::lg_links(m.nodes));
   const auto t_build = std::chrono::steady_clock::now();

@@ -40,7 +40,7 @@ int main() {
       {"reroute", core::StuckPolicy::kRandomReroute},
       {"backtrack", core::StuckPolicy::kBacktrack}};
 
-  util::ThreadPool pool;
+  util::ThreadPool pool = bench::pool_from_env();
   util::Table fail_table(
       {"p_failed_nodes", "terminate", "reroute", "backtrack"});
   util::Table hops_table(

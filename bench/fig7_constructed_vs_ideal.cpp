@@ -38,7 +38,7 @@ int main() {
             .snapshot(/*bidirectional=*/true));
   }
 
-  util::ThreadPool pool;
+  util::ThreadPool pool = bench::pool_from_env();
   util::Table table({"p_node_failure", "ideal_failed", "constructed_failed"});
   const core::RouterConfig cfg;  // terminate policy, as in the paper's Fig 7
   for (const double p : ps) {

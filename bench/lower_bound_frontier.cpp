@@ -31,7 +31,7 @@ int main() {
   // Walks are independent, so each sweep point fans its trials across the
   // pool with one Rng substream per walk (deterministic for any core count);
   // the per-call seeds come off one top-level stream.
-  util::ThreadPool pool;
+  util::ThreadPool pool = bench::pool_from_env();
   util::Rng rng(opts.seed);
 
   const double lower_one = analysis::lower_one_sided(n, links);

@@ -369,7 +369,7 @@ JsonMetrics measure_headline() {
   // Pool-parallel long-link sampling (bit-identical graph to the serial
   // build above, same seed).
   {
-    util::ThreadPool pool;
+    util::ThreadPool pool = bench::pool_from_env();
     m.build_threads = pool.thread_count();
     util::Rng build_rng(42);
     const auto t_parallel = std::chrono::steady_clock::now();

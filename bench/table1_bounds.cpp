@@ -28,7 +28,7 @@ using namespace p2p;
 /// Shared trial pool: each row's sweep fans its trials across the pool and
 /// batch-routes its message load (bench::TrialSpec / averaged_trial_hops).
 util::ThreadPool& trial_pool() {
-  static util::ThreadPool pool;
+  static util::ThreadPool pool(bench::thread_count_from_env());
   return pool;
 }
 

@@ -58,7 +58,7 @@ int main() {
   const std::size_t messages = opts.resolve_messages(300, 1000);
   bench::banner("Theorem-by-theorem scaling checks", n, 0, trials, messages);
 
-  util::ThreadPool pool;
+  util::ThreadPool pool = bench::pool_from_env();
   const auto averaged = [&](const bench::TrialSpec& spec, std::uint64_t salt) {
     return bench::averaged_trial_hops(pool, spec, trials, messages,
                                       opts.seed + salt * 65537);

@@ -25,6 +25,7 @@
 #include "failure/failure_model.h"
 #include "graph/graph_builder.h"
 #include "sim/event_queue.h"
+#include "util/options.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -35,7 +36,7 @@ int main() {
   constexpr std::size_t kLinks = 15;  // lg n
   constexpr std::size_t kQueries = 1 << 15;
 
-  util::ThreadPool pool;
+  util::ThreadPool pool(util::scale_options_from_env().threads);
   util::Rng build_rng(2002);
   graph::BuildSpec spec;
   spec.grid_size = kNodes;

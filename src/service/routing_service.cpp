@@ -1,0 +1,133 @@
+#include "service/routing_service.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/options.h"
+#include "util/require.h"
+
+namespace p2p::service {
+
+std::size_t RoutingService::resolve_workers(std::size_t requested) {
+  if (requested != 0) return requested;
+  const util::ScaleOptions opts = util::scale_options_from_env();
+  if (opts.threads != 0) return opts.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw < 1 ? 1 : hw;
+}
+
+RoutingService::RoutingService(ViewPublisher& publisher, ServiceConfig config)
+    : publisher_(&publisher),
+      config_(config),
+      pool_(resolve_workers(config.workers)) {
+  util::require(config_.stripe >= 1, "RoutingService: stripe must be >= 1");
+  config_.workers = pool_.thread_count();
+  // Validate the router configuration against the graph now, on the calling
+  // thread: pool tasks must never throw (ThreadPool terminates on escaping
+  // exceptions), so every worker-side Router construction below repeats a
+  // validation that already passed here.
+  Reader probe = publisher_->make_reader();
+  const ViewSnapshot* snap = probe.pin();
+  const core::Router check(publisher_->graph(), snap->view, config_.router);
+  static_cast<void>(check);
+}
+
+RoutingService::~RoutingService() {
+  // route_all() is synchronous, so by contract no job is in flight when the
+  // owner destroys the service; the pool destructor joins its idle workers.
+  request_stop();
+}
+
+void RoutingService::worker_loop(Job& job) {
+  Reader reader = publisher_->make_reader();
+  const graph::OverlayGraph& g = publisher_->graph();
+  while (!stop_.load(std::memory_order_seq_cst)) {
+    const std::size_t k =
+        job.next_stripe.fetch_add(1, std::memory_order_relaxed);
+    if (k >= job.stripe_count) break;
+    const std::size_t lo = k * job.stripe;
+    const std::size_t hi = std::min(job.queries.size(), lo + job.stripe);
+
+    const ViewSnapshot* snap = reader.pin();
+    // A fresh Router per stripe binds this stripe to one immutable snapshot;
+    // construction is a handful of field stores plus the SIMD eligibility
+    // check, amortized over `stripe` queries.
+    const core::Router router(g, snap->view, config_.router);
+    core::BatchPipeline pipeline(
+        router, job.queries.subspan(lo, hi - lo),
+        job.results.subspan(lo, hi - lo),
+        stripe_seed_base(config_.seed, k), config_.batch);
+    pipeline.run();
+    job.epoch_by_stripe[k] = snap->epoch;
+    const std::uint64_t latest = publisher_->latest_epoch();
+    job.staleness_by_stripe[k] =
+        latest > snap->epoch ? latest - snap->epoch : 0;
+    reader.unpin();
+    job.stripes_done.fetch_add(1, std::memory_order_release);
+  }
+  std::lock_guard lock(done_mutex_);
+  if (--workers_remaining_ == 0) done_cv_.notify_all();
+}
+
+ServiceStats RoutingService::route_all(std::span<const core::Query> queries,
+                                       std::span<core::RouteResult> results) {
+  util::require(results.size() >= queries.size(),
+                "RoutingService: results span shorter than queries");
+  const graph::OverlayGraph& g = publisher_->graph();
+  for (const core::Query& q : queries) {
+    util::require_in_range(q.src < g.size(),
+                           "RoutingService: query src out of range");
+    util::require(g.space().contains(q.target),
+                  "RoutingService: query target outside space");
+  }
+
+  Job job;
+  job.queries = queries;
+  job.results = results;
+  job.stripe = config_.stripe;
+  job.stripe_count = (queries.size() + job.stripe - 1) / job.stripe;
+  job.epoch_by_stripe.assign(job.stripe_count, 0);
+  job.staleness_by_stripe.assign(job.stripe_count, 0);
+
+  {
+    std::lock_guard lock(done_mutex_);
+    workers_remaining_ = pool_.thread_count();
+  }
+  for (std::size_t w = 0; w < pool_.thread_count(); ++w) {
+    pool_.submit([this, &job] { worker_loop(job); });
+  }
+  {
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock, [this] { return workers_remaining_ == 0; });
+  }
+
+  ServiceStats stats;
+  stats.queries = queries.size();
+  stats.stripes = job.stripes_done.load(std::memory_order_acquire);
+  // Stripes are claimed in fetch-add order and every claimed stripe is
+  // completed, so the routed queries are exactly the stripe-grid prefix.
+  stats.routed = stats.stripes == job.stripe_count
+                     ? queries.size()
+                     : stats.stripes * job.stripe;
+  double hop_sum = 0.0;
+  for (std::size_t i = 0; i < stats.routed; ++i) {
+    if (results[i].delivered()) {
+      ++stats.delivered;
+      hop_sum += static_cast<double>(results[i].hops);
+    }
+  }
+  stats.mean_hops_delivered =
+      stats.delivered == 0 ? 0.0 : hop_sum / static_cast<double>(stats.delivered);
+  if (stats.stripes > 0) {
+    stats.min_epoch = stats.max_epoch = job.epoch_by_stripe[0];
+    stats.staleness.reserve(stats.stripes);
+    for (std::size_t k = 0; k < stats.stripes; ++k) {
+      stats.min_epoch = std::min(stats.min_epoch, job.epoch_by_stripe[k]);
+      stats.max_epoch = std::max(stats.max_epoch, job.epoch_by_stripe[k]);
+      stats.staleness.push_back(job.staleness_by_stripe[k]);
+    }
+  }
+  return stats;
+}
+
+}  // namespace p2p::service

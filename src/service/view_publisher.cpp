@@ -1,0 +1,125 @@
+#include "service/view_publisher.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/require.h"
+
+namespace p2p::service {
+
+ViewPublisher::ViewPublisher(failure::FailureView initial,
+                             std::size_t max_readers)
+    : writer_view_(std::move(initial)), slots_(max_readers) {
+  util::require(max_readers >= 1, "ViewPublisher: max_readers must be >= 1");
+  auto snap = std::make_unique<ViewSnapshot>(
+      ViewSnapshot{writer_view_, writer_view_.epoch(), 0});
+  latest_epoch_.store(snap->epoch, std::memory_order_seq_cst);
+  head_.store(snap.release(), std::memory_order_seq_cst);
+}
+
+ViewPublisher::~ViewPublisher() {
+#ifndef NDEBUG
+  for (const Slot& slot : slots_) {
+    assert(!slot.in_use.load(std::memory_order_acquire) &&
+           "ViewPublisher destroyed while a Reader is still registered");
+  }
+#endif
+  delete head_.load(std::memory_order_relaxed);
+  // retired_ / free_pool_ unique_ptrs clean themselves up.
+}
+
+const ViewSnapshot* ViewPublisher::publish() {
+  std::unique_ptr<ViewSnapshot> snap;
+  {
+    std::lock_guard lock(lists_mutex_);
+    if (!free_pool_.empty()) {
+      snap = std::move(free_pool_.back());
+      free_pool_.pop_back();
+    }
+  }
+  if (snap == nullptr) {
+    snap = std::make_unique<ViewSnapshot>(ViewSnapshot{writer_view_, 0, 0});
+  } else {
+    // Copy-assignment reuses the pooled snapshot's bitset capacity: the
+    // steady-state publish is a memcpy, not an allocation.
+    snap->view = writer_view_;
+  }
+  snap->epoch = writer_view_.epoch();
+  snap->sequence = sequence_.load(std::memory_order_relaxed) + 1;
+
+  ViewSnapshot* published = snap.release();
+  ViewSnapshot* old = head_.exchange(published, std::memory_order_seq_cst);
+  // The retire stamp is taken *after* `old` left head_: any reader still
+  // able to hold `old` announced a value strictly below it (see header).
+  const std::uint64_t stamp =
+      sequence_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  latest_epoch_.store(published->epoch, std::memory_order_seq_cst);
+  {
+    std::lock_guard lock(lists_mutex_);
+    retired_.push_back(Retired{std::unique_ptr<ViewSnapshot>(old), stamp});
+    reclaim_locked();
+  }
+  return published;
+}
+
+const ViewSnapshot* ViewPublisher::apply_and_publish(
+    const failure::FailureDelta& delta) {
+  writer_view_.apply(delta);
+  return publish();
+}
+
+std::uint64_t ViewPublisher::min_announced() const noexcept {
+  std::uint64_t min = kQuiescent;
+  for (const Slot& slot : slots_) {
+    // Unregistered slots announce kQuiescent, so no in_use check is needed.
+    min = std::min(min, slot.announced.load(std::memory_order_seq_cst));
+  }
+  return min;
+}
+
+std::size_t ViewPublisher::reclaim_locked() {
+  if (retired_.empty()) return 0;
+  const std::uint64_t floor = min_announced();
+  std::size_t freed = 0;
+  auto keep = retired_.begin();
+  for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+    if (it->stamp <= floor) {
+      free_pool_.push_back(std::move(it->snapshot));
+      ++freed;
+    } else {
+      *keep++ = std::move(*it);
+    }
+  }
+  retired_.erase(keep, retired_.end());
+  if (freed > 0) reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+std::size_t ViewPublisher::reclaim() {
+  std::lock_guard lock(lists_mutex_);
+  return reclaim_locked();
+}
+
+Reader ViewPublisher::make_reader() {
+  std::lock_guard lock(lists_mutex_);
+  for (Slot& slot : slots_) {
+    if (!slot.in_use.load(std::memory_order_relaxed)) {
+      slot.in_use.store(true, std::memory_order_relaxed);
+      slot.announced.store(kQuiescent, std::memory_order_seq_cst);
+      return Reader(this, &slot);
+    }
+  }
+  util::require(false, "ViewPublisher: all reader slots in use");
+  return Reader();  // unreachable
+}
+
+std::uint64_t ViewPublisher::reclaimed() const noexcept {
+  return reclaimed_.load(std::memory_order_relaxed);
+}
+
+std::size_t ViewPublisher::retired_pending() const {
+  std::lock_guard lock(lists_mutex_);
+  return retired_.size();
+}
+
+}  // namespace p2p::service

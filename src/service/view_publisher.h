@@ -1,0 +1,235 @@
+// Epoch publication of FailureView snapshots: one churn writer, many
+// wait-free readers (ROADMAP: "Concurrent routing service").
+//
+// Everything below the service layer is single-threaded by design: a
+// FailureView is mutated in place by churn deltas, and a Router reads it on
+// every hop. To serve a shared query stream from many router threads while
+// one churn writer advances epochs, the writer's view must become *published
+// state*: immutable per-epoch snapshots that readers can route against for
+// the duration of a batch without ever blocking the writer or observing a
+// half-applied delta.
+//
+// The protocol is epoch-based reclamation (EBR) over whole-view snapshots:
+//
+//   writer                                reader (per worker thread)
+//   ──────                                ──────
+//   apply deltas to private view          a = sequence()          (announce)
+//   copy view into a snapshot             slot <- a
+//   head <- snapshot        (publish)     s = head                (pin)
+//   retire old head, stamp = ++sequence   ... route against s->view ...
+//   free retired stamps <= min(slots)     slot <- quiescent       (unpin)
+//
+// Correctness of the reclaim rule: a reader that obtained snapshot S from
+// `head` announced some a *before* its head load; S's retire stamp is
+// sequence+1 taken *after* S was swapped out of head; seq_cst ordering on
+// the three operations (announce store, head load/exchange, sequence
+// fetch_add) then gives a < stamp(S) for every reader that can still hold S,
+// so a retired snapshot whose stamp is <= the minimum announced value is
+// unreachable and safe to free. Readers are wait-free (three atomic ops per
+// pin, no retry loop); the writer is never blocked — a stalled reader only
+// delays reclamation, never publication.
+//
+// Snapshots are full FailureView copies, not deltas: at n = 1e5 a node-churn
+// view is ~115 KB (packed bitset + byte sideband; the link bitset only
+// exists once link churn starts), and the writer coalesces — it may apply
+// many deltas per publish — so publication bandwidth is a policy knob, not a
+// per-delta cost. Reclaimed snapshots go to a free pool and are copy-assigned
+// over, so steady-state publication performs no allocation.
+//
+// Threading contract: publish()/writer_view()/reclaim() are single-writer
+// (one thread, the churn writer). make_reader() may be called from any
+// thread; each Reader is owned by exactly one reader thread. The publisher
+// must outlive every Reader.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "failure/failure_model.h"
+
+namespace p2p::service {
+
+/// One published, immutable (by contract) liveness state. Readers route
+/// against `view` between pin and unpin; they never mutate it.
+struct ViewSnapshot {
+  failure::FailureView view;
+  /// Churn epoch of `view` (== view.epoch()) at publication.
+  std::uint64_t epoch = 0;
+  /// Publication index: 0 for the constructor's initial snapshot, then one
+  /// per publish(). Strictly increasing — the monotonic staleness clock
+  /// (churn epochs may rewind under revert-driven traces; sequence never
+  /// does).
+  std::uint64_t sequence = 0;
+};
+
+class Reader;
+
+/// Single-writer, many-reader snapshot publication over one FailureView.
+class ViewPublisher {
+ public:
+  static constexpr std::size_t kDefaultMaxReaders = 64;
+
+  /// Publishes `initial` as snapshot 0. `max_readers` bounds concurrently
+  /// registered Readers (one cache line of announcement state each).
+  explicit ViewPublisher(failure::FailureView initial,
+                         std::size_t max_readers = kDefaultMaxReaders);
+
+  /// Precondition: every Reader has been destroyed (asserted in debug).
+  ~ViewPublisher();
+
+  ViewPublisher(const ViewPublisher&) = delete;
+  ViewPublisher& operator=(const ViewPublisher&) = delete;
+
+  // -- Writer side (one thread) ---------------------------------------------
+
+  /// The writer's private working view. Mutate freely (apply/revert/kill/
+  /// revive); nothing is visible to readers until publish().
+  [[nodiscard]] failure::FailureView& writer_view() noexcept {
+    return writer_view_;
+  }
+
+  /// The overlay every snapshot views (fixed for the publisher's lifetime).
+  [[nodiscard]] const graph::OverlayGraph& graph() const noexcept {
+    return writer_view_.graph();
+  }
+
+  /// Copies writer_view() into an immutable snapshot, swaps it in as the
+  /// latest, retires the previous head and reclaims whatever is safe.
+  /// Returns the published snapshot (valid until retired *and* unpinned
+  /// everywhere; the writer may read it freely until its next publish).
+  const ViewSnapshot* publish();
+
+  /// Applies one delta to the writer view and publishes. The per-delta
+  /// convenience path; rate-limited writers batch apply() calls on
+  /// writer_view() and publish() once per coalescing interval.
+  const ViewSnapshot* apply_and_publish(const failure::FailureDelta& delta);
+
+  /// Frees every retired snapshot no reader can still hold; returns how many
+  /// were freed. publish() calls this; exposed for drain/teardown tests.
+  std::size_t reclaim();
+
+  // -- Reader side ----------------------------------------------------------
+
+  /// Registers a reader slot. Thread-safe. Throws std::invalid_argument when
+  /// max_readers slots are already registered.
+  [[nodiscard]] Reader make_reader();
+
+  // -- Observability (any thread) -------------------------------------------
+
+  /// Sequence of the latest published snapshot (== publications - 1).
+  [[nodiscard]] std::uint64_t sequence() const noexcept {
+    return sequence_.load(std::memory_order_seq_cst);
+  }
+  /// Total snapshots published, the constructor's initial one included.
+  [[nodiscard]] std::uint64_t publications() const noexcept {
+    return sequence() + 1;
+  }
+  /// Churn epoch of the latest published snapshot.
+  [[nodiscard]] std::uint64_t latest_epoch() const noexcept {
+    return latest_epoch_.load(std::memory_order_seq_cst);
+  }
+  /// Snapshots freed so far (lifetime count).
+  [[nodiscard]] std::uint64_t reclaimed() const noexcept;
+  /// Retired snapshots still waiting on a pinned reader.
+  [[nodiscard]] std::size_t retired_pending() const;
+
+ private:
+  friend class Reader;
+
+  /// Announcement value meaning "this reader holds no snapshot".
+  static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+
+  /// One reader's announcement slot, padded to its own cache line so pin
+  /// traffic from different workers never false-shares.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> announced{kQuiescent};
+    std::atomic<bool> in_use{false};
+  };
+
+  struct Retired {
+    std::unique_ptr<ViewSnapshot> snapshot;
+    std::uint64_t stamp = 0;  ///< sequence value at retirement
+  };
+
+  [[nodiscard]] std::uint64_t min_announced() const noexcept;
+  std::size_t reclaim_locked();
+
+  failure::FailureView writer_view_;
+  std::atomic<ViewSnapshot*> head_;
+  std::atomic<std::uint64_t> sequence_{0};
+  std::atomic<std::uint64_t> latest_epoch_{0};
+  std::atomic<std::uint64_t> reclaimed_{0};
+  std::vector<Slot> slots_;
+
+  /// Guards retired_/free_pool_ (writer vs. the observability accessors and
+  /// Reader registration; never touched on the pin/unpin path).
+  mutable std::mutex lists_mutex_;
+  std::vector<Retired> retired_;
+  std::vector<std::unique_ptr<ViewSnapshot>> free_pool_;
+};
+
+/// RAII reader registration. pin() announces and returns the latest
+/// snapshot; the pointer stays valid until the next pin() or unpin() on this
+/// Reader. Movable, not copyable; use from one thread at a time.
+class Reader {
+ public:
+  Reader() = default;
+  Reader(Reader&& other) noexcept
+      : publisher_(other.publisher_), slot_(other.slot_) {
+    other.publisher_ = nullptr;
+    other.slot_ = nullptr;
+  }
+  Reader& operator=(Reader&& other) noexcept {
+    if (this != &other) {
+      release();
+      publisher_ = other.publisher_;
+      slot_ = other.slot_;
+      other.publisher_ = nullptr;
+      other.slot_ = nullptr;
+    }
+    return *this;
+  }
+  ~Reader() { release(); }
+
+  /// Pins and returns the latest published snapshot. Wait-free. A second
+  /// pin() re-announces: the previously returned snapshot may be reclaimed,
+  /// so finish with one snapshot before pinning the next.
+  [[nodiscard]] const ViewSnapshot* pin() noexcept {
+    const std::uint64_t a =
+        publisher_->sequence_.load(std::memory_order_seq_cst);
+    slot_->announced.store(a, std::memory_order_seq_cst);
+    return publisher_->head_.load(std::memory_order_seq_cst);
+  }
+
+  /// Releases the current pin; the reader holds nothing until the next
+  /// pin().
+  void unpin() noexcept {
+    slot_->announced.store(ViewPublisher::kQuiescent,
+                           std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] bool registered() const noexcept { return slot_ != nullptr; }
+
+ private:
+  friend class ViewPublisher;
+  Reader(ViewPublisher* publisher, ViewPublisher::Slot* slot) noexcept
+      : publisher_(publisher), slot_(slot) {}
+
+  void release() noexcept {
+    if (slot_ != nullptr) {
+      unpin();
+      slot_->in_use.store(false, std::memory_order_release);
+      slot_ = nullptr;
+      publisher_ = nullptr;
+    }
+  }
+
+  ViewPublisher* publisher_ = nullptr;
+  ViewPublisher::Slot* slot_ = nullptr;
+};
+
+}  // namespace p2p::service

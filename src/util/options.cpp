@@ -50,6 +50,7 @@ ScaleOptions scale_options_from_env() {
   opts.batch_width = static_cast<std::size_t>(env_u64("P2P_WIDTH", 0));
   opts.prefetch_distance = static_cast<std::size_t>(
       env_u64("P2P_PREFETCH", ScaleOptions::kUnsetPrefetch));
+  opts.threads = static_cast<std::size_t>(env_u64("P2P_THREADS", 0));
   return opts;
 }
 

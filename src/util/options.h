@@ -13,10 +13,15 @@
 //   P2P_WIDTH=<int>                 override route_batch width
 //   P2P_PREFETCH=<int>              override route_batch prefetch distance
 //                                   (0 disables the lookahead prefetch)
+//   P2P_THREADS=<int>               override thread count (ThreadPool fans,
+//                                   service::RoutingService workers;
+//                                   0/unset = hardware concurrency)
 //
 // P2P_WIDTH/P2P_PREFETCH shape the batch pipeline (core::BatchConfig) so
 // width/prefetch perf sweeps don't need recompiles; bench_common.h's
-// batch_config_from_env() applies them.
+// batch_config_from_env() applies them, and its pool_from_env() applies
+// P2P_THREADS, so every bench and the routing service pick their thread
+// count uniformly.
 #pragma once
 
 #include <cstddef>
@@ -42,6 +47,8 @@ struct ScaleOptions {
   /// defaults.
   std::size_t batch_width = 0;
   std::size_t prefetch_distance = kUnsetPrefetch;
+  /// Worker-thread override (P2P_THREADS); 0 = hardware concurrency.
+  std::size_t threads = 0;
 
   /// Resolves a size: explicit override > preset-scaled default.
   [[nodiscard]] std::size_t resolve_nodes(std::size_t dflt, std::size_t paper) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/require.h"
+
 namespace p2p::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -23,18 +25,36 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::enqueue(std::function<void()> task, std::size_t max_pending) {
   {
     std::unique_lock lock(mutex_);
+    if (max_pending != 0 && queue_.size() >= max_pending) {
+      ++bounded_waiters_;
+      space_available_.wait(lock,
+                            [&] { return queue_.size() < max_pending; });
+      --bounded_waiters_;
+    }
     queue_.push(std::move(task));
     ++in_flight_;
   }
   work_available_.notify_one();
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  enqueue(std::move(task), 0);
+}
+
+void ThreadPool::submit_bounded(std::function<void()> task,
+                                std::size_t max_pending) {
+  require(max_pending >= 1, "submit_bounded: max_pending must be >= 1");
+  enqueue(std::move(task), max_pending);
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
+  ++idle_waiters_;
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  --idle_waiters_;
 }
 
 void ThreadPool::parallel_for(std::size_t jobs, const std::function<void(std::size_t)>& fn) {
@@ -66,11 +86,14 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      if (bounded_waiters_ > 0) space_available_.notify_one();
     }
     task();
     {
       std::unique_lock lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      // Notify only when someone is actually blocked in wait_idle — the
+      // common fire-and-forget submit pattern pays no wakeup syscall here.
+      if (--in_flight_ == 0 && idle_waiters_ > 0) all_done_.notify_all();
     }
   }
 }

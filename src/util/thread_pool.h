@@ -2,21 +2,26 @@
 // across cores (CP.4: think in terms of tasks, not threads).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace p2p::util {
 
 /// Fixed pool of worker threads executing void() tasks FIFO.
 ///
-/// Exceptions escaping a task terminate the program (tasks are expected to
-/// capture and report their own failures); experiment drivers wrap user work
-/// accordingly.
+/// Idle workers and idle waiters block on condition variables — nothing in
+/// the pool spins — and completion/backpressure notifications only fire when
+/// someone is actually waiting, so a producer that never blocks pays no
+/// wakeup traffic. Exceptions escaping a task terminate the program (tasks
+/// are expected to capture and report their own failures); experiment
+/// drivers wrap user work accordingly.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
@@ -31,7 +36,14 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Enqueues a task, blocking while `max_pending` tasks are already
+  /// queued (backpressure for producers that outrun the workers — a service
+  /// frontend feeding ticks must stall, not grow the queue without bound).
+  /// Precondition: max_pending >= 1.
+  void submit_bounded(std::function<void()> task, std::size_t max_pending);
+
+  /// Blocks until every submitted task has finished (condition-variable
+  /// completion signaling; never polls).
   void wait_idle();
 
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
@@ -48,7 +60,31 @@ class ThreadPool {
   void parallel_chunks(std::size_t jobs, std::size_t max_chunks,
                        const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Map-reduce over the same fixed decomposition as parallel_chunks:
+  /// `map(lo, hi)` produces one partial per chunk, and the partials are
+  /// folded left-to-right in chunk order with `reduce(acc, partial)` after
+  /// all chunks finish — the reduction order is a pure function of (jobs,
+  /// max_chunks), so even a non-associative-in-floating-point reduce gives
+  /// machine-independent results. Returns `init` when jobs == 0.
+  template <typename T, typename MapFn, typename ReduceFn>
+  [[nodiscard]] T parallel_reduce(std::size_t jobs, std::size_t max_chunks,
+                                  T init, MapFn map, ReduceFn reduce) {
+    if (jobs == 0) return init;
+    const std::size_t chunks = std::min(jobs, max_chunks < 1 ? 1 : max_chunks);
+    const std::size_t per_chunk = (jobs + chunks - 1) / chunks;
+    std::vector<T> partials(chunks, init);
+    parallel_for(chunks, [&](std::size_t c) {
+      const std::size_t lo = c * per_chunk;
+      const std::size_t hi = std::min(jobs, lo + per_chunk);
+      if (lo < hi) partials[c] = map(lo, hi);
+    });
+    T acc = std::move(init);
+    for (T& partial : partials) acc = reduce(std::move(acc), std::move(partial));
+    return acc;
+  }
+
  private:
+  void enqueue(std::function<void()> task, std::size_t max_pending);
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -56,7 +92,10 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
+  std::condition_variable space_available_;
   std::size_t in_flight_ = 0;
+  std::size_t idle_waiters_ = 0;     ///< threads blocked in wait_idle
+  std::size_t bounded_waiters_ = 0;  ///< producers blocked in submit_bounded
   bool stopping_ = false;
 };
 

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 
@@ -89,6 +90,64 @@ TEST(ThreadPool, ReusableAfterWait) {
   EXPECT_EQ(counter.load(), 20);
 }
 
+TEST(ThreadPool, ParallelReduceSumsEveryIndex) {
+  ThreadPool pool(3);
+  const std::size_t n = 1000;
+  const auto sum = pool.parallel_reduce(
+      n, 16, std::uint64_t{0},
+      [](std::size_t lo, std::size_t hi) {
+        std::uint64_t s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += i;
+        return s;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ParallelReduceFoldOrderIsFixed) {
+  // The chunk decomposition and fold order depend only on (jobs, max_chunks),
+  // so a floating-point reduction is bit-identical across runs and pools.
+  const auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    return pool.parallel_reduce(
+        777, 13, 0.0,
+        [](std::size_t lo, std::size_t hi) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            s += 1.0 / static_cast<double>(i + 1);
+          }
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double once = run(1);
+  EXPECT_EQ(once, run(3));
+  EXPECT_EQ(once, run(8));
+}
+
+TEST(ThreadPool, ParallelReduceEmptyReturnsInit) {
+  ThreadPool pool(2);
+  const int got = pool.parallel_reduce(
+      0, 4, 42, [](std::size_t, std::size_t) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(got, 42);
+}
+
+TEST(ThreadPool, SubmitBoundedRunsEverythingUnderBackpressure) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit_bounded([&counter] { counter.fetch_add(1); }, 4);
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, SubmitBoundedRejectsZeroBound) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit_bounded([] {}, 0), std::invalid_argument);
+}
+
 TEST(Options, EnvU64ParsesAndFallsBack) {
   ::setenv("P2P_TEST_OPT", "123", 1);
   EXPECT_EQ(env_u64("P2P_TEST_OPT", 7), 123u);
@@ -133,6 +192,16 @@ TEST(Options, ExplicitOverrideBeatsPreset) {
   EXPECT_EQ(opts.resolve_nodes(1024, 131072), 4096u);
   ::unsetenv("P2P_SCALE");
   ::unsetenv("P2P_NODES");
+}
+
+TEST(Options, ThreadsFromEnv) {
+  ::unsetenv("P2P_THREADS");
+  EXPECT_EQ(scale_options_from_env().threads, 0u);  // 0 = hardware concurrency
+  ::setenv("P2P_THREADS", "6", 1);
+  EXPECT_EQ(scale_options_from_env().threads, 6u);
+  ::setenv("P2P_THREADS", "garbage", 1);
+  EXPECT_EQ(scale_options_from_env().threads, 0u);
+  ::unsetenv("P2P_THREADS");
 }
 
 TEST(Harmonic, SmallValuesExact) {
