@@ -1,0 +1,281 @@
+// Adversarial-replay headline bench: the full threat model, composed.
+//
+// One frozen overlay (n = 1e5 by default) is attacked on two timelines at
+// once, replayed through churn::AdversarialReplay:
+//
+//  * crash waves   — kAdversarialWaves kills the top in-degree hubs every
+//    wave_period ms and revives them at half-period (ChurnLog deltas);
+//  * corruption waves — churn::make_byzantine_waves corrupts the *next* tier
+//    of hubs on the same rhythm (hub_offset = wave_size keeps the two
+//    adversaries on disjoint targets), healing at half-period.
+//
+// Over that trace the bench sweeps Byzantine behaviour {drop, misroute} ×
+// routing stack {plain, off, on} with identical workloads and seeds:
+//
+//  * plain — fixed k diverse walks (no escalation, no reputation): the
+//    baseline redundant router;
+//  * off   — escalation on (retry batches up to 3k walks), reputation off;
+//  * on    — escalation + reputation: observations feed the distrust
+//    sideband and escalation batches route around suspects.
+//
+// Reported per cell: delivery rate, redundancy cost (messages per delivered
+// search), and mean recovery time (heal instant -> first delivered
+// completion).
+//
+// Results merge into BENCH_micro.json under adversarial_* keys (idempotent —
+// an existing adversarial section is replaced). The bench self-enforces two
+// acceptance floors (P2P_ADV_NO_GATE=1 skips both for smoke runs at toy
+// scales): under composed misroute, the full stack must deliver at least as
+// well as plain k-walk; and averaged over both behaviours, reputation-on
+// must not fall below reputation-off.
+//
+// Knobs: P2P_NODES, P2P_MESSAGES (searches per cell), P2P_ADV_WAVES,
+// P2P_ADV_WAVE_SIZE, P2P_ADV_PATHS, P2P_ADV_NO_GATE.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "churn/adversarial_replay.h"
+#include "churn/churn_log.h"
+#include "churn/trace_gen.h"
+#include "failure/byzantine.h"
+#include "failure/reputation.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace p2p;
+using bench::seconds_since;
+
+/// One sweep cell: behaviour × reputation over the shared composed trace.
+struct CellResult {
+  double delivery_rate = 0.0;
+  double msgs_per_delivery = 0.0;
+  double recovery_ms = 0.0;  ///< mean heal -> first-delivery gap, 0 if none
+  double routes_per_sec = 0.0;
+  std::size_t escalations = 0;
+};
+
+struct AdversarialMetrics {
+  std::uint64_t nodes = 0;
+  std::size_t queries = 0;
+  std::size_t waves = 0;
+  std::size_t wave_size = 0;
+  std::size_t paths = 0;
+  CellResult drop_plain, drop_off, drop_on;
+  CellResult misroute_plain, misroute_off, misroute_on;
+};
+
+/// Mean over waves of (first delivered completion at or after the heal
+/// instant) - (heal instant): how quickly service recovers once an attack
+/// wave ends. Waves with no subsequent delivery are skipped.
+double mean_recovery_ms(const churn::AdversarialReplay& replay,
+                        std::size_t waves, double wave_period) {
+  const auto results = replay.results();
+  const auto times = replay.completion_times();
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t k = 0; k < waves; ++k) {
+    const double heal = static_cast<double>(k) * wave_period + wave_period * 0.5;
+    double first = -1.0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].delivered || times[i] < heal) continue;
+      if (first < 0.0 || times[i] < first) first = times[i];
+    }
+    if (first < 0.0) continue;
+    total += first - heal;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+/// Reads `path` fully, or "" when absent.
+std::string read_all(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return {};
+  std::string s;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) s.append(buf, got);
+  std::fclose(f);
+  return s;
+}
+
+/// Appends the adversarial section to BENCH_micro.json: keeps whatever the
+/// earlier benches wrote, replaces any previous adversarial section
+/// (idempotent reruns), creates a minimal document when run standalone.
+void merge_json(const AdversarialMetrics& m, const char* path) {
+  std::string s = read_all(path);
+  const std::string marker = ",\n  \"adversarial_nodes\"";
+  if (s.empty()) {
+    s = "{\n  \"bench\": \"adversarial_replay\"";
+  } else if (const auto at = s.find(marker); at != std::string::npos) {
+    s.erase(at);
+  } else {
+    while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+    if (!s.empty() && s.back() == '}') s.pop_back();
+    while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+  }
+  char section[1536];
+  std::snprintf(
+      section, sizeof section,
+      ",\n"
+      "  \"adversarial_nodes\": %llu,\n"
+      "  \"adversarial_queries\": %zu,\n"
+      "  \"adversarial_waves\": %zu,\n"
+      "  \"adversarial_wave_size\": %zu,\n"
+      "  \"adversarial_paths\": %zu,\n"
+      "  \"adversarial_drop_delivery_plain\": %.4f,\n"
+      "  \"adversarial_drop_delivery_off\": %.4f,\n"
+      "  \"adversarial_drop_delivery_on\": %.4f,\n"
+      "  \"adversarial_misroute_delivery_plain\": %.4f,\n"
+      "  \"adversarial_misroute_delivery_off\": %.4f,\n"
+      "  \"adversarial_misroute_delivery_on\": %.4f,\n"
+      "  \"adversarial_misroute_msgs_per_delivery_off\": %.2f,\n"
+      "  \"adversarial_misroute_msgs_per_delivery_on\": %.2f,\n"
+      "  \"adversarial_misroute_recovery_ms_off\": %.3f,\n"
+      "  \"adversarial_misroute_recovery_ms_on\": %.3f,\n"
+      "  \"adversarial_routes_per_sec\": %.1f\n"
+      "}\n",
+      static_cast<unsigned long long>(m.nodes), m.queries, m.waves, m.wave_size,
+      m.paths, m.drop_plain.delivery_rate, m.drop_off.delivery_rate,
+      m.drop_on.delivery_rate, m.misroute_plain.delivery_rate,
+      m.misroute_off.delivery_rate, m.misroute_on.delivery_rate,
+      m.misroute_off.msgs_per_delivery, m.misroute_on.msgs_per_delivery,
+      m.misroute_off.recovery_ms, m.misroute_on.recovery_ms,
+      m.misroute_on.routes_per_sec);
+  s += section;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "adversarial_replay: cannot open %s for writing\n",
+                 path);
+    return;
+  }
+  std::fwrite(s.data(), 1, s.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  AdversarialMetrics m;
+  m.nodes = util::env_u64("P2P_NODES", 100000);
+  m.queries = static_cast<std::size_t>(util::env_u64("P2P_MESSAGES", 1 << 15));
+  m.waves = static_cast<std::size_t>(util::env_u64("P2P_ADV_WAVES", 8));
+  // Each adversary (crash and corruption) grabs 1/8 of the network per wave
+  // by default — hubs, so their traffic share is far larger than 12.5%.
+  m.wave_size = static_cast<std::size_t>(
+      util::env_u64("P2P_ADV_WAVE_SIZE", m.nodes > 512 ? m.nodes / 8 : 64));
+  m.paths = static_cast<std::size_t>(util::env_u64("P2P_ADV_PATHS", 3));
+  const double wave_period = 100.0;
+  const double duration = static_cast<double>(m.waves) * wave_period;
+
+  util::ThreadPool pool = bench::pool_from_env();
+  util::Rng rng(42);
+  graph::BuildSpec spec = bench::power_law_spec(m.nodes, bench::lg_links(m.nodes),
+                                                /*bidirectional=*/true);
+  const auto t_build = std::chrono::steady_clock::now();
+  const auto g = graph::build_overlay(spec, rng, pool);
+  std::printf("adversarial_replay: n=%llu built in %.2fs (%zu threads)\n",
+              static_cast<unsigned long long>(m.nodes), seconds_since(t_build),
+              pool.thread_count());
+
+  // The crash half of the composed adversary: hub waves through the ChurnLog.
+  churn::TraceSpec trace_spec;
+  trace_spec.scenario = churn::TraceSpec::Scenario::kAdversarialWaves;
+  trace_spec.duration = duration;
+  trace_spec.wave_period = wave_period;
+  trace_spec.wave_size = m.wave_size;
+  util::Rng trace_rng(7);
+  const churn::ChurnLog log = churn::make_trace(g, trace_spec, trace_rng);
+
+  // The Byzantine half: corrupt/heal waves aimed one hub tier deeper, on the
+  // same rhythm — every wave, some hubs crash while their peers turn coat.
+  churn::ByzantineWaveSpec byz_spec;
+  byz_spec.duration = duration;
+  byz_spec.wave_period = wave_period;
+  byz_spec.wave_size = m.wave_size;
+  byz_spec.hub_offset = m.wave_size;
+  const auto waves = churn::make_byzantine_waves(g, byz_spec);
+  std::printf(
+      "adversarial_replay: %zu crash deltas + %zu corruption deltas over "
+      "%.0fms (%zu hubs/wave)\n",
+      log.size(), waves.size(), duration, m.wave_size);
+
+  const auto run_cell = [&](failure::ByzantineBehavior behavior, bool escalate,
+                            bool with_reputation) {
+    failure::FailureView view = log.baseline();
+    failure::ByzantineSet byz = failure::ByzantineSet::none(g);
+    failure::ReputationTable reputation(g);
+    core::SecureRouterConfig cfg;
+    cfg.paths = m.paths;
+    cfg.behavior = behavior;
+    cfg.ttl = 2 * bench::lg_links(m.nodes);
+    if (escalate) cfg.max_paths = 3 * m.paths;
+    if (with_reputation) cfg.reputation = &reputation;
+    const core::SecureRouter router(g, view, byz, cfg);
+    sim::EventQueue queue;
+    churn::AdversarialReplayConfig rc;
+    rc.queries = m.queries;
+    rc.seed = util::env_u64("P2P_ADV_SEED", 11);
+    rc.decay_interval_ms = with_reputation ? wave_period * 0.5 : 0.0;
+    // Spread the workload across the whole trace: tick budget ~= expected
+    // transmissions (k walks of ~tens of hops each) over the duration.
+    rc.ticks_per_ms = static_cast<double>(m.queries * m.paths) * 40.0 / duration;
+    churn::AdversarialReplay replay(router, log, waves, view, byz, queue, rc);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto stats = replay.run();
+    const double secs = seconds_since(t0);
+    CellResult cell;
+    cell.delivery_rate = stats.success_rate();
+    cell.msgs_per_delivery = stats.messages_per_delivery();
+    cell.recovery_ms = mean_recovery_ms(replay, m.waves, wave_period);
+    cell.routes_per_sec = static_cast<double>(stats.routed) / secs;
+    cell.escalations = stats.escalations;
+    std::printf(
+        "  %-8s %-5s  delivered %.1f%%  %.1f msgs/delivery  "
+        "recovery %.2fms  %zu escalations  (%.3g routes/s)\n"
+        "           walks: %zu launched, %zu died, %zu stuck, %zu ttl\n",
+        behavior == failure::ByzantineBehavior::kDrop ? "drop" : "misroute",
+        with_reputation ? "rep"
+        : escalate      ? "esc"
+                        : "plain",
+        100.0 * cell.delivery_rate, cell.msgs_per_delivery, cell.recovery_ms,
+        cell.escalations, cell.routes_per_sec, stats.walks_launched,
+        stats.walks_died, stats.walks_stuck, stats.walks_ttl_expired);
+    return cell;
+  };
+
+  m.drop_plain = run_cell(failure::ByzantineBehavior::kDrop, false, false);
+  m.drop_off = run_cell(failure::ByzantineBehavior::kDrop, true, false);
+  m.drop_on = run_cell(failure::ByzantineBehavior::kDrop, true, true);
+  m.misroute_plain = run_cell(failure::ByzantineBehavior::kMisroute, false, false);
+  m.misroute_off = run_cell(failure::ByzantineBehavior::kMisroute, true, false);
+  m.misroute_on = run_cell(failure::ByzantineBehavior::kMisroute, true, true);
+
+  merge_json(m, "BENCH_micro.json");
+
+  if (util::env_u64("P2P_ADV_NO_GATE", 0) == 0) {
+    if (m.misroute_on.delivery_rate < m.misroute_plain.delivery_rate) {
+      std::fprintf(stderr,
+                   "adversarial_replay: full-stack delivery %.4f fell below "
+                   "plain k-walk %.4f under composed misroute "
+                   "(P2P_ADV_NO_GATE=1 to skip)\n",
+                   m.misroute_on.delivery_rate, m.misroute_plain.delivery_rate);
+      return 1;
+    }
+    const double on = m.drop_on.delivery_rate + m.misroute_on.delivery_rate;
+    const double off = m.drop_off.delivery_rate + m.misroute_off.delivery_rate;
+    if (on < off) {
+      std::fprintf(stderr,
+                   "adversarial_replay: reputation-on mean delivery %.4f fell "
+                   "below reputation-off %.4f over the composed scenario "
+                   "(P2P_ADV_NO_GATE=1 to skip)\n",
+                   on / 2.0, off / 2.0);
+      return 1;
+    }
+  }
+  return 0;
+}

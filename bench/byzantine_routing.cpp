@@ -3,7 +3,8 @@
 //
 // Sweep: fraction of Byzantine nodes × attacker behaviour (blackhole drop /
 // misroute) × redundancy k ∈ {1, 2, 4, 8}. Reported: fraction of failed
-// searches and mean message cost per search.
+// searches and mean message cost per search. Trials fan across the shared
+// thread pool (P2P_THREADS; one deterministic Rng substream per trial).
 //
 // Expected shape: a single greedy walk dies roughly once per Byzantine node
 // on its ~log n-hop path, so failures rise steeply with the corrupt
@@ -28,6 +29,10 @@ int main() {
   bench::banner("Byzantine routing: redundancy vs corrupt-node fraction", n,
                 links, trials, messages);
 
+  util::ThreadPool pool = bench::pool_from_env();
+  bench::TrialSpec trial;
+  trial.build = bench::power_law_spec(n, links, /*bidirectional=*/true);
+
   const std::vector<double> fractions{0.0, 0.05, 0.1, 0.2, 0.3};
   const std::vector<std::size_t> path_counts{1, 2, 4, 8};
 
@@ -41,43 +46,47 @@ int main() {
     for (const double fraction : fractions) {
       std::vector<double> fail_row{fraction}, cost_row{fraction};
       for (const std::size_t paths : path_counts) {
-        util::Accumulator failed, cost;
-        for (std::size_t t = 0; t < trials; ++t) {
-          util::Rng rng(opts.seed + t * 7919 +
-                        static_cast<std::uint64_t>(fraction * 1000));
-          const auto g = bench::ideal_overlay(n, links, opts.seed + t * 131,
-                                              /*bidirectional=*/true);
-          const auto view = failure::FailureView::all_alive(g);
-          const auto byz = failure::ByzantineSet::random(g, fraction, rng);
-          core::SecureRouterConfig cfg;
-          cfg.paths = paths;
-          cfg.behavior = behavior;
-          // Realistic per-walk budget: a small multiple of the expected
-          // O(log n) path length. Blackholed walks die long before this;
-          // misrouted walks that cannot recover in time count as failures.
-          cfg.ttl = 4 * links;
-          const core::SecureRouter router(g, view, byz, cfg);
-          std::size_t ok = 0;
-          std::size_t msgs = 0;
-          for (std::size_t m = 0; m < messages; ++m) {
-            // Endpoints are honest (a corrupted destination is outside any
-            // routing scheme's power).
-            graph::NodeId src, dst;
-            do {
-              src = static_cast<graph::NodeId>(rng.next_below(g.size()));
-            } while (byz.is_byzantine(src));
-            do {
-              dst = static_cast<graph::NodeId>(rng.next_below(g.size()));
-            } while (byz.is_byzantine(dst) || dst == src);
-            const auto res = router.route(src, g.position(dst), rng);
-            ok += res.delivered ? 1 : 0;
-            msgs += res.total_messages;
-          }
-          failed.add(1.0 - static_cast<double>(ok) / static_cast<double>(messages));
-          cost.add(static_cast<double>(msgs) / static_cast<double>(messages));
-        }
-        fail_row.push_back(failed.mean());
-        cost_row.push_back(cost.mean());
+        // One pool task per trial; the trial seed folds in the sweep cell so
+        // every (behavior, fraction, k) cell draws independent streams.
+        const std::uint64_t cell_seed =
+            opts.seed + static_cast<std::uint64_t>(fraction * 1000) * 8 + paths;
+        const auto rows = sim::run_trials_multi(
+            pool, trials, cell_seed,
+            [&](std::size_t, util::Rng& rng) -> std::vector<double> {
+              const auto g = graph::build_overlay(trial.build, rng);
+              const auto view = failure::FailureView::all_alive(g);
+              const auto byz = failure::ByzantineSet::random(g, fraction, rng);
+              core::SecureRouterConfig cfg;
+              cfg.paths = paths;
+              cfg.behavior = behavior;
+              // Realistic per-walk budget: a small multiple of the expected
+              // O(log n) path length. Blackholed walks die long before this;
+              // misrouted walks that cannot recover in time count as failures.
+              cfg.ttl = 4 * links;
+              const core::SecureRouter router(g, view, byz, cfg);
+              std::size_t ok = 0;
+              std::size_t msgs = 0;
+              for (std::size_t m = 0; m < messages; ++m) {
+                // Endpoints are honest (a corrupted destination is outside
+                // any routing scheme's power).
+                graph::NodeId src, dst;
+                do {
+                  src = static_cast<graph::NodeId>(rng.next_below(g.size()));
+                } while (byz.is_byzantine(src));
+                do {
+                  dst = static_cast<graph::NodeId>(rng.next_below(g.size()));
+                } while (byz.is_byzantine(dst) || dst == src);
+                const auto res = router.route(src, g.position(dst), rng);
+                ok += res.delivered ? 1 : 0;
+                msgs += res.total_messages;
+              }
+              const auto total = static_cast<double>(messages);
+              return {1.0 - static_cast<double>(ok) / total,
+                      static_cast<double>(msgs) / total};
+            });
+        const auto cols = sim::accumulate_columns(rows);
+        fail_row.push_back(cols[0].mean());
+        cost_row.push_back(cols[1].mean());
       }
       fail_table.add_numeric_row(fail_row, 4);
       cost_table.add_numeric_row(cost_row, 2);

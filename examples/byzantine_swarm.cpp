@@ -7,6 +7,10 @@
 // silently drop them). Plain greedy routing loses a third of its searches;
 // redundant loop-free walks recover almost all of them, paying linearly in
 // messages — the classic reliability/cost trade-off.
+//
+// Scales from the environment like the benches: P2P_NODES, P2P_MESSAGES,
+// P2P_THREADS (the four redundancy settings run concurrently on the pool).
+#include <array>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,15 +19,20 @@
 #include "failure/byzantine.h"
 #include "failure/failure_model.h"
 #include "graph/graph_builder.h"
+#include "util/options.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 int main() {
   using namespace p2p;
+  const auto opts = util::scale_options_from_env();
+  const std::size_t n = opts.resolve_nodes(4096, 1 << 14);
+  const std::size_t searches = opts.resolve_messages(500, 2000);
   util::Rng rng(4242);
 
   graph::BuildSpec spec;
-  spec.grid_size = 4096;
+  spec.grid_size = n;
   spec.long_links = 12;
   spec.bidirectional = true;
   const auto overlay = graph::build_overlay(spec, rng);
@@ -34,30 +43,42 @@ int main() {
   std::cout << "swarm of " << overlay.size() << " peers; " << attackers.count()
             << " (" << fraction * 100 << "%) are Byzantine blackholes\n\n";
 
-  util::Table table({"walks k", "served", "failed", "msgs/search"});
-  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+  // One pool task per redundancy setting, each on its own Rng substream —
+  // the four routers share the overlay, view and attacker set read-only.
+  const std::array<std::size_t, 4> path_counts{1, 2, 4, 8};
+  std::array<std::size_t, 4> served{};
+  std::array<std::size_t, 4> messages{};
+  util::ThreadPool pool(opts.threads);
+  pool.parallel_for(path_counts.size(), [&](std::size_t job) {
     core::SecureRouterConfig cfg;
-    cfg.paths = k;
+    cfg.paths = path_counts[job];
     cfg.behavior = failure::ByzantineBehavior::kDrop;
     const core::SecureRouter router(overlay, view, attackers, cfg);
-
-    std::size_t served = 0, messages = 0;
-    constexpr int kSearches = 500;
-    for (int i = 0; i < kSearches; ++i) {
+    util::Rng job_rng = util::substream(4242, job);
+    for (std::size_t i = 0; i < searches; ++i) {
       graph::NodeId src, dst;
       do {
-        src = static_cast<graph::NodeId>(rng.next_below(overlay.size()));
+        src = static_cast<graph::NodeId>(job_rng.next_below(overlay.size()));
       } while (attackers.is_byzantine(src));
       do {
-        dst = static_cast<graph::NodeId>(rng.next_below(overlay.size()));
+        dst = static_cast<graph::NodeId>(job_rng.next_below(overlay.size()));
       } while (attackers.is_byzantine(dst) || dst == src);
-      const auto res = router.route(src, overlay.position(dst), rng);
-      served += res.delivered ? 1 : 0;
-      messages += res.total_messages;
+      const auto res = router.route(src, overlay.position(dst), job_rng);
+      served[job] += res.delivered ? 1 : 0;
+      messages[job] += res.total_messages;
     }
-    table.add_row({std::to_string(k), std::to_string(served) + "/500",
-                   std::to_string(500 - served),
-                   util::format_double(static_cast<double>(messages) / 500.0, 1)});
+  });
+
+  const std::string total = std::to_string(searches);
+  util::Table table({"walks k", "served", "failed", "msgs/search"});
+  for (std::size_t job = 0; job < path_counts.size(); ++job) {
+    table.add_row(
+        {std::to_string(path_counts[job]),
+         std::to_string(served[job]) + "/" + total,
+         std::to_string(searches - served[job]),
+         util::format_double(
+             static_cast<double>(messages[job]) / static_cast<double>(searches),
+             1)});
   }
   table.emit(std::cout, "Redundant diverse-path routing vs blackhole peers");
   std::cout << "\nEach extra walk leaves the source over a different link and "

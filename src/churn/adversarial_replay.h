@@ -1,0 +1,151 @@
+// Composed adversarial replay: crash churn AND Byzantine corruption driving
+// redundant routing through one discrete-event trace.
+//
+// churn::Replay (replay.h) plays a ChurnLog against a plain Router: crash
+// failures only. This driver composes the full threat model of ROADMAP
+// item 2 on top of core::SecureRouter:
+//
+//  * crash churn   — ChurnLog deltas seek the shared FailureView exactly as
+//    in Replay (epoch-stamped, O(changed bits));
+//  * Byzantine churn — a ByzantineDelta schedule (churn::make_byzantine_waves
+//    aims corrupt/heal waves at in-degree hubs) advances the shared
+//    ByzantineSet's epoch cursor on the same sim::EventQueue, so a node can
+//    crash, revive, turn coat and heal within one trace;
+//  * reputation    — when the SecureRouter carries a ReputationTable, decay
+//    epochs fire on the queue at a fixed virtual-time cadence, giving healed
+//    hubs a recovery path while the replay is still running.
+//
+// Between consecutive events the SecureBatchPipeline advances by ticks_per_ms
+// ticks per virtual millisecond — one message transmission per tick — so
+// deltas of either kind land *between* transmissions and every in-flight walk
+// sees them on its next hop (sessions re-read both the view and the set every
+// step; a walk standing on a freshly killed node dies where it stands).
+//
+// Determinism: workload and per-query streams derive from the seed via
+// util::substream; the tick/event interleave is a pure function of the two
+// delta schedules' timestamps (same-instant events fire in scheduling order:
+// crash, then corruption, then decay). A (graph, log, waves, config) tuple
+// reproduces bit-for-bit. Each retired SecureRouteResult carries
+// completion_epoch AND byzantine_epoch, and the driver timestamps every
+// retirement (completion_times()), so delivery can be bucketed against both
+// adversarial timelines — the recovery-time measurements in
+// bench/adversarial_replay.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "churn/churn_log.h"
+#include "core/secure_router.h"
+#include "failure/byzantine.h"
+#include "failure/failure_model.h"
+#include "sim/event_queue.h"
+
+namespace p2p::churn {
+
+struct AdversarialReplayConfig {
+  /// Pipeline ticks (message transmissions) per virtual millisecond.
+  double ticks_per_ms = 256.0;
+  /// Total searches routed over the run (src/dst drawn live at epoch 0).
+  std::size_t queries = 4096;
+  /// SecureBatchPipeline width (sessions in flight).
+  std::size_t width = 32;
+  /// Master seed: query workload and per-query routing streams.
+  std::uint64_t seed = 1;
+  /// Virtual ms between ReputationTable::decay_epoch calls; 0 disables the
+  /// decay schedule (and is the only valid value when the router carries no
+  /// reputation table — decay without a table is a config error).
+  double decay_interval_ms = 50.0;
+};
+
+struct AdversarialReplayStats {
+  std::size_t churn_deltas_applied = 0;
+  std::size_t byzantine_deltas_applied = 0;
+  std::size_t reputation_decays = 0;
+  std::size_t ticks = 0;
+  std::size_t routed = 0;     ///< searches retired
+  std::size_t delivered = 0;  ///< subset that reached the target
+  /// Redundancy cost numerator: messages across all walks of all searches.
+  std::size_t total_messages = 0;
+  std::size_t walks_launched = 0;
+  std::size_t walks_died = 0;
+  std::size_t walks_stuck = 0;
+  std::size_t walks_ttl_expired = 0;
+  std::size_t escalations = 0;
+  std::uint64_t final_epoch = 0;            ///< FailureView epoch after the run
+  std::uint64_t final_byzantine_epoch = 0;  ///< ByzantineSet epoch after the run
+  double sim_end = 0.0;  ///< virtual time of the last applied event
+
+  [[nodiscard]] double success_rate() const noexcept {
+    return routed == 0 ? 0.0
+                       : static_cast<double>(delivered) / static_cast<double>(routed);
+  }
+  /// Messages spent per delivered query — the redundancy cost the paper's
+  /// plain greedy never pays (infinite when nothing was delivered).
+  [[nodiscard]] double messages_per_delivery() const noexcept {
+    return delivered == 0 ? 0.0
+                          : static_cast<double>(total_messages) /
+                                static_cast<double>(delivered);
+  }
+};
+
+/// One composed replay run binding a SecureRouter, a crash-delta log, a
+/// Byzantine-delta schedule, and the (view, set) pair the router reads.
+///
+/// `view` must be the FailureView `router` was constructed over at epoch 0
+/// of `log`; `byzantine` must be the very set the router consults, at
+/// epoch 0. Both are mutated in place as deltas fire. All referenced objects
+/// must outlive the replay.
+class AdversarialReplay {
+ public:
+  AdversarialReplay(const core::SecureRouter& router, const ChurnLog& log,
+                    std::span<const failure::ByzantineDelta> waves,
+                    failure::FailureView& view, failure::ByzantineSet& byzantine,
+                    sim::EventQueue& queue, AdversarialReplayConfig config = {});
+
+  /// Schedules both delta streams (plus the decay cadence) on the queue,
+  /// runs it to exhaustion advancing the pipeline between events, drains the
+  /// remaining searches, and returns aggregate stats. Single-shot: construct
+  /// a fresh AdversarialReplay (and reset the queue) for another run.
+  AdversarialReplayStats run();
+
+  /// Per-query results, valid after run(). results()[i] answers queries()[i].
+  [[nodiscard]] std::span<const core::SecureRouteResult> results() const noexcept {
+    return results_;
+  }
+  [[nodiscard]] std::span<const core::Query> queries() const noexcept {
+    return queries_;
+  }
+  /// Virtual completion time (ms from run start) of each query — the
+  /// windowed delivery / recovery-time axis. Valid after run().
+  [[nodiscard]] std::span<const double> completion_times() const noexcept {
+    return completion_ms_;
+  }
+
+ private:
+  /// Advances the pipeline to the tick budget implied by virtual time `now`,
+  /// timestamping each retirement.
+  void advance_to(double now);
+  void tick_once();
+
+  const core::SecureRouter* router_;
+  const ChurnLog* log_;
+  std::span<const failure::ByzantineDelta> waves_;
+  failure::FailureView* view_;
+  failure::ByzantineSet* byzantine_;
+  sim::EventQueue* queue_;
+  AdversarialReplayConfig config_;
+  std::vector<core::Query> queries_;
+  std::vector<core::SecureRouteResult> results_;
+  std::vector<double> completion_ms_;
+  core::SecureBatchPipeline pipeline_;
+  double start_time_ = 0.0;
+  std::size_t ticks_done_ = 0;
+  std::size_t retirements_seen_ = 0;
+  bool pipeline_live_ = true;
+  AdversarialReplayStats stats_;
+};
+
+}  // namespace p2p::churn

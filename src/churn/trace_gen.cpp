@@ -357,4 +357,40 @@ failure::ByzantineSet hub_adversary(const graph::OverlayGraph& g, std::size_t k)
   return failure::ByzantineSet::of(g, high_degree_targets(g, k));
 }
 
+std::vector<failure::ByzantineDelta> make_byzantine_waves(
+    const graph::OverlayGraph& g, const ByzantineWaveSpec& spec) {
+  util::require(g.size() > kAliveFloor,
+                "make_byzantine_waves: graph too small");
+  util::require(spec.duration >= 0.0,
+                "make_byzantine_waves: duration must be >= 0");
+  util::require(spec.wave_period > 0.0,
+                "make_byzantine_waves: wave_period must be > 0");
+  const std::size_t n = g.size();
+  const std::size_t wave =
+      std::max<std::size_t>(1, std::min(spec.wave_size, n - kAliveFloor));
+  // Same rotation rhythm as kAdversarialWaves (wave k starts at rank
+  // k·wave + hub_offset), so a composed trace built from one spec keeps the
+  // crash and corruption waves aimed at predictable, disjoint hub tiers.
+  const auto ranked = high_degree_targets(g, n - kAliveFloor);
+  std::vector<failure::ByzantineDelta> deltas;
+  std::size_t k = 0;
+  for (double t = 0.0; t < spec.duration; t += spec.wave_period, ++k) {
+    failure::ByzantineDelta corrupt;
+    corrupt.when = t;
+    const std::size_t base = (k * wave + spec.hub_offset) % ranked.size();
+    for (std::size_t i = 0; i < wave; ++i) {
+      corrupt.corrupts.push_back(ranked[(base + i) % ranked.size()]);
+    }
+    failure::ByzantineDelta heal;
+    heal.when = t + spec.wave_period * 0.5;
+    heal.heals = corrupt.corrupts;
+    // Every wave heals before the next corrupts (half-period < period), so
+    // applying the deltas in order is always normalized: membership returns
+    // to empty between waves even when the rotating windows overlap.
+    deltas.push_back(std::move(corrupt));
+    deltas.push_back(std::move(heal));
+  }
+  return deltas;
+}
+
 }  // namespace p2p::churn

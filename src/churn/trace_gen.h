@@ -106,4 +106,30 @@ struct TraceSpec {
 [[nodiscard]] failure::ByzantineSet hub_adversary(const graph::OverlayGraph& g,
                                                   std::size_t k);
 
+/// Schedule of a time-varying hub adversary: corrupt/heal waves mirroring
+/// kAdversarialWaves' kill/revive rhythm, but emitted as ByzantineDeltas for
+/// ByzantineSet::apply — the Byzantine half of a composed adversarial
+/// replay (crash waves through the ChurnLog, corruption waves through this).
+struct ByzantineWaveSpec {
+  /// Schedule length in virtual ms.
+  double duration = 1000.0;
+  /// ms between wave starts; each wave heals at half-period.
+  double wave_period = 100.0;
+  /// Hubs corrupted per wave.
+  std::size_t wave_size = 64;
+  /// Rotation offset into the in-degree hub ranking for wave 0. Crash waves
+  /// start at rank 0; an offset lets a composed trace aim corruption at the
+  /// *next* tier of hubs so the two adversaries hit disjoint targets (both
+  /// rotate forward by wave_size per wave, so equal offsets stay aligned).
+  std::size_t hub_offset = 0;
+};
+
+/// Generates the corrupt/heal wave schedule over `g`'s in-degree hub
+/// ranking, ordered by ByzantineDelta::when (corrupt wave k at
+/// k·wave_period, matching heal at k·wave_period + wave_period/2).
+/// Deterministic — hub ranking needs no randomness. Apply against a set at
+/// epoch 0 whose membership is empty (ByzantineSet::none).
+[[nodiscard]] std::vector<failure::ByzantineDelta> make_byzantine_waves(
+    const graph::OverlayGraph& g, const ByzantineWaveSpec& spec);
+
 }  // namespace p2p::churn

@@ -11,6 +11,7 @@
 #include <immintrin.h>
 #endif
 
+#include "failure/reputation.h"
 #include "util/require.h"
 
 namespace p2p::core {
@@ -64,6 +65,9 @@ Router::Router(const graph::OverlayGraph& g, const failure::FailureView& view,
                     config_.sidedness == Sidedness::kTwoSided,
                 "Router: one-sided routing requires a one-dimensional metric "
                 "(line or ring)");
+  util::require(config_.reputation == nullptr ||
+                    &config_.reputation->graph() == &g,
+                "Router: reputation table must be over the same graph");
   simd_ok_ = simd_select_eligible(g, config_);
 }
 
@@ -76,18 +80,23 @@ std::size_t Router::effective_ttl() const noexcept {
 
 namespace {
 
-/// Core of select_candidate, compiled once per (dense, link-check,
-/// node-check, sidedness) combination so the common configurations run with
-/// no per-neighbour flag tests at all. Candidates order by
-/// (distance-to-target, node id); duplicate links to the same neighbour
-/// collapse. Streaming k-th order statistic: each round takes the minimum
-/// pair strictly greater than the previous round's.
+/// Core of select_candidate, compiled once per (trust-check, dense,
+/// link-check, node-check, sidedness) combination so the common
+/// configurations run with no per-neighbour flag tests at all. Candidates
+/// order by (distance-to-target, node id); duplicate links to the same
+/// neighbour collapse. Streaming k-th order statistic: each round takes the
+/// minimum pair strictly greater than the previous round's.
+///
+/// `trusted` is the reputation distrust sideband (trusted_bytes());
+/// dereferenced only when kCheckTrust, nullptr otherwise.
 ///
 /// A self-link (v == u) can never be selected — its distance equals du and
 /// every round filters to dv < du — so no explicit check is needed.
-template <bool kDense, bool kCheckLinks, bool kCheckNodes, bool kOneSided>
+template <bool kCheckTrust, bool kDense, bool kCheckLinks, bool kCheckNodes,
+          bool kOneSided>
 graph::NodeId select_impl(const graph::OverlayGraph& g,
-                          const failure::FailureView& view, graph::NodeId u,
+                          const failure::FailureView& view,
+                          const std::uint8_t* trusted, graph::NodeId u,
                           metric::Point target, std::size_t rank) noexcept {
   constexpr std::size_t kInline = graph::OverlayGraph::kInlineEdges;
   const metric::Space& space = g.space();
@@ -117,6 +126,9 @@ graph::NodeId select_impl(const graph::OverlayGraph& g,
       }
       if constexpr (kCheckNodes) {
         if (!view.node_alive(v)) return;
+      }
+      if constexpr (kCheckTrust) {
+        if (trusted[v] == 0) return;
       }
       const metric::Point vp = kDense ? static_cast<metric::Point>(v) : g.position(v);
       const metric::Distance dv = space.distance(vp, target);
@@ -159,16 +171,18 @@ graph::NodeId select_impl(const graph::OverlayGraph& g,
 }
 
 using SelectFn = graph::NodeId (*)(const graph::OverlayGraph&,
-                                   const failure::FailureView&, graph::NodeId,
+                                   const failure::FailureView&,
+                                   const std::uint8_t*, graph::NodeId,
                                    metric::Point, std::size_t) noexcept;
 
 template <std::size_t... Is>
-constexpr std::array<SelectFn, 16> make_select_table(std::index_sequence<Is...>) {
-  return {select_impl<(Is & 8) != 0, (Is & 4) != 0, (Is & 2) != 0, (Is & 1) != 0>...};
+constexpr std::array<SelectFn, 32> make_select_table(std::index_sequence<Is...>) {
+  return {select_impl<(Is & 16) != 0, (Is & 8) != 0, (Is & 4) != 0,
+                      (Is & 2) != 0, (Is & 1) != 0>...};
 }
 
-constexpr std::array<SelectFn, 16> kSelectTable =
-    make_select_table(std::make_index_sequence<16>{});
+constexpr std::array<SelectFn, 32> kSelectTable =
+    make_select_table(std::make_index_sequence<32>{});
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define P2P_HAVE_AVX512_SELECT 1
@@ -178,24 +192,26 @@ constexpr std::array<SelectFn, 16> kSelectTable =
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 #pragma GCC diagnostic ignored "-Wuninitialized"
 /// Builds the admissibility mask of one 8-lane group: the remainder mask,
-/// narrowed by the link-liveness bits of the scanned slots (kCheckLinks) and
-/// by a byte gather on the view's node-alive sideband (kCheckNodes). The
-/// masked failure-aware scans reuse the intact kernels' key packing — a dead
-/// link or dead target simply never contributes to the min-reduction, which
-/// is exactly the per-candidate branch the scalar path pays, hoisted into
-/// mask arithmetic.
+/// narrowed by the link-liveness bits of the scanned slots (kCheckLinks), by
+/// a byte gather on the view's node-alive sideband (kCheckNodes), and by a
+/// second byte gather on the reputation table's trusted sideband
+/// (kCheckTrust). The masked failure-aware scans reuse the intact kernels'
+/// key packing — a dead link, dead target or distrusted target simply never
+/// contributes to the min-reduction, which is exactly the per-candidate
+/// branch the scalar path pays, hoisted into mask arithmetic.
 ///
 /// `live` is the caller's 64-bit liveness window cache: one
 /// FailureView::link_live_word fetch covers the next 64 links, and groups
 /// advance by 8, so a group's byte never straddles the fetched window.
 /// `vid_out` receives the (masked-loaded) widened ids for the group.
-template <bool kCheckLinks, bool kCheckNodes>
+template <bool kCheckLinks, bool kCheckNodes, bool kCheckTrust>
 __attribute__((target("avx512f")))
 inline __mmask8 avx512_group_mask(const graph::NodeId* ids, std::uint32_t i,
                                   std::uint32_t count,
                                   const failure::FailureView& view,
                                   std::size_t slot_base,
                                   const std::uint8_t* alive_bytes,
+                                  const std::uint8_t* trusted_bytes,
                                   std::uint64_t& live, __m512i& vid_out) noexcept {
   const std::uint32_t left = count - i;
   __mmask8 m = left >= 8 ? static_cast<__mmask8>(0xff)
@@ -218,6 +234,16 @@ inline __mmask8 avx512_group_mask(const graph::NodeId* ids, std::uint32_t i,
     m &= _mm512_test_epi64_mask(_mm512_cvtepu32_epi64(alive32),
                                 _mm512_set1_epi64(1));
   }
+  if constexpr (kCheckTrust) {
+    // Distrusted targets drop the same way — the reputation sideband has the
+    // identical byte shape (trusted_bytes[v] is 0 or 1, padded past size()),
+    // so distrust rides the kernel as a third mask source. Gathering under
+    // the already-narrowed mask skips lanes node-gathering ruled out.
+    const __m256i trust32 = _mm512_mask_i64gather_epi32(
+        _mm256_setzero_si256(), m, vid_out, trusted_bytes, 1);
+    m &= _mm512_test_epi64_mask(_mm512_cvtepu32_epi64(trust32),
+                                _mm512_set1_epi64(1));
+  }
   return m;
 }
 
@@ -232,18 +258,19 @@ inline __mmask8 avx512_group_mask(const graph::NodeId* ids, std::uint32_t i,
 /// no meaningful license downclocking. Masked-out lanes (remainder, dead
 /// link, dead target) keep the running min unchanged —
 /// _mm512_mask_min_epu64 keeps vbest in those lanes.
-template <bool kCheckLinks, bool kCheckNodes>
+template <bool kCheckLinks, bool kCheckNodes, bool kCheckTrust>
 __attribute__((target("avx512f")))
 inline __m512i avx512_scan_ids(__m512i vbest, const graph::NodeId* ids,
                                std::uint32_t count, __m512i vt, __m512i vn,
                                bool ring, const failure::FailureView& view,
                                std::size_t slot_base,
-                               const std::uint8_t* alive_bytes) noexcept {
+                               const std::uint8_t* alive_bytes,
+                               const std::uint8_t* trusted_bytes) noexcept {
   std::uint64_t live = 0;
   for (std::uint32_t i = 0; i < count; i += 8) {
     __m512i vid;
-    const __mmask8 m = avx512_group_mask<kCheckLinks, kCheckNodes>(
-        ids, i, count, view, slot_base, alive_bytes, live, vid);
+    const __mmask8 m = avx512_group_mask<kCheckLinks, kCheckNodes, kCheckTrust>(
+        ids, i, count, view, slot_base, alive_bytes, trusted_bytes, live, vid);
     const __m512i diff = _mm512_abs_epi64(_mm512_sub_epi64(vid, vt));
     const __m512i dv =
         ring ? _mm512_min_epu64(diff, _mm512_sub_epi64(vn, diff)) : diff;
@@ -253,10 +280,11 @@ inline __m512i avx512_scan_ids(__m512i vbest, const graph::NodeId* ids,
   return vbest;
 }
 
-template <bool kCheckLinks, bool kCheckNodes>
+template <bool kCheckLinks, bool kCheckNodes, bool kCheckTrust>
 __attribute__((target("avx512f")))
 graph::NodeId select_best_avx512(const graph::OverlayGraph& g,
                                  const failure::FailureView& view,
+                                 const std::uint8_t* trusted_bytes,
                                  graph::NodeId u, metric::Point target) noexcept {
   constexpr std::size_t kInline = graph::OverlayGraph::kInlineEdges;
   const metric::Space& space = g.space();
@@ -273,12 +301,13 @@ graph::NodeId select_best_avx512(const graph::OverlayGraph& g,
   const __m512i vt = _mm512_set1_epi64(static_cast<long long>(target));
   const __m512i vn = _mm512_set1_epi64(static_cast<long long>(space.size()));
   __m512i vbest = _mm512_set1_epi64(-1);
-  vbest = avx512_scan_ids<kCheckLinks, kCheckNodes>(
-      vbest, h.inline_edges, inline_n, vt, vn, ring, view, h.offset, alive_bytes);
+  vbest = avx512_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
+      vbest, h.inline_edges, inline_n, vt, vn, ring, view, h.offset,
+      alive_bytes, trusted_bytes);
   if (degree > kInline) {
-    vbest = avx512_scan_ids<kCheckLinks, kCheckNodes>(
+    vbest = avx512_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
         vbest, g.tail(h), degree - inline_n, vt, vn, ring, view,
-        h.offset + kInline, alive_bytes);
+        h.offset + kInline, alive_bytes, trusted_bytes);
   }
   const std::uint64_t best = _mm512_reduce_min_epu64(vbest);
   if (best >= (static_cast<std::uint64_t>(du) << 32)) return graph::kInvalidNode;
@@ -301,21 +330,22 @@ graph::NodeId select_best_avx512(const graph::OverlayGraph& g,
 /// integer multiply needed is row * side, which fits vpmuludq's 32-bit
 /// operands. Without it the scalar path burns two 64-bit divides per
 /// neighbour and the torus hop is compute-bound instead of memory-bound.
-template <bool kCheckLinks, bool kCheckNodes>
+template <bool kCheckLinks, bool kCheckNodes, bool kCheckTrust>
 __attribute__((target("avx512f")))
 inline __m512i avx512_torus_scan_ids(__m512i vbest, const graph::NodeId* ids,
                                      std::uint32_t count, __m512i vtr, __m512i vtc,
                                      __m512i vside, __m512d vinv_side,
                                      const failure::FailureView& view,
                                      std::size_t slot_base,
-                                     const std::uint8_t* alive_bytes) noexcept {
+                                     const std::uint8_t* alive_bytes,
+                                     const std::uint8_t* trusted_bytes) noexcept {
   const __m512i vone = _mm512_set1_epi64(1);
   const __m512i vmax32 = _mm512_set1_epi64(0xffffffffll);
   std::uint64_t live = 0;
   for (std::uint32_t i = 0; i < count; i += 8) {
     __m512i vid;
-    const __mmask8 m = avx512_group_mask<kCheckLinks, kCheckNodes>(
-        ids, i, count, view, slot_base, alive_bytes, live, vid);
+    const __mmask8 m = avx512_group_mask<kCheckLinks, kCheckNodes, kCheckTrust>(
+        ids, i, count, view, slot_base, alive_bytes, trusted_bytes, live, vid);
     const __m256i ids32 = _mm512_cvtepi64_epi32(vid);
     // row = floor(id / side): reciprocal multiply, truncate, then fix up.
     const __m256i row32 = _mm512_cvttpd_epu32(
@@ -343,10 +373,11 @@ inline __m512i avx512_torus_scan_ids(__m512i vbest, const graph::NodeId* ids,
   return vbest;
 }
 
-template <bool kCheckLinks, bool kCheckNodes>
+template <bool kCheckLinks, bool kCheckNodes, bool kCheckTrust>
 __attribute__((target("avx512f")))
 graph::NodeId select_best_torus_avx512(const graph::OverlayGraph& g,
                                        const failure::FailureView& view,
+                                       const std::uint8_t* trusted_bytes,
                                        graph::NodeId u,
                                        metric::Point target) noexcept {
   constexpr std::size_t kInline = graph::OverlayGraph::kInlineEdges;
@@ -367,13 +398,13 @@ graph::NodeId select_best_torus_avx512(const graph::OverlayGraph& g,
   const __m512i vside = _mm512_set1_epi64(static_cast<long long>(side));
   const __m512d vinv_side = _mm512_set1_pd(1.0 / static_cast<double>(side));
   __m512i vbest = _mm512_set1_epi64(-1);
-  vbest = avx512_torus_scan_ids<kCheckLinks, kCheckNodes>(
+  vbest = avx512_torus_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
       vbest, h.inline_edges, inline_n, vtr, vtc, vside, vinv_side, view,
-      h.offset, alive_bytes);
+      h.offset, alive_bytes, trusted_bytes);
   if (degree > kInline) {
-    vbest = avx512_torus_scan_ids<kCheckLinks, kCheckNodes>(
+    vbest = avx512_torus_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
         vbest, g.tail(h), degree - inline_n, vtr, vtc, vside, vinv_side, view,
-        h.offset + kInline, alive_bytes);
+        h.offset + kInline, alive_bytes, trusted_bytes);
   }
   const std::uint64_t best = _mm512_reduce_min_epu64(vbest);
   if (best >= (static_cast<std::uint64_t>(du) << 32)) return graph::kInvalidNode;
@@ -383,18 +414,32 @@ graph::NodeId select_best_torus_avx512(const graph::OverlayGraph& g,
 }
 
 /// Masked-kernel dispatch: one instantiation per (metric family, link mask,
-/// node mask) so the intact case keeps its zero-overhead kernel and every
-/// failure-aware shape pays only the masks it needs.
+/// node mask, trust mask) so the intact case keeps its zero-overhead kernel
+/// and every failure-aware shape pays only the masks it needs. Index:
+/// (links?4:0) | (nodes?2:0) | (trust?1:0).
 using SimdSelectFn = graph::NodeId (*)(const graph::OverlayGraph&,
                                        const failure::FailureView&,
-                                       graph::NodeId, metric::Point) noexcept;
+                                       const std::uint8_t*, graph::NodeId,
+                                       metric::Point) noexcept;
 
-constexpr std::array<SimdSelectFn, 4> kSimdSelect1D = {
-    select_best_avx512<false, false>, select_best_avx512<false, true>,
-    select_best_avx512<true, false>, select_best_avx512<true, true>};
-constexpr std::array<SimdSelectFn, 4> kSimdSelectTorus = {
-    select_best_torus_avx512<false, false>, select_best_torus_avx512<false, true>,
-    select_best_torus_avx512<true, false>, select_best_torus_avx512<true, true>};
+constexpr std::array<SimdSelectFn, 8> kSimdSelect1D = {
+    select_best_avx512<false, false, false>,
+    select_best_avx512<false, false, true>,
+    select_best_avx512<false, true, false>,
+    select_best_avx512<false, true, true>,
+    select_best_avx512<true, false, false>,
+    select_best_avx512<true, false, true>,
+    select_best_avx512<true, true, false>,
+    select_best_avx512<true, true, true>};
+constexpr std::array<SimdSelectFn, 8> kSimdSelectTorus = {
+    select_best_torus_avx512<false, false, false>,
+    select_best_torus_avx512<false, false, true>,
+    select_best_torus_avx512<false, true, false>,
+    select_best_torus_avx512<false, true, true>,
+    select_best_torus_avx512<true, false, false>,
+    select_best_torus_avx512<true, false, true>,
+    select_best_torus_avx512<true, true, false>,
+    select_best_torus_avx512<true, true, true>};
 #pragma GCC diagnostic pop
 #else
 #define P2P_HAVE_AVX512_SELECT 0
@@ -406,30 +451,39 @@ graph::NodeId Router::select_candidate(graph::NodeId u, metric::Point target,
                                        std::size_t rank) const noexcept {
   // When nothing has ever failed the liveness bitsets are empty and both
   // knowledge models admit every link; dispatch to a specialization that
-  // skips the per-slot queries outright.
+  // skips the per-slot queries outright. The distrust mask gates the same
+  // way: while the reputation table distrusts nobody (or none is wired) the
+  // trust-free kernels dispatch and selection costs exactly what it did
+  // before reputation existed.
   const bool check_links = !view_->links_intact();
   const bool check_nodes =
       config_.knowledge == Knowledge::kLiveness && !view_->nodes_intact();
+  const failure::ReputationTable* rep = config_.reputation;
+  const bool check_trust = rep != nullptr && rep->distrusted_count() != 0;
+  const std::uint8_t* trusted = check_trust ? rep->trusted_bytes() : nullptr;
 #if P2P_HAVE_AVX512_SELECT
   // The §6/§4 sweeps — intact *and* failure-aware — spend nearly all their
   // time in this one call shape; simd_ok_ folds the per-router invariants
   // (dense two-sided graph, narrow positions, CPU support) computed at
   // construction, and the per-call view state picks the masked kernel
   // variant: dead links fold into the lane mask via the view's liveness
-  // words, dead targets via a byte gather on its node-alive sideband. Each
-  // metric family has its own kernel; all share the key packing and the
-  // min-reduction.
+  // words, dead targets via a byte gather on its node-alive sideband, and
+  // distrusted targets via a second byte gather on the reputation sideband.
+  // Each metric family has its own kernel; all share the key packing and
+  // the min-reduction.
   if (rank == 0 && simd_ok_) {
-    const std::size_t masks = (check_links ? 2u : 0u) | (check_nodes ? 1u : 0u);
+    const std::size_t masks = (check_links ? 4u : 0u) |
+                              (check_nodes ? 2u : 0u) | (check_trust ? 1u : 0u);
     return graph_->space().one_dimensional()
-               ? kSimdSelect1D[masks](*graph_, *view_, u, target)
-               : kSimdSelectTorus[masks](*graph_, *view_, u, target);
+               ? kSimdSelect1D[masks](*graph_, *view_, trusted, u, target)
+               : kSimdSelectTorus[masks](*graph_, *view_, trusted, u, target);
   }
 #endif
   const bool one_sided = config_.sidedness == Sidedness::kOneSided;
-  const std::size_t index = (graph_->dense() ? 8u : 0u) | (check_links ? 4u : 0u) |
-                            (check_nodes ? 2u : 0u) | (one_sided ? 1u : 0u);
-  return kSelectTable[index](*graph_, *view_, u, target, rank);
+  const std::size_t index = (check_trust ? 16u : 0u) | (graph_->dense() ? 8u : 0u) |
+                            (check_links ? 4u : 0u) | (check_nodes ? 2u : 0u) |
+                            (one_sided ? 1u : 0u);
+  return kSelectTable[index](*graph_, *view_, trusted, u, target, rank);
 }
 
 std::vector<graph::NodeId> Router::candidates(graph::NodeId u,
@@ -438,12 +492,15 @@ std::vector<graph::NodeId> Router::candidates(graph::NodeId u,
   const metric::Point up = graph_->position(u);
   const metric::Distance du = space.distance(up, target);
   const auto neigh = graph_->neighbors(u);
+  const failure::ReputationTable* rep = config_.reputation;
+  const bool check_trust = rep != nullptr && rep->distrusted_count() != 0;
 
   std::vector<std::pair<metric::Distance, graph::NodeId>> ranked;
   ranked.reserve(neigh.size());
   for (std::size_t i = 0; i < neigh.size(); ++i) {
     const graph::NodeId v = neigh[i];
     if (v == u) continue;
+    if (check_trust && !rep->trusted(v)) continue;
     if (config_.knowledge == Knowledge::kLiveness) {
       if (!view_->hop_usable(u, i)) continue;
     } else {

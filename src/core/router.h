@@ -61,6 +61,10 @@
 #include "metric/space.h"
 #include "util/rng.h"
 
+namespace p2p::failure {
+class ReputationTable;  // failure/reputation.h — distrust mask provider
+}
+
 namespace p2p::core {
 
 enum class Sidedness { kTwoSided, kOneSided };
@@ -86,6 +90,16 @@ struct RouterConfig {
   /// this to pin SIMD against scalar on one host without mutating the
   /// process environment (P2P_NO_SIMD=1 is the env-level equivalent).
   bool force_scalar = false;
+  /// Optional distrust mask (failure/reputation.h). When set, candidate
+  /// selection skips neighbours the table currently distrusts — a third
+  /// byte-sideband riding the masked-SIMD scan lanes next to the link/node
+  /// liveness masks, with the scalar table as fallback. The table must be
+  /// over the same graph and outlive the router; while its
+  /// distrusted_count() is zero the mask costs nothing (the intact kernels
+  /// dispatch). Distrust *biases* selection, it does not partition
+  /// reachability: callers wanting a fallback route through distrusted
+  /// nodes keep a second Router without the table (see core::SecureRouter).
+  const failure::ReputationTable* reputation = nullptr;
 };
 
 /// Outcome of one routed search.
@@ -172,8 +186,10 @@ class Router {
 
   /// Live neighbours of u strictly closer to `target`, best first (ties by
   /// position). With Knowledge::kStale, candidates ignore node aliveness.
-  /// Reference implementation for select_candidate; allocates — tests and
-  /// analysis only, never the hot path.
+  /// With RouterConfig::reputation set, currently-distrusted neighbours are
+  /// filtered exactly as in select_candidate. Reference implementation for
+  /// select_candidate; allocates — tests and analysis only, never the hot
+  /// path.
   [[nodiscard]] std::vector<graph::NodeId> candidates(graph::NodeId u,
                                                       metric::Point target) const;
 

@@ -17,30 +17,86 @@
 // The destination validates content by key (§2's metric-space invariant:
 // the *location* of a resource is checkable by anyone), so a Byzantine node
 // cannot forge a successful delivery — it can only prevent one.
+//
+// Beyond plain redundancy, two adaptive layers (both off by default):
+//  * retry/backoff — when every walk of a batch dies, escalate: launch
+//    further batches over later-ranked first hops, up to
+//    SecureRouterConfig::max_paths total walks;
+//  * reputation feedback — with a failure::ReputationTable wired in, each
+//    walk's locally observable outcome is attributed to nodes (died-at-hop,
+//    regressed-a-message, timed-out, delivered) and the resulting distrust
+//    mask biases candidate selection away from suspects via the Router's
+//    trust sideband. Distrust never partitions reachability: when the
+//    trusted selection has no candidate the walk falls back to the plain
+//    greedy choice, so a heavily penalized neighbourhood degrades to
+//    ordinary routing instead of going dark, and decay_epoch() lets healed
+//    nodes recover (graceful degradation, not blacklisting).
+//
+// Like the plain Router, three entry points share one implementation:
+// route() walks a search synchronously, SecureRouteSession advances the
+// same search one message transmission at a time (the discrete-event
+// replay's unit — sessions re-read the failure view *and* the Byzantine set
+// every step, so crash churn and corrupt/heal events mid-search are
+// honoured), and SecureBatchPipeline rotates many sessions round-robin for
+// replay throughput. route() is the session ticked to completion, so all
+// three stay bit-identical per query.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/router.h"
 #include "failure/byzantine.h"
 #include "failure/failure_model.h"
+#include "failure/reputation.h"
 #include "graph/overlay_graph.h"
-#include "metric/space1d.h"
 #include "util/rng.h"
 
 namespace p2p::core {
 
 /// Redundant-routing knobs.
 struct SecureRouterConfig {
-  /// Number of parallel walks (1 = plain greedy).
+  /// Number of parallel walks per batch (1 = plain greedy).
   std::size_t paths = 3;
   /// Per-walk hop budget; 0 = automatic (same rule as RouterConfig::ttl).
   std::size_t ttl = 0;
   /// What Byzantine nodes do to messages they should forward.
   failure::ByzantineBehavior behavior = failure::ByzantineBehavior::kDrop;
+  /// Escalation ceiling on total walks per query: when a whole batch ends
+  /// with zero deliveries and fewer than max_paths walks have launched,
+  /// another batch of `paths` walks goes out over later-ranked first hops.
+  /// 0 (default) disables escalation (max_paths == paths).
+  std::size_t max_paths = 0;
+  /// Optional reputation feedback (see the file comment). The table must be
+  /// over the same graph and outlive the router; it is *mutated* by routing
+  /// (outcome attribution), which is the point. nullptr = off.
+  failure::ReputationTable* reputation = nullptr;
+  /// Record a per-walk WalkReport in SecureRouteResult::walks.
+  bool record_walks = false;
+};
+
+/// How one walk ended.
+enum class WalkOutcome : std::uint8_t {
+  kDelivered,   ///< reached the target node
+  kDied,        ///< blackholed by a Byzantine node or stranded on a crash
+  kStuck,       ///< honest node with no unvisited live closer candidate
+  kTtlExpired,  ///< hop budget exhausted (e.g. misrouted into a loop)
+};
+
+/// Per-walk attribution, recorded when SecureRouterConfig::record_walks.
+struct WalkReport {
+  WalkOutcome outcome = WalkOutcome::kStuck;
+  /// Messages this walk transmitted.
+  std::size_t hops = 0;
+  /// Rank of the source link the walk left over (the diversity index).
+  std::size_t first_hop_rank = 0;
+  /// Where the walk ended: the target (kDelivered), the node it died at
+  /// (kDied), or where it was stranded (kStuck / kTtlExpired).
+  graph::NodeId last = graph::kInvalidNode;
 };
 
 /// Outcome of a redundant search.
@@ -52,48 +108,183 @@ struct SecureRouteResult {
   std::size_t total_messages = 0;
   /// Hops of the fastest successful walk (0 when none succeeded).
   std::size_t best_hops = 0;
+  /// Walks launched in total (paths + any escalation batches).
+  std::size_t walks_launched = 0;
+  /// Outcome attribution across all launched walks.
+  std::size_t walks_died = 0;
+  std::size_t walks_stuck = 0;
+  std::size_t walks_ttl_expired = 0;
+  /// Escalation batches taken beyond the first (0 = first batch sufficed or
+  /// escalation disabled).
+  std::size_t escalations = 0;
+  /// FailureView::epoch() / ByzantineSet::epoch() when the search
+  /// terminated — buckets each outcome against both adversarial timelines
+  /// under replay (static scenarios leave them 0).
+  std::uint64_t completion_epoch = 0;
+  std::uint64_t byzantine_epoch = 0;
+  /// Per-walk reports when SecureRouterConfig::record_walks is set.
+  std::vector<WalkReport> walks;
 };
 
 /// Greedy router hardened with k diverse redundant walks.
 class SecureRouter {
  public:
-  /// All referenced objects must outlive the router; `byzantine` must be
-  /// over the same graph as `view`.
+  /// All referenced objects must outlive the router; `byzantine` (and
+  /// config.reputation, when set) must be over the same graph as `view`.
   SecureRouter(const graph::OverlayGraph& g, const failure::FailureView& view,
                const failure::ByzantineSet& byzantine, SecureRouterConfig config);
 
-  /// Launches config.paths walks from src toward the node nearest `target`.
+  /// Launches config.paths walks from src toward the node nearest `target`
+  /// (plus escalation batches, when enabled). Implemented as a
+  /// SecureRouteSession ticked to completion — bit-identical to stepping one
+  /// yourself.
   [[nodiscard]] SecureRouteResult route(graph::NodeId src, metric::Point target,
                                         util::Rng& rng) const;
 
   [[nodiscard]] const SecureRouterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const graph::OverlayGraph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const failure::FailureView& view() const noexcept { return *view_; }
+  [[nodiscard]] const failure::ByzantineSet& byzantine() const noexcept {
+    return *byzantine_;
+  }
+  /// The reputation table routing feeds, or nullptr when off.
+  [[nodiscard]] failure::ReputationTable* reputation() const noexcept {
+    return config_.reputation;
+  }
+
+  /// Effective per-walk hop budget (config.ttl or the automatic rule).
+  [[nodiscard]] std::size_t walk_ttl() const noexcept;
+  /// Effective escalation ceiling (config.max_paths or paths when disabled).
+  [[nodiscard]] std::size_t max_walks() const noexcept;
 
  private:
-  /// Per-route() scratch shared by all k walks: an epoch-stamped visited
-  /// marker (no clearing between walks) and a reusable first-hop ranking
-  /// buffer. One allocation per route() call; the walk loop itself is
-  /// allocation-free.
-  struct WalkScratch {
-    std::vector<std::uint32_t> visited_epoch;
-    std::vector<std::pair<metric::Distance, graph::NodeId>> ranked;
-    std::uint32_t epoch = 0;
-  };
-
-  /// One walk; `first_hop_rank` indexes the source's candidate list so that
-  /// different walks leave over different links.
-  struct WalkResult {
-    bool delivered = false;
-    std::size_t hops = 0;
-  };
-  [[nodiscard]] WalkResult walk(graph::NodeId src, graph::NodeId target_node,
-                                metric::Point goal, std::size_t first_hop_rank,
-                                WalkScratch& scratch, util::Rng& rng) const;
+  friend class SecureRouteSession;
 
   const graph::OverlayGraph* graph_;
   const failure::FailureView* view_;
   const failure::ByzantineSet* byzantine_;
-  Router greedy_;  // candidate machinery reused from the plain router
+  /// Candidate machinery reused from the plain router: greedy_ selects with
+  /// no trust mask (the fallback / reputation-off path), trusted_ carries
+  /// the distrust sideband when reputation is wired (and aliases greedy_'s
+  /// behaviour while nobody is distrusted — the mask self-gates).
+  Router greedy_;
+  Router trusted_;
   SecureRouterConfig config_;
+};
+
+/// One in-flight redundant search, advanced a single message transmission
+/// (or terminal walk event) at a time. Walks run sequentially within the
+/// session; the failure view and Byzantine set are re-read every tick, so
+/// mid-search churn and corrupt/heal events are honoured — a walk standing
+/// on a node killed by a replay delta dies on its next tick rather than
+/// stepping out of a crashed node.
+class SecureRouteSession {
+ public:
+  /// Preconditions as SecureRouter::route. Allocates the visited array once
+  /// (one u32 per node); restart() reuses it.
+  SecureRouteSession(const SecureRouter& router, graph::NodeId src,
+                     metric::Point target);
+
+  /// Rebinds the session to a fresh search, reusing all buffers — the batch
+  /// pipeline's lane-refill path.
+  void restart(graph::NodeId src, metric::Point target);
+
+  /// Advances by one message transmission or one terminal walk event.
+  /// Returns false once the whole search has terminated (results in
+  /// result()).
+  bool tick(util::Rng& rng);
+
+  [[nodiscard]] bool finished() const noexcept { return done_; }
+  /// The accumulated outcome; complete once finished().
+  [[nodiscard]] const SecureRouteResult& result() const noexcept { return result_; }
+
+ private:
+  /// Starts walk number result_.walks_launched (bookkeeping only — no
+  /// message moves until the next tick()).
+  void start_walk();
+  /// Terminal transition of the active walk: accumulates the outcome,
+  /// attributes reputation, and decides continue / escalate / finish.
+  void finish_walk(WalkOutcome outcome);
+
+  const SecureRouter* router_;
+  graph::NodeId src_ = 0;
+  graph::NodeId target_node_ = 0;
+  metric::Point goal_ = 0;
+
+  // Active walk state.
+  bool walk_active_ = false;
+  bool first_hop_ = true;
+  graph::NodeId current_ = 0;
+  metric::Distance current_dist_ = 0;
+  std::size_t budget_ = 0;
+  std::size_t walk_hops_ = 0;
+  std::size_t batch_left_ = 0;  // walks remaining in the current batch
+
+  // Shared per-session scratch: epoch-stamped visited markers (no clearing
+  // between walks or restarts), the first-hop ranking buffer, and the
+  // active walk's path (kept only when reputation feedback needs to reward
+  // a delivered walk's relay nodes).
+  std::vector<std::uint32_t> visited_epoch_;
+  std::vector<std::pair<metric::Distance, graph::NodeId>> ranked_;
+  std::vector<graph::NodeId> path_;
+  std::uint32_t epoch_ = 0;
+
+  bool done_ = false;
+  SecureRouteResult result_;
+};
+
+/// Round-robin scheduler over many SecureRouteSessions — the secure twin of
+/// core::BatchPipeline, minus the prefetch machinery (secure walks are
+/// dominated by redundancy, not header latency). Lane i of the batch runs on
+/// util::substream(seed_base, i), so results are bit-identical to routing
+/// each query directly with that stream, independent of width or
+/// interleaving — and, as with BatchPipeline, the failure view and Byzantine
+/// set may be mutated *between ticks* (sessions re-read both every step),
+/// which is exactly how churn::AdversarialReplay composes the two
+/// adversarial timelines with routing.
+class SecureBatchPipeline {
+ public:
+  /// `queries` and `results` must outlive the pipeline;
+  /// results.size() >= queries.size().
+  SecureBatchPipeline(const SecureRouter& router, std::span<const Query> queries,
+                      std::span<SecureRouteResult> results,
+                      std::uint64_t seed_base, std::size_t width = 32);
+
+  /// Advances one in-flight search by one transmission. Returns false once
+  /// every query has retired (the final retiring advance included).
+  bool tick();
+
+  /// Ticks until every query has retired.
+  void run() {
+    while (tick()) {
+    }
+  }
+
+  [[nodiscard]] std::size_t in_flight() const noexcept { return lanes_.size(); }
+  [[nodiscard]] std::size_t retired() const noexcept { return retired_; }
+  /// The query index retired by the most recent tick() that increased
+  /// retired() — at most one retires per tick. Meaningful only immediately
+  /// after such a tick; replay drivers use it to timestamp completions.
+  [[nodiscard]] std::size_t last_retired_query() const noexcept {
+    return last_retired_;
+  }
+
+ private:
+  struct Lane {
+    SecureRouteSession session;
+    util::Rng rng;
+    std::size_t query = 0;
+  };
+
+  const SecureRouter* router_;
+  std::span<const Query> queries_;
+  std::span<SecureRouteResult> results_;
+  std::uint64_t seed_base_;
+  std::vector<Lane> lanes_;
+  std::size_t cursor_ = 0;
+  std::size_t next_query_ = 0;
+  std::size_t retired_ = 0;
+  std::size_t last_retired_ = 0;
 };
 
 }  // namespace p2p::core

@@ -1,0 +1,92 @@
+#include "failure/reputation.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace p2p::failure {
+
+ReputationTable::ReputationTable(const graph::OverlayGraph& g,
+                                 ReputationConfig config)
+    : graph_(&g), config_(config) {
+  util::require(config_.distrust_threshold > 0.0,
+                "ReputationTable: distrust_threshold must be positive");
+  util::require(config_.decay >= 0.0 && config_.decay < 1.0,
+                "ReputationTable: decay must lie in [0, 1)");
+  util::require(config_.max_penalty >= config_.distrust_threshold,
+                "ReputationTable: max_penalty must cover the threshold");
+  penalty_.assign(g.size(), 0.0);
+  trusted_byte_.assign(g.size() + kBytePad, std::uint8_t{1});
+  tracked_.assign(g.size(), std::uint8_t{0});
+  touched_.reserve(64);
+}
+
+void ReputationTable::record(graph::NodeId u, Observation what) {
+  util::require(u < graph_->size(), "ReputationTable::record: node out of range");
+  double delta = 0.0;
+  switch (what) {
+    case Observation::kDelivered: delta = -config_.reward_delivered; break;
+    case Observation::kDiedAtHop: delta = config_.penalty_died; break;
+    case Observation::kRegressed: delta = config_.penalty_regressed; break;
+    case Observation::kTimedOut:  delta = config_.penalty_timeout; break;
+  }
+  double next = penalty_[u] + delta;
+  next = std::clamp(next, 0.0, config_.max_penalty);
+  set_penalty(u, next);
+}
+
+void ReputationTable::decay_epoch() {
+  ++epoch_;
+  // set_penalty mutates touched_, so detach the worklist first; surviving
+  // entries are re-tracked as set_penalty processes them.
+  scratch_.clear();
+  scratch_.swap(touched_);
+  for (graph::NodeId u : scratch_) {
+    tracked_[u] = 0;
+    double next = penalty_[u] * config_.decay;
+    if (next < kPenaltyEpsilon) next = 0.0;
+    set_penalty(u, next);
+  }
+}
+
+void ReputationTable::reset() {
+  for (graph::NodeId u : touched_) {
+    penalty_[u] = 0.0;
+    tracked_[u] = 0;
+    trusted_byte_[u] = 1;
+  }
+  touched_.clear();
+  distrusted_count_ = 0;
+  epoch_ = 0;
+}
+
+void ReputationTable::set_penalty(graph::NodeId u, double value) {
+  penalty_[u] = value;
+  const bool now_trusted = value < config_.distrust_threshold;
+  const bool was_trusted = trusted_byte_[u] != 0;
+  if (now_trusted != was_trusted) {
+    trusted_byte_[u] = now_trusted ? 1 : 0;
+    if (now_trusted) {
+      --distrusted_count_;
+    } else {
+      ++distrusted_count_;
+    }
+  }
+  if (value > 0.0) {
+    if (!tracked_[u]) {
+      tracked_[u] = 1;
+      touched_.push_back(u);
+    }
+  } else if (tracked_[u]) {
+    // Swap-erase keeps touched_ at exactly {nodes with penalty > 0}, which
+    // is what makes decay_epoch O(penalized) rather than O(n).
+    tracked_[u] = 0;
+    auto it = std::find(touched_.begin(), touched_.end(), u);
+    if (it != touched_.end()) {
+      *it = touched_.back();
+      touched_.pop_back();
+    }
+  }
+}
+
+}  // namespace p2p::failure

@@ -174,6 +174,117 @@ TEST(SecureRouter, RedundancyCostIsAccounted) {
   EXPECT_GE(res.total_messages, 4 * res.best_hops);
 }
 
+TEST(ByzantineSet, CorruptAndHealAreIdempotent) {
+  const auto g = test_graph(64, 2, 40);
+  auto set = ByzantineSet::none(g);
+  // Healing an honest node — even before any flags exist — is a no-op.
+  set.heal(5);
+  EXPECT_EQ(set.count(), 0u);
+  set.corrupt(5);
+  set.corrupt(5);
+  EXPECT_EQ(set.count(), 1u);
+  EXPECT_TRUE(set.is_byzantine(5));
+  set.heal(5);
+  set.heal(5);
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_FALSE(set.is_byzantine(5));
+  // Manual flips never move the delta cursor.
+  EXPECT_EQ(set.epoch(), 0u);
+}
+
+TEST(ByzantineSet, DeltaApplyAndRevertAreExactInverses) {
+  const auto g = test_graph(64, 2, 41);
+  auto set = ByzantineSet::of(g, {1, 2});
+  failure::ByzantineDelta first;
+  first.when = 1.0;
+  first.corrupts = {3, 4};
+  first.heals = {1};
+  failure::ByzantineDelta second;
+  second.when = 2.0;
+  second.corrupts = {1};
+  second.heals = {3, 4};
+
+  set.apply(first);
+  EXPECT_EQ(set.epoch(), 1u);
+  EXPECT_EQ(set.count(), 3u);  // {2, 3, 4}
+  EXPECT_FALSE(set.is_byzantine(1));
+  EXPECT_TRUE(set.is_byzantine(3));
+  set.apply(second);
+  EXPECT_EQ(set.epoch(), 2u);
+  EXPECT_EQ(set.count(), 2u);  // {1, 2}
+  EXPECT_TRUE(set.is_byzantine(1));
+  EXPECT_FALSE(set.is_byzantine(4));
+
+  set.revert(second);
+  EXPECT_EQ(set.epoch(), 1u);
+  EXPECT_EQ(set.count(), 3u);
+  EXPECT_FALSE(set.is_byzantine(1));
+  EXPECT_TRUE(set.is_byzantine(4));
+  set.revert(first);
+  EXPECT_EQ(set.epoch(), 0u);
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_TRUE(set.is_byzantine(1));
+  EXPECT_TRUE(set.is_byzantine(2));
+  EXPECT_FALSE(set.is_byzantine(3));
+}
+
+TEST(ByzantineSet, ApplyRejectsOutOfSyncDeltas) {
+  const auto g = test_graph(64, 2, 42);
+  auto set = ByzantineSet::of(g, {7});
+  failure::ByzantineDelta corrupt_again;
+  corrupt_again.corrupts = {7};  // no-op change: schedule out of sync
+  EXPECT_THROW(set.apply(corrupt_again), std::invalid_argument);
+  failure::ByzantineDelta heal_honest;
+  heal_honest.heals = {9};
+  EXPECT_THROW(set.apply(heal_honest), std::invalid_argument);
+  failure::ByzantineDelta out_of_range;
+  out_of_range.corrupts = {64};
+  EXPECT_THROW(set.apply(out_of_range), std::out_of_range);
+  // Revert below epoch 0 is a cursor error even for an invertible batch.
+  failure::ByzantineDelta fine;
+  fine.corrupts = {3};
+  EXPECT_THROW(set.revert(fine), std::invalid_argument);
+  set.apply(fine);
+  EXPECT_EQ(set.epoch(), 1u);
+  // Reverting a batch that is not the one that produced the current epoch
+  // trips the same normalization check (its heals/corrupts are no-ops).
+  failure::ByzantineDelta wrong;
+  wrong.corrupts = {5};
+  EXPECT_THROW(set.revert(wrong), std::invalid_argument);
+}
+
+// Satellite: the structural-generation guard, mirroring FailureView's
+// stale-view discipline — a slot-moving graph mutation must make every set
+// mutator fail loudly instead of silently mis-keying node flags.
+TEST(ByzantineSet, MutatorsThrowAfterStructuralGraphChange) {
+  graph::GraphBuilder builder(metric::Space1D::ring(16));
+  builder.wire_short_links();
+  for (NodeId u = 0; u < 16; ++u) builder.add_long_link(u, (u + 5) % 16);
+  OverlayGraph g = builder.freeze();
+  const auto gen0 = g.structural_generation();
+
+  auto set = ByzantineSet::none(g);
+  set.corrupt(2);  // allocate flags against gen0
+
+  g.replace_long_link(2, 0, 9);  // in-place: never moves slots
+  EXPECT_EQ(g.structural_generation(), gen0);
+  set.corrupt(3);  // still valid
+  EXPECT_EQ(set.count(), 2u);
+
+  g.add_long_link(3, 9);  // no reserved slot: shifts the flat arrays
+  EXPECT_GT(g.structural_generation(), gen0);
+  EXPECT_THROW(set.corrupt(4), std::invalid_argument);
+  EXPECT_THROW(set.heal(2), std::invalid_argument);
+  failure::ByzantineDelta delta;
+  delta.corrupts = {5};
+  EXPECT_THROW(set.apply(delta), std::invalid_argument);
+
+  // A fresh set over the mutated graph is keyed to the new generation.
+  auto fresh = ByzantineSet::none(g);
+  fresh.corrupt(4);
+  EXPECT_TRUE(fresh.is_byzantine(4));
+}
+
 TEST(SecureRouter, RejectsBadWiring) {
   const auto g1 = test_graph(64, 2, 15);
   const auto g2 = test_graph(64, 2, 16);
