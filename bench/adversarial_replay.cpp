@@ -29,10 +29,19 @@
 // well as plain k-walk; and averaged over both behaviours, reputation-on
 // must not fall below reputation-off.
 //
+// Telemetry: unless P2P_TELEMETRY=0 (or the library was built with
+// P2P_TELEMETRY=OFF), every cell records walk outcomes and driver event
+// throughput through a telemetry::Registry; redundancy (msgs/query) and
+// best-hops quantiles come from the registry histograms, and the full-stack
+// misroute cell writes its epoch-aligned JSON snapshot to
+// BENCH_adversarial_telemetry.json.
+//
 // Knobs: P2P_NODES, P2P_MESSAGES (searches per cell), P2P_ADV_WAVES,
-// P2P_ADV_WAVE_SIZE, P2P_ADV_PATHS, P2P_ADV_NO_GATE.
+// P2P_ADV_WAVE_SIZE, P2P_ADV_PATHS, P2P_ADV_NO_GATE, P2P_TELEMETRY.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,9 +49,11 @@
 #include "churn/adversarial_replay.h"
 #include "churn/churn_log.h"
 #include "churn/trace_gen.h"
+#include "core/route_telemetry.h"
 #include "failure/byzantine.h"
 #include "failure/reputation.h"
 #include "sim/event_queue.h"
+#include "telemetry/export.h"
 
 namespace {
 
@@ -56,6 +67,15 @@ struct CellResult {
   double recovery_ms = 0.0;  ///< mean heal -> first-delivery gap, 0 if none
   double routes_per_sec = 0.0;
   std::size_t escalations = 0;
+  /// Registry-derived extras (zero when P2P_TELEMETRY=0 or compiled out).
+  bool telemetry = false;
+  double msgs_p50 = 0.0;       ///< secure.messages_hist: redundancy per query
+  double msgs_p99 = 0.0;
+  double best_hops_p50 = 0.0;  ///< fastest successful walk, delivered only
+  std::uint64_t telem_queries = 0;
+  std::uint64_t telem_delivered = 0;
+  std::uint64_t telem_events = 0;  ///< crash + corruption + decay deltas
+  std::string exporter_json;       ///< epoch-aligned JSON snapshot export
 };
 
 struct AdversarialMetrics {
@@ -118,7 +138,7 @@ void merge_json(const AdversarialMetrics& m, const char* path) {
     if (!s.empty() && s.back() == '}') s.pop_back();
     while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
   }
-  char section[1536];
+  char section[2560];
   std::snprintf(
       section, sizeof section,
       ",\n"
@@ -137,7 +157,13 @@ void merge_json(const AdversarialMetrics& m, const char* path) {
       "  \"adversarial_misroute_msgs_per_delivery_on\": %.2f,\n"
       "  \"adversarial_misroute_recovery_ms_off\": %.3f,\n"
       "  \"adversarial_misroute_recovery_ms_on\": %.3f,\n"
-      "  \"adversarial_routes_per_sec\": %.1f\n"
+      "  \"adversarial_routes_per_sec\": %.1f,\n"
+      "  \"adversarial_telemetry_queries\": %llu,\n"
+      "  \"adversarial_telemetry_delivered\": %llu,\n"
+      "  \"adversarial_telemetry_events\": %llu,\n"
+      "  \"adversarial_telemetry_msgs_p50\": %.1f,\n"
+      "  \"adversarial_telemetry_msgs_p99\": %.1f,\n"
+      "  \"adversarial_telemetry_best_hops_p50\": %.1f\n"
       "}\n",
       static_cast<unsigned long long>(m.nodes), m.queries, m.waves, m.wave_size,
       m.paths, m.drop_plain.delivery_rate, m.drop_off.delivery_rate,
@@ -145,7 +171,12 @@ void merge_json(const AdversarialMetrics& m, const char* path) {
       m.misroute_off.delivery_rate, m.misroute_on.delivery_rate,
       m.misroute_off.msgs_per_delivery, m.misroute_on.msgs_per_delivery,
       m.misroute_off.recovery_ms, m.misroute_on.recovery_ms,
-      m.misroute_on.routes_per_sec);
+      m.misroute_on.routes_per_sec,
+      static_cast<unsigned long long>(m.misroute_on.telem_queries),
+      static_cast<unsigned long long>(m.misroute_on.telem_delivered),
+      static_cast<unsigned long long>(m.misroute_on.telem_events),
+      m.misroute_on.msgs_p50, m.misroute_on.msgs_p99,
+      m.misroute_on.best_hops_p50);
   s += section;
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -215,6 +246,23 @@ int main() {
     cfg.ttl = 2 * bench::lg_links(m.nodes);
     if (escalate) cfg.max_paths = 3 * m.paths;
     if (with_reputation) cfg.reputation = &reputation;
+
+    // Telemetry: the replay driver is single-threaded, so one shard carries
+    // both the per-query walk outcomes (SecureRouter) and the driver's
+    // event/tick throughput counters. P2P_TELEMETRY=0 leaves it all off.
+    const bool telem = bench::telemetry_enabled_from_env();
+    std::unique_ptr<telemetry::Registry> reg;
+    core::SecureTelemetry sink;
+    churn::AdversarialReplayTelemetry driver_telem;
+    if (telem) {
+      reg = std::make_unique<telemetry::Registry>(1);
+      sink.metrics = core::SecureRouteMetrics::create(*reg);
+      driver_telem.metrics = churn::AdversarialReplayMetrics::create(*reg);
+      sink.recorder = reg->recorder(0);
+      driver_telem.recorder = sink.recorder;
+      cfg.telemetry = &sink;
+    }
+
     const core::SecureRouter router(g, view, byz, cfg);
     sim::EventQueue queue;
     churn::AdversarialReplayConfig rc;
@@ -224,6 +272,7 @@ int main() {
     // Spread the workload across the whole trace: tick budget ~= expected
     // transmissions (k walks of ~tens of hops each) over the duration.
     rc.ticks_per_ms = static_cast<double>(m.queries * m.paths) * 40.0 / duration;
+    if (telem) rc.telemetry = &driver_telem;
     churn::AdversarialReplay replay(router, log, waves, view, byz, queue, rc);
     const auto t0 = std::chrono::steady_clock::now();
     const auto stats = replay.run();
@@ -245,6 +294,34 @@ int main() {
         100.0 * cell.delivery_rate, cell.msgs_per_delivery, cell.recovery_ms,
         cell.escalations, cell.routes_per_sec, stats.walks_launched,
         stats.walks_died, stats.walks_stuck, stats.walks_ttl_expired);
+    if (telem) {
+      const telemetry::Snapshot snap = reg->snapshot(0, stats.final_epoch);
+      cell.telemetry = true;
+      if (const auto* h = snap.histogram("secure.messages_hist")) {
+        cell.msgs_p50 = h->p50();
+        cell.msgs_p99 = h->p99();
+      }
+      if (const auto* h = snap.histogram("secure.best_hops_hist"))
+        cell.best_hops_p50 = h->p50();
+      cell.telem_queries = snap.counter_or("secure.queries");
+      cell.telem_delivered = snap.counter_or("secure.delivered");
+      cell.telem_events = snap.counter_or("adversarial.churn_deltas") +
+                          snap.counter_or("adversarial.byzantine_deltas") +
+                          snap.counter_or("adversarial.decays");
+      cell.exporter_json = telemetry::json_text(snap);
+      std::printf(
+          "           telemetry: msgs/query p50 %.0f p99 %.0f, best-hops "
+          "p50 %.0f, %llu events\n",
+          cell.msgs_p50, cell.msgs_p99, cell.best_hops_p50,
+          static_cast<unsigned long long>(cell.telem_events));
+      if (cell.telem_queries != stats.routed) {
+        std::fprintf(stderr,
+                     "adversarial_replay: telemetry query count %llu != "
+                     "replay stats %zu\n",
+                     static_cast<unsigned long long>(cell.telem_queries),
+                     stats.routed);
+      }
+    }
     return cell;
   };
 
@@ -256,6 +333,24 @@ int main() {
   m.misroute_on = run_cell(failure::ByzantineBehavior::kMisroute, true, true);
 
   merge_json(m, "BENCH_micro.json");
+
+  // Full-stack misroute is the headline cell: its epoch-aligned snapshot is
+  // the exporter artifact (walk-outcome counters + redundancy histograms).
+  if (m.misroute_on.telemetry) {
+    std::FILE* f = std::fopen("BENCH_adversarial_telemetry.json", "w");
+    if (f != nullptr) {
+      std::fwrite(m.misroute_on.exporter_json.data(), 1,
+                  m.misroute_on.exporter_json.size(), f);
+      std::fclose(f);
+      std::printf(
+          "adversarial_replay: telemetry snapshot -> "
+          "BENCH_adversarial_telemetry.json\n");
+    } else {
+      std::fprintf(stderr,
+                   "adversarial_replay: cannot open "
+                   "BENCH_adversarial_telemetry.json for writing\n");
+    }
+  }
 
   if (util::env_u64("P2P_ADV_NO_GATE", 0) == 0) {
     if (m.misroute_on.delivery_rate < m.misroute_plain.delivery_rate) {

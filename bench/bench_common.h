@@ -20,6 +20,7 @@
 #include "graph/graph_builder.h"
 #include "sim/experiment.h"
 #include "sim/hop_simulator.h"
+#include "telemetry/metric_registry.h"
 #include "util/options.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -98,6 +99,21 @@ inline core::BatchConfig batch_config_from_env(core::BatchConfig dflt = {}) {
 /// routing service share.
 inline std::size_t thread_count_from_env() {
   return util::scale_options_from_env().threads;
+}
+
+/// Runtime telemetry switch: true (default) wires registries/sinks into the
+/// bench, P2P_TELEMETRY=0 skips the wiring entirely. Builds configured with
+/// -DP2P_TELEMETRY=OFF report false regardless — recording bodies are
+/// compiled out, so wiring a registry would only measure dead stores.
+inline bool telemetry_enabled_from_env() {
+  return telemetry::kCompiledIn && util::scale_options_from_env().telemetry;
+}
+
+/// Flight-recorder sampling period from P2P_TRACE_SAMPLE: hop trails are
+/// captured for 1-in-this-many queries; 0 (the default) keeps the recorder
+/// off.
+inline std::size_t trace_sample_from_env() {
+  return util::scale_options_from_env().trace_sample;
 }
 
 /// A ThreadPool sized by P2P_THREADS (hardware concurrency when unset).

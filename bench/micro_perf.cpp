@@ -20,6 +20,7 @@
 
 #include "bench_common.h"
 #include "core/construction.h"
+#include "core/route_telemetry.h"
 #include "core/router.h"
 #include "dht/dht.h"
 #include "failure/failure_model.h"
@@ -278,7 +279,19 @@ struct JsonMetrics {
   double torus_routes_per_sec = 0;        ///< scalar route()
   double torus_batch_routes_per_sec = 0;  ///< route_batch at width 32
   double torus_batch_speedup = 0;
+  /// Telemetry overhead: the width-32 batch workload with a wired
+  /// RouteTelemetry sink vs the identical uninstrumented run (interleaved
+  /// best-of-3 to cut scheduling noise). The bench self-enforces
+  /// overhead <= kTelemetryOverheadBudgetPct unless P2P_TELEM_NO_GATE is set.
+  double telemetry_plain_routes_per_sec = 0;
+  double telemetry_batch_routes_per_sec = 0;
+  double telemetry_overhead_pct = 0;
+  double telemetry_hops_p50 = 0;  ///< from the registry's route.hop_hist
+  double telemetry_hops_p99 = 0;
+  bool telemetry_gate_failed = false;
 };
+
+constexpr double kTelemetryOverheadBudgetPct = 3.0;
 
 JsonMetrics measure_headline() {
   JsonMetrics m;
@@ -449,6 +462,66 @@ JsonMetrics measure_headline() {
                                  m.failed_batch_scalar_routes_per_sec[pi];
   }
 
+  // Telemetry overhead on the headline batch path: identical workload with
+  // and without a wired per-query sink, interleaved as paired (plain,
+  // instrumented) rounds. The reported overhead is the *minimum* over the
+  // paired rounds — the true cost is at most what the cleanest pairing
+  // shows, so clock-frequency drift or a scheduling hiccup in one round
+  // cannot fail the gate; the reported throughputs are each side's best
+  // round. Recording happens per retired query, so the measured delta is
+  // the full instrumentation cost of the hot path.
+  {
+    telemetry::Registry reg(1);
+    core::RouteMetrics metrics = core::RouteMetrics::create(reg);
+    core::RouteTelemetry sink{reg.recorder(0), metrics};
+
+    constexpr std::size_t kBatch = 2000;
+    std::vector<core::Query> queries(kBatch);
+    std::vector<core::RouteResult> results(kBatch);
+    const auto run_batch = [&](core::BatchConfig batch) {
+      util::Rng pick(7);
+      util::Rng batch_rng(11);
+      std::size_t routes = 0;
+      const auto start = std::chrono::steady_clock::now();
+      double elapsed = 0;
+      do {
+        for (auto& q : queries) {
+          q = {static_cast<graph::NodeId>(pick.next_below(m.nodes)),
+               g.position(static_cast<graph::NodeId>(pick.next_below(m.nodes)))};
+        }
+        router.route_batch(queries, results, batch_rng, batch);
+        routes += kBatch;
+        elapsed = seconds_since(start);
+      } while (elapsed < 0.4);
+      return static_cast<double>(routes) / elapsed;
+    };
+
+    core::BatchConfig plain;
+    plain.width = 32;
+    core::BatchConfig instrumented = plain;
+    instrumented.telemetry = &sink;
+    run_batch(plain);  // warmup: fault in the graph and stabilize the clock
+    double min_overhead = 100.0;
+    for (int round = 0; round < 3; ++round) {
+      const double p = run_batch(plain);
+      const double i = run_batch(instrumented);
+      m.telemetry_plain_routes_per_sec =
+          std::max(m.telemetry_plain_routes_per_sec, p);
+      m.telemetry_batch_routes_per_sec =
+          std::max(m.telemetry_batch_routes_per_sec, i);
+      min_overhead = std::min(min_overhead, (p - i) / p * 100.0);
+    }
+    m.telemetry_overhead_pct = std::max(0.0, min_overhead);
+    const telemetry::Snapshot snap = reg.snapshot();
+    if (const auto* hist = snap.histogram("route.hop_hist")) {
+      m.telemetry_hops_p50 = hist->p50();
+      m.telemetry_hops_p99 = hist->p99();
+    }
+    m.telemetry_gate_failed =
+        telemetry::kCompiledIn &&
+        m.telemetry_overhead_pct > kTelemetryOverheadBudgetPct;
+  }
+
   const LegacyOverlay legacy(g);
   const auto [legacy_rps, legacy_hps] = run([&](graph::NodeId src, graph::NodeId dst) {
     return legacy.route(src, dst, g.position(dst));
@@ -560,6 +633,15 @@ void write_json(const JsonMetrics& m, const char* path) {
               m.failed_batch_scalar_routes_per_sec);
   fail_series("failed_batch_speedup_vs_scalar", m.failed_batch_speedup);
   std::fprintf(f,
+               "  \"telemetry_plain_routes_per_sec\": %.1f,\n"
+               "  \"telemetry_batch_routes_per_sec\": %.1f,\n"
+               "  \"telemetry_overhead_pct\": %.3f,\n"
+               "  \"telemetry_hops_p50\": %.2f,\n"
+               "  \"telemetry_hops_p99\": %.2f,\n",
+               m.telemetry_plain_routes_per_sec, m.telemetry_batch_routes_per_sec,
+               m.telemetry_overhead_pct, m.telemetry_hops_p50,
+               m.telemetry_hops_p99);
+  std::fprintf(f,
                "  \"legacy_alloc_routes_per_sec\": %.1f,\n"
                "  \"speedup_vs_legacy_alloc\": %.3f,\n"
                "  \"torus_nodes\": %llu,\n"
@@ -592,7 +674,28 @@ void write_json(const JsonMetrics& m, const char* path) {
 
 int main(int argc, char** argv) {
   if (std::getenv("P2P_SKIP_JSON") == nullptr) {
-    write_json(measure_headline(), "BENCH_micro.json");
+    const JsonMetrics m = measure_headline();
+    write_json(m, "BENCH_micro.json");
+    std::printf("telemetry: %.3g routes/s instrumented vs %.3g plain "
+                "(%.2f%% overhead, budget %.1f%%); hops p50=%.1f p99=%.1f\n",
+                m.telemetry_batch_routes_per_sec,
+                m.telemetry_plain_routes_per_sec, m.telemetry_overhead_pct,
+                kTelemetryOverheadBudgetPct, m.telemetry_hops_p50,
+                m.telemetry_hops_p99);
+    if (m.telemetry_gate_failed) {
+      if (std::getenv("P2P_TELEM_NO_GATE") != nullptr) {
+        std::fprintf(stderr,
+                     "micro_perf: telemetry overhead %.2f%% exceeds the %.1f%% "
+                     "budget (P2P_TELEM_NO_GATE set; not failing)\n",
+                     m.telemetry_overhead_pct, kTelemetryOverheadBudgetPct);
+      } else {
+        std::fprintf(stderr,
+                     "micro_perf: telemetry overhead %.2f%% exceeds the %.1f%% "
+                     "budget (set P2P_TELEM_NO_GATE=1 to override)\n",
+                     m.telemetry_overhead_pct, kTelemetryOverheadBudgetPct);
+        return 1;
+      }
+    }
   }
   if (std::getenv("P2P_JSON_ONLY") != nullptr) return 0;
   benchmark::Initialize(&argc, argv);

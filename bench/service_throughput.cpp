@@ -17,15 +17,26 @@
 // hardware threads (P2P_SERVICE_NO_GATE=1 skips explicitly; a 1-core
 // container cannot physically scale and only warns).
 //
+// Telemetry: unless P2P_TELEMETRY=0 (or the library was built with
+// P2P_TELEMETRY=OFF), every cell routes through a telemetry::Registry — one
+// shard per worker plus a writer shard for the publisher — and the staleness
+// quantiles come from the registry's service.staleness_hist instead of an
+// ad-hoc sorted tally. The headline cell (4 threads @ 10k flips/sec) writes
+// its epoch-aligned JSON snapshot to BENCH_service_telemetry.json; with
+// P2P_TRACE_SAMPLE=k set, sampled hop trails land in
+// BENCH_service_trails.json.
+//
 // Results append to BENCH_micro.json (after micro_perf/churn_replay; an
 // existing service section is replaced, so reruns are idempotent). Knobs:
 // P2P_NODES, P2P_MESSAGES (queries per cell), P2P_CHURN_EVENTS (trace
-// length), P2P_THREADS is intentionally ignored here — the sweep *is* the
-// thread axis.
+// length), P2P_TELEMETRY, P2P_TRACE_SAMPLE; P2P_THREADS is intentionally
+// ignored here — the sweep *is* the thread axis.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,7 +45,10 @@
 #include "churn/churn_log.h"
 #include "churn/trace_gen.h"
 #include "service/routing_service.h"
+#include "service/service_telemetry.h"
 #include "service/view_publisher.h"
+#include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
 
 namespace {
 
@@ -92,8 +106,19 @@ struct CellResult {
   double staleness_p99 = 0;
   std::uint64_t epochs_advanced = 0;
   bool trace_exhausted = false;
+  /// Telemetry-derived extras (zero when P2P_TELEMETRY=0 or compiled out).
+  bool telemetry = false;
+  double pin_ns_p99 = 0;
+  std::uint64_t telem_queries = 0;
+  std::uint64_t telem_delivered = 0;
+  std::uint64_t telem_publications = 0;
+  std::uint64_t trails = 0;
+  std::string exporter_json;  ///< epoch-aligned JSON snapshot export
+  std::string trails_json;    ///< flight-recorder dump (sampling on only)
 };
 
+/// Fallback staleness quantile for telemetry-off runs (the instrumented path
+/// reads the registry's staleness histogram instead).
 double percentile(std::vector<std::uint64_t> samples, double p) {
   if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
@@ -111,10 +136,33 @@ CellResult run_cell(const churn::ChurnLog& log,
   cell.flips_per_sec = flips_per_sec;
 
   service::ViewPublisher publisher(log.baseline(), threads + 4);
+
+  // Telemetry: one registry shard per worker plus a dedicated shard for the
+  // churn writer; the whole serving stack (pipelines, stripes, publisher)
+  // snapshots as one epoch-aligned unit. P2P_TRACE_SAMPLE=k additionally
+  // samples 1-in-k hop trails per worker.
+  const bool telem = bench::telemetry_enabled_from_env();
+  std::unique_ptr<telemetry::Registry> reg;
+  std::unique_ptr<telemetry::FlightRecorder> flight;
+  service::ServiceTelemetry sink;
+  if (telem) {
+    reg = std::make_unique<telemetry::Registry>(threads + 1);
+    const std::uint64_t sample = bench::trace_sample_from_env();
+    if (sample > 0) {
+      flight = std::make_unique<telemetry::FlightRecorder>(threads, 256,
+                                                           sample, 64);
+    }
+    sink = service::ServiceTelemetry::create(*reg, flight.get());
+    const service::PublisherMetrics pub_metrics =
+        service::PublisherMetrics::create(*reg);
+    publisher.attach_telemetry(reg->recorder(threads), pub_metrics);
+  }
+
   service::ServiceConfig cfg;
   cfg.workers = threads;
   cfg.batch = batch;
   cfg.seed = 17;
+  if (telem) cfg.telemetry = &sink;
   service::RoutingService svc(publisher, cfg);
 
   std::vector<core::RouteResult> results(queries.size());
@@ -133,12 +181,53 @@ CellResult run_cell(const churn::ChurnLog& log,
 
   cell.routes_per_sec = static_cast<double>(stats.routed) / seconds;
   cell.delivered_fraction = stats.delivered_fraction();
-  cell.staleness_p50 = percentile(stats.staleness, 0.50);
-  cell.staleness_p99 = percentile(stats.staleness, 0.99);
   cell.epochs_advanced = stats.max_epoch;
   cell.trace_exhausted =
       writer_state.trace_exhausted.load(std::memory_order_relaxed) != 0;
+  if (telem) {
+    const telemetry::Snapshot snap =
+        reg->snapshot(stats.min_epoch, stats.max_epoch);
+    // Log bins clamp 0 to 1, so bin 0 means "at most one epoch behind":
+    // idle-writer cells read ~1 here where the exact tally reads 0.
+    if (const auto* h = snap.histogram("service.staleness_hist")) {
+      cell.staleness_p50 = h->p50();
+      cell.staleness_p99 = h->p99();
+    }
+    if (const auto* h = snap.histogram("service.pin_ns_hist"))
+      cell.pin_ns_p99 = h->p99();
+    cell.telemetry = true;
+    cell.telem_queries = snap.counter_or("service.route.queries");
+    cell.telem_delivered = snap.counter_or("service.route.delivered");
+    cell.telem_publications = snap.counter_or("publisher.publications");
+    cell.exporter_json = telemetry::json_text(snap);
+    if (flight) {
+      cell.trails = flight->trail_count();
+      cell.trails_json = flight->dump_json();
+    }
+    if (cell.telem_queries != stats.routed) {
+      std::fprintf(stderr,
+                   "service_throughput: telemetry query count %llu != "
+                   "service stats %zu\n",
+                   static_cast<unsigned long long>(cell.telem_queries),
+                   stats.routed);
+    }
+  } else {
+    cell.staleness_p50 = percentile(stats.staleness, 0.50);
+    cell.staleness_p99 = percentile(stats.staleness, 0.99);
+  }
   return cell;
+}
+
+/// Writes `content` to `path` (overwriting), warning on failure.
+void write_file(const char* path, const std::string& content) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "service_throughput: cannot open %s for writing\n",
+                 path);
+    return;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
 }
 
 /// Reads `path` fully, or "" when absent.
@@ -160,6 +249,14 @@ struct ServiceMetrics {
   double efficiency_t4 = 0;       ///< (t4/t1)/4, fraction of ideal
   double churn10k_t4 = 0;         ///< routes/sec, writer at 10k flips/sec
   double staleness_p99 = 0;       ///< epochs behind, t4 @ 10k flips/sec
+  /// Registry-derived extras from the same headline cell (all zero when
+  /// telemetry is off — CI only checks key presence).
+  double telem_staleness_p50 = 0;
+  double telem_pin_ns_p99 = 0;
+  std::uint64_t telem_queries = 0;
+  std::uint64_t telem_delivered = 0;
+  std::uint64_t telem_publications = 0;
+  std::uint64_t telem_trails = 0;
 };
 
 /// Appends the service section to BENCH_micro.json: keeps whatever earlier
@@ -177,7 +274,7 @@ void merge_json(const ServiceMetrics& m, const char* path) {
     if (!s.empty() && s.back() == '}') s.pop_back();
     while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
   }
-  char section[1024];
+  char section[2048];
   std::snprintf(section, sizeof section,
                 ",\n"
                 "  \"service_nodes\": %llu,\n"
@@ -187,10 +284,21 @@ void merge_json(const ServiceMetrics& m, const char* path) {
                 "  \"service_routes_per_sec_t8\": %.1f,\n"
                 "  \"service_scaling_efficiency\": %.4f,\n"
                 "  \"service_routes_per_sec_churn10k_t4\": %.1f,\n"
-                "  \"service_epoch_staleness_p99\": %.1f\n"
+                "  \"service_epoch_staleness_p99\": %.1f,\n"
+                "  \"service_telemetry_staleness_p50\": %.1f,\n"
+                "  \"service_telemetry_pin_ns_p99\": %.0f,\n"
+                "  \"service_telemetry_queries\": %llu,\n"
+                "  \"service_telemetry_delivered\": %llu,\n"
+                "  \"service_telemetry_publications\": %llu,\n"
+                "  \"service_telemetry_trails\": %llu\n"
                 "}\n",
                 static_cast<unsigned long long>(m.nodes), m.queries, m.t1,
-                m.t4, m.t8, m.efficiency_t4, m.churn10k_t4, m.staleness_p99);
+                m.t4, m.t8, m.efficiency_t4, m.churn10k_t4, m.staleness_p99,
+                m.telem_staleness_p50, m.telem_pin_ns_p99,
+                static_cast<unsigned long long>(m.telem_queries),
+                static_cast<unsigned long long>(m.telem_delivered),
+                static_cast<unsigned long long>(m.telem_publications),
+                static_cast<unsigned long long>(m.telem_trails));
   s += section;
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -284,6 +392,25 @@ int main() {
       if (rate_axis[r] == 10000.0 && threads == 4) {
         m.churn10k_t4 = cell.routes_per_sec;
         m.staleness_p99 = cell.staleness_p99;
+        m.telem_staleness_p50 = cell.staleness_p50;
+        m.telem_pin_ns_p99 = cell.pin_ns_p99;
+        m.telem_queries = cell.telem_queries;
+        m.telem_delivered = cell.telem_delivered;
+        m.telem_publications = cell.telem_publications;
+        m.telem_trails = cell.trails;
+        if (cell.telemetry) {
+          write_file("BENCH_service_telemetry.json", cell.exporter_json);
+          if (!cell.trails_json.empty())
+            write_file("BENCH_service_trails.json", cell.trails_json);
+          std::printf(
+              "service_throughput: telemetry snapshot (epochs %llu..%llu via "
+              "%llu publications, pin p99 %.0fns) -> "
+              "BENCH_service_telemetry.json%s\n",
+              0ULL, static_cast<unsigned long long>(cell.epochs_advanced),
+              static_cast<unsigned long long>(cell.telem_publications),
+              cell.pin_ns_p99,
+              cell.trails > 0 ? " (+ BENCH_service_trails.json)" : "");
+        }
       }
     }
   }

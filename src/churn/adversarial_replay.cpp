@@ -92,10 +92,15 @@ void AdversarialReplay::tick_once() {
 void AdversarialReplay::advance_to(double now) {
   const double elapsed = now - start_time_;
   const auto target = static_cast<std::size_t>(elapsed * config_.ticks_per_ms);
+  const std::size_t before = stats_.ticks;
   while (pipeline_live_ && ticks_done_ < target) tick_once();
   // Once the workload drains, stop accounting tick debt: later deltas apply
   // back-to-back (same rule as churn::Replay).
   if (!pipeline_live_) ticks_done_ = std::max(ticks_done_, target);
+  if (config_.telemetry != nullptr && stats_.ticks != before) {
+    config_.telemetry->recorder.add(config_.telemetry->metrics.ticks,
+                                    stats_.ticks - before);
+  }
 }
 
 AdversarialReplayStats AdversarialReplay::run() {
@@ -112,6 +117,8 @@ AdversarialReplayStats AdversarialReplay::run() {
       advance_to(queue_->now());
       log_->seek(*view_, e + 1);
       ++stats_.churn_deltas_applied;
+      if (config_.telemetry != nullptr)
+        config_.telemetry->recorder.add(config_.telemetry->metrics.churn_deltas);
       stats_.sim_end = queue_->now() - start_time_;
     });
   }
@@ -122,6 +129,9 @@ AdversarialReplayStats AdversarialReplay::run() {
       advance_to(queue_->now());
       byzantine_->apply(waves_[i]);
       ++stats_.byzantine_deltas_applied;
+      if (config_.telemetry != nullptr)
+        config_.telemetry->recorder.add(
+            config_.telemetry->metrics.byzantine_deltas);
       stats_.sim_end = queue_->now() - start_time_;
     });
   }
@@ -133,13 +143,20 @@ AdversarialReplayStats AdversarialReplay::run() {
         advance_to(queue_->now());
         rep->decay_epoch();
         ++stats_.reputation_decays;
+        if (config_.telemetry != nullptr)
+          config_.telemetry->recorder.add(config_.telemetry->metrics.decays);
       });
     }
   }
   queue_->run();
   // Both adversarial schedules are exhausted; drain the remaining in-flight
   // searches against the final view/set.
+  const std::size_t drain_start = stats_.ticks;
   while (pipeline_live_) tick_once();
+  if (config_.telemetry != nullptr && stats_.ticks != drain_start) {
+    config_.telemetry->recorder.add(config_.telemetry->metrics.ticks,
+                                    stats_.ticks - drain_start);
+  }
   stats_.routed = pipeline_.retired();
   stats_.final_epoch = view_->epoch();
   stats_.final_byzantine_epoch = byzantine_->epoch();

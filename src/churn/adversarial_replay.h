@@ -35,6 +35,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "churn/churn_log.h"
@@ -42,8 +43,37 @@
 #include "failure/byzantine.h"
 #include "failure/failure_model.h"
 #include "sim/event_queue.h"
+#include "telemetry/metric_registry.h"
 
 namespace p2p::churn {
+
+/// Adversarial-driver throughput handles: one counter per event class plus
+/// pipeline ticks. Per-walk and per-query outcomes are NOT recorded here —
+/// they flow through SecureRouterConfig::telemetry (core/route_telemetry.h)
+/// on the router the replay drives.
+struct AdversarialReplayMetrics {
+  telemetry::Counter churn_deltas;
+  telemetry::Counter byzantine_deltas;
+  telemetry::Counter decays;
+  telemetry::Counter ticks;
+
+  static AdversarialReplayMetrics create(
+      telemetry::Registry& reg, const std::string& prefix = "adversarial") {
+    AdversarialReplayMetrics m;
+    m.churn_deltas = reg.counter(prefix + ".churn_deltas");
+    m.byzantine_deltas = reg.counter(prefix + ".byzantine_deltas");
+    m.decays = reg.counter(prefix + ".decays");
+    m.ticks = reg.counter(prefix + ".ticks");
+    return m;
+  }
+};
+
+/// What AdversarialReplayConfig::telemetry points at. The replay driver is
+/// single-threaded, so one recorder (one shard) serves the whole run.
+struct AdversarialReplayTelemetry {
+  telemetry::Recorder recorder;
+  AdversarialReplayMetrics metrics;
+};
 
 struct AdversarialReplayConfig {
   /// Pipeline ticks (message transmissions) per virtual millisecond.
@@ -58,6 +88,10 @@ struct AdversarialReplayConfig {
   /// decay schedule (and is the only valid value when the router carries no
   /// reputation table — decay without a table is a config error).
   double decay_interval_ms = 50.0;
+  /// Optional driver telemetry: event/tick throughput counters, recorded per
+  /// event and per advance batch (never per hop). Null = off. Recording
+  /// never perturbs replay determinism.
+  AdversarialReplayTelemetry* telemetry = nullptr;
 };
 
 struct AdversarialReplayStats {

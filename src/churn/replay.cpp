@@ -52,6 +52,7 @@ void Replay::advance_to(double now) {
   const double elapsed = now - start_time_;
   const auto target =
       static_cast<std::size_t>(elapsed * config_.ticks_per_ms);
+  const std::size_t before = stats_.ticks;
   while (pipeline_live_ && ticks_done_ < target) {
     pipeline_live_ = pipeline_.tick();
     ++ticks_done_;
@@ -60,6 +61,10 @@ void Replay::advance_to(double now) {
   // Once the workload drains, stop accounting tick debt: later deltas apply
   // back-to-back (the deltas/sec regime the churn bench measures).
   if (!pipeline_live_) ticks_done_ = std::max(ticks_done_, target);
+  if (config_.telemetry != nullptr && stats_.ticks != before) {
+    config_.telemetry->recorder.add(config_.telemetry->metrics.ticks,
+                                    stats_.ticks - before);
+  }
 }
 
 ReplayStats Replay::run() {
@@ -73,15 +78,22 @@ ReplayStats Replay::run() {
       advance_to(queue_->now());
       log_->seek(*view_, e + 1);
       ++stats_.deltas_applied;
+      if (config_.telemetry != nullptr)
+        config_.telemetry->recorder.add(config_.telemetry->metrics.deltas);
       stats_.sim_end = queue_->now() - start_time_;
     });
   }
   queue_->run();
   // The trace is exhausted; drain the remaining in-flight searches against
   // the final view.
+  const std::size_t drain_start = stats_.ticks;
   while (pipeline_live_) {
     pipeline_live_ = pipeline_.tick();
     ++stats_.ticks;
+  }
+  if (config_.telemetry != nullptr && stats_.ticks != drain_start) {
+    config_.telemetry->recorder.add(config_.telemetry->metrics.ticks,
+                                    stats_.ticks - drain_start);
   }
   stats_.routed = pipeline_.retired();
   stats_.final_epoch = view_->epoch();

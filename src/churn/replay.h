@@ -21,14 +21,40 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "churn/churn_log.h"
 #include "core/router.h"
 #include "failure/failure_model.h"
 #include "sim/event_queue.h"
+#include "telemetry/metric_registry.h"
 
 namespace p2p::churn {
+
+/// Replay-driver throughput handles: deltas applied and pipeline ticks
+/// advanced. Per-query route outcomes are NOT recorded here — they flow
+/// through ReplayConfig::batch.telemetry (core/route_telemetry.h), the same
+/// sink every BatchPipeline uses.
+struct ReplayMetrics {
+  telemetry::Counter deltas;
+  telemetry::Counter ticks;
+
+  static ReplayMetrics create(telemetry::Registry& reg,
+                              const std::string& prefix = "replay") {
+    ReplayMetrics m;
+    m.deltas = reg.counter(prefix + ".deltas");
+    m.ticks = reg.counter(prefix + ".ticks");
+    return m;
+  }
+};
+
+/// What ReplayConfig::telemetry points at. The replay driver is
+/// single-threaded, so one recorder (one shard) serves the whole run.
+struct ReplayTelemetry {
+  telemetry::Recorder recorder;
+  ReplayMetrics metrics;
+};
 
 struct ReplayConfig {
   /// Pipeline ticks (message transmissions) per virtual millisecond.
@@ -38,6 +64,10 @@ struct ReplayConfig {
   core::BatchConfig batch;
   /// Master seed: query workload and per-query routing streams.
   std::uint64_t seed = 1;
+  /// Optional driver telemetry: delta/tick throughput counters, recorded per
+  /// event and per advance batch (never per hop). Null = off. Recording
+  /// never perturbs replay determinism.
+  ReplayTelemetry* telemetry = nullptr;
 };
 
 struct ReplayStats {

@@ -1,0 +1,146 @@
+// Metric bundles binding the telemetry registry to routing outcome types.
+//
+// The registry (src/telemetry) is deliberately ignorant of routing; these
+// bundles own the metric names and the RouteResult/SecureRouteResult ->
+// counter mapping. A bundle is wired by pointer into BatchConfig /
+// SecureRouterConfig: null means telemetry off (the runtime P2P_TELEMETRY
+// knob simply leaves the pointer unset), and recording happens once per
+// *retired query*, never per hop, so the instrumented hot path stays within
+// the micro_perf-enforced overhead budget.
+//
+// Shard discipline: a RouteTelemetry/SecureTelemetry instance carries a
+// shard-bound Recorder, so each worker thread needs its own instance (over a
+// distinct shard) while the *Metrics handle sets are shared freely.
+#pragma once
+
+#include <string>
+
+#include "core/router.h"
+#include "core/secure_router.h"
+#include "telemetry/metric_registry.h"
+
+namespace p2p::core {
+
+/// Per-query outcome metrics for the plain routing path. The histogram buckets
+/// hops (messages per query, backtracks included).
+struct RouteMetrics {
+  telemetry::Counter queries;
+  telemetry::Counter delivered;
+  telemetry::Counter stuck;
+  telemetry::Counter ttl_expired;
+  telemetry::Counter hops;
+  telemetry::Counter backtracks;
+  telemetry::Counter reroutes;
+  telemetry::Histogram hop_hist;
+
+  static RouteMetrics create(telemetry::Registry& reg,
+                             const std::string& prefix = "route") {
+    RouteMetrics m;
+    m.queries = reg.counter(prefix + ".queries");
+    m.delivered = reg.counter(prefix + ".delivered");
+    m.stuck = reg.counter(prefix + ".stuck");
+    m.ttl_expired = reg.counter(prefix + ".ttl_expired");
+    m.hops = reg.counter(prefix + ".hops");
+    m.backtracks = reg.counter(prefix + ".backtracks");
+    m.reroutes = reg.counter(prefix + ".reroutes");
+    m.hop_hist = reg.histogram(prefix + ".hop_hist", 1.5, 1 << 14);
+    return m;
+  }
+};
+
+/// Shard-bound recording handle a BatchPipeline writes through.
+struct RouteTelemetry {
+  telemetry::Recorder recorder;
+  RouteMetrics metrics;
+
+  void record(const RouteResult& r) noexcept {
+    recorder.add(metrics.queries);
+    switch (r.status) {
+      case RouteResult::Status::kDelivered:
+        recorder.add(metrics.delivered);
+        break;
+      case RouteResult::Status::kStuck:
+        recorder.add(metrics.stuck);
+        break;
+      case RouteResult::Status::kTtlExpired:
+        recorder.add(metrics.ttl_expired);
+        break;
+    }
+    if (r.hops != 0) recorder.add(metrics.hops, r.hops);
+    if (r.backtracks != 0) recorder.add(metrics.backtracks, r.backtracks);
+    if (r.reroutes != 0) recorder.add(metrics.reroutes, r.reroutes);
+    recorder.observe(metrics.hop_hist, r.hops);
+  }
+};
+
+/// Walk-outcome, retry-escalation and reputation-attribution metrics for the
+/// redundant (Byzantine-hardened) path.
+struct SecureRouteMetrics {
+  telemetry::Counter queries;
+  telemetry::Counter delivered;
+  telemetry::Counter escalations;
+  telemetry::Counter messages;
+  telemetry::Counter walks_launched;
+  telemetry::Counter walks_delivered;
+  telemetry::Counter walks_died;
+  telemetry::Counter walks_stuck;
+  telemetry::Counter walks_ttl_expired;
+  telemetry::Counter rep_penalties;
+  telemetry::Counter rep_rewards;
+  telemetry::Histogram best_hops_hist;  // fastest successful walk, delivered only
+  telemetry::Histogram messages_hist;   // redundancy cost per query
+
+  static SecureRouteMetrics create(telemetry::Registry& reg,
+                                   const std::string& prefix = "secure") {
+    SecureRouteMetrics m;
+    m.queries = reg.counter(prefix + ".queries");
+    m.delivered = reg.counter(prefix + ".delivered");
+    m.escalations = reg.counter(prefix + ".escalations");
+    m.messages = reg.counter(prefix + ".messages");
+    m.walks_launched = reg.counter(prefix + ".walks_launched");
+    m.walks_delivered = reg.counter(prefix + ".walks_delivered");
+    m.walks_died = reg.counter(prefix + ".walks_died");
+    m.walks_stuck = reg.counter(prefix + ".walks_stuck");
+    m.walks_ttl_expired = reg.counter(prefix + ".walks_ttl_expired");
+    m.rep_penalties = reg.counter(prefix + ".rep_penalties");
+    m.rep_rewards = reg.counter(prefix + ".rep_rewards");
+    m.best_hops_hist = reg.histogram(prefix + ".best_hops_hist", 1.5, 1 << 14);
+    m.messages_hist = reg.histogram(prefix + ".messages_hist", 1.5, 1 << 16);
+    return m;
+  }
+};
+
+/// Shard-bound recording handle for SecureRouter sessions. Penalty/reward
+/// counters are bumped at the reputation attribution sites; everything else
+/// once per retired query.
+struct SecureTelemetry {
+  telemetry::Recorder recorder;
+  SecureRouteMetrics metrics;
+
+  void record(const SecureRouteResult& r) noexcept {
+    recorder.add(metrics.queries);
+    if (r.delivered) {
+      recorder.add(metrics.delivered);
+      recorder.observe(metrics.best_hops_hist, r.best_hops);
+    }
+    if (r.escalations != 0) recorder.add(metrics.escalations, r.escalations);
+    if (r.total_messages != 0) recorder.add(metrics.messages, r.total_messages);
+    recorder.observe(metrics.messages_hist, r.total_messages);
+    recorder.add(metrics.walks_launched, r.walks_launched);
+    if (r.successful_walks != 0)
+      recorder.add(metrics.walks_delivered, r.successful_walks);
+    if (r.walks_died != 0) recorder.add(metrics.walks_died, r.walks_died);
+    if (r.walks_stuck != 0) recorder.add(metrics.walks_stuck, r.walks_stuck);
+    if (r.walks_ttl_expired != 0)
+      recorder.add(metrics.walks_ttl_expired, r.walks_ttl_expired);
+  }
+
+  void record_penalty(std::uint64_t n = 1) noexcept {
+    recorder.add(metrics.rep_penalties, n);
+  }
+  void record_reward(std::uint64_t n = 1) noexcept {
+    recorder.add(metrics.rep_rewards, n);
+  }
+};
+
+}  // namespace p2p::core

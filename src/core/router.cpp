@@ -11,7 +11,9 @@
 #include <immintrin.h>
 #endif
 
+#include "core/route_telemetry.h"
 #include "failure/reputation.h"
+#include "telemetry/flight_recorder.h"
 #include "util/require.h"
 
 namespace p2p::core {
@@ -588,6 +590,9 @@ std::optional<graph::NodeId> RouteSession::step(util::Rng& rng) {
   return step_inline(rng);
 }
 
+static_assert(telemetry::TraceBuffer::kNone == ~std::uint32_t{0},
+              "BatchPipeline::kNoTrail must mirror TraceBuffer::kNone");
+
 BatchPipeline::BatchPipeline(const Router& router, std::span<const Query> queries,
                              std::span<RouteResult> results,
                              std::uint64_t seed_base, const BatchConfig& config)
@@ -598,12 +603,18 @@ BatchPipeline::BatchPipeline(const Router& router, std::span<const Query> querie
       prefetch_distance_(config.prefetch_distance) {
   util::require(results.size() >= queries.size(),
                 "BatchPipeline: results span shorter than queries");
+  if constexpr (telemetry::kCompiledIn) {
+    telemetry_ = config.telemetry;
+    trace_ = config.trace;
+  }
   const std::size_t width = config.width < 1 ? 1 : config.width;
   const std::size_t lanes = width < queries.size() ? width : queries.size();
   lanes_.reserve(lanes);
   for (std::size_t i = 0; i < lanes; ++i) {
     lanes_.push_back(Lane{RouteSession(router, queries[i].src, queries[i].target),
                           util::substream(seed_base, i), i});
+    if (trace_ != nullptr)
+      lanes_.back().trail = trace_->begin(i, queries[i].src);
     // Start pulling the lane's first header now; its first step is >= one
     // full rotation away.
     router.graph().prefetch(lanes_.back().session.current());
@@ -629,15 +640,34 @@ bool BatchPipeline::tick() {
     if (h.degree > graph::OverlayGraph::kInlineEdges) g.prefetch_tail(h);
   }
   Lane& lane = lanes_[cursor_];
-  lane.session.step_inline(lane.rng);
+  const std::optional<graph::NodeId> moved = lane.session.step_inline(lane.rng);
+  if constexpr (telemetry::kCompiledIn) {
+    // Hop capture touches only sampled lanes; untraced batches pay one
+    // predicted-not-taken branch here (compiled out under P2P_TELEMETRY=OFF).
+    if (trace_ != nullptr && lane.trail != kNoTrail && moved.has_value()) {
+      trace_->hop(lane.trail, *moved, lane.session.last_rank(),
+                  router_->view().epoch());
+    }
+  }
   if (lane.session.finished()) {
     results_[lane.query] = lane.session.progress();
     ++retired_;
+    if constexpr (telemetry::kCompiledIn) {
+      if (telemetry_ != nullptr) telemetry_->record(results_[lane.query]);
+      if (trace_ != nullptr && lane.trail != kNoTrail) {
+        trace_->end(lane.trail,
+                    static_cast<std::uint8_t>(results_[lane.query].status));
+      }
+    }
     if (next_query_ < queries_.size()) {
       const std::size_t refill = next_query_++;
       lane.session.restart(queries_[refill].src, queries_[refill].target);
       lane.rng = util::substream(seed_base_, refill);
       lane.query = refill;
+      if constexpr (telemetry::kCompiledIn) {
+        if (trace_ != nullptr)
+          lane.trail = trace_->begin(refill, queries_[refill].src);
+      }
       g.prefetch(lane.session.current());  // first header of the new search
     } else {
       // Drain phase: compact the retired lane out of the ring so rotation

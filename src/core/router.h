@@ -65,7 +65,13 @@ namespace p2p::failure {
 class ReputationTable;  // failure/reputation.h — distrust mask provider
 }
 
+namespace p2p::telemetry {
+class TraceBuffer;  // telemetry/flight_recorder.h — sampled hop-trail ring
+}
+
 namespace p2p::core {
+
+struct RouteTelemetry;  // core/route_telemetry.h — per-query metric sink
 
 enum class Sidedness { kTwoSided, kOneSided };
 enum class StuckPolicy { kTerminate, kRandomReroute, kBacktrack };
@@ -138,6 +144,16 @@ struct Query {
 struct BatchConfig {
   std::size_t width = 32;
   std::size_t prefetch_distance = 4;
+  /// Optional per-query outcome metrics (core/route_telemetry.h). Resolved
+  /// once at pipeline construction — the tick loop pays one predictable
+  /// branch per *retired query*, nothing per hop — and compiled out entirely
+  /// under P2P_TELEMETRY=OFF. Null = off. The bundle's Recorder shard must
+  /// belong to the thread running the batch.
+  RouteTelemetry* telemetry = nullptr;
+  /// Optional sampled flight recorder (telemetry/flight_recorder.h). The
+  /// buffer must be owned by the thread running the batch; sampled lanes
+  /// append one HopRecord per transmission. Null = off.
+  telemetry::TraceBuffer* trace = nullptr;
 };
 
 /// Stateless greedy router over a graph + failure view.
@@ -273,6 +289,7 @@ class RouteSession {
         if (cfg.stuck_policy == StuckPolicy::kBacktrack) {
           trail_.push(current_, cursor_ + 1);
         }
+        last_rank_ = static_cast<std::uint32_t>(cursor_);
         current_ = next;
         cursor_ = 0;
         ++result_.hops;
@@ -300,6 +317,7 @@ class RouteSession {
             return finish(State::kStuck, RouteResult::Status::kStuck);
           }
           const auto [prev, next_rank] = trail_.pop();
+          last_rank_ = static_cast<std::uint32_t>(next_rank);
           current_ = prev;
           cursor_ = next_rank;
           ++result_.hops;  // the message physically travels back
@@ -315,6 +333,12 @@ class RouteSession {
   /// Hops, backtracks, reroutes and status so far (status meaningful once
   /// finished()).
   [[nodiscard]] const RouteResult& progress() const noexcept { return result_; }
+
+  /// Candidate rank of the most recent transmission: the rank the forward
+  /// hop was selected at, or the resume rank of a backtrack return.
+  /// Meaningful immediately after a step that returned a node; the flight
+  /// recorder stamps it into sampled hop trails.
+  [[nodiscard]] std::uint32_t last_rank() const noexcept { return last_rank_; }
 
  private:
   /// Terminal transition shared by every exit of step_inline: records the
@@ -366,6 +390,7 @@ class RouteSession {
   Trail trail_;
   std::size_t cursor_ = 0;
   std::size_t budget_;
+  std::uint32_t last_rank_ = 0;
   State state_ = State::kInTransit;
   RouteResult result_;
 };
@@ -405,10 +430,15 @@ class BatchPipeline {
   [[nodiscard]] std::size_t retired() const noexcept { return retired_; }
 
  private:
+  /// Matches telemetry::TraceBuffer::kNone (static_asserted in router.cpp);
+  /// kept local so this header needs only the forward declaration.
+  static constexpr std::uint32_t kNoTrail = ~std::uint32_t{0};
+
   struct Lane {
     RouteSession session;
     util::Rng rng;
     std::size_t query = 0;
+    std::uint32_t trail = kNoTrail;  // flight-recorder handle, when sampled
   };
 
   const Router* router_;
@@ -416,6 +446,8 @@ class BatchPipeline {
   std::span<RouteResult> results_;
   std::uint64_t seed_base_;
   std::size_t prefetch_distance_;
+  RouteTelemetry* telemetry_ = nullptr;
+  telemetry::TraceBuffer* trace_ = nullptr;
   std::vector<Lane> lanes_;     // every lane in the ring is in flight
   std::size_t cursor_ = 0;      // ring position of the lane advanced next
   std::size_t next_query_ = 0;  // first query not yet assigned to a lane

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/route_telemetry.h"
 #include "util/require.h"
 
 namespace p2p::core {
@@ -237,6 +238,7 @@ bool SecureRouteSession::tick(util::Rng& rng) {
     // a misroute (honest selection is strictly-closer; the diverse first hop
     // is exempt by design) — charge the node that made the choice.
     rep->record(current_, failure::Observation::kRegressed);
+    if (cfg.telemetry != nullptr) cfg.telemetry->record_penalty();
   }
   first_hop_ = false;
   current_ = next;
@@ -264,6 +266,7 @@ void SecureRouteSession::finish_walk(WalkOutcome outcome) {
         for (const graph::NodeId v : path_) {
           rep->record(v, failure::Observation::kDelivered);
         }
+        if (cfg.telemetry != nullptr) cfg.telemetry->record_reward(path_.size());
       }
       break;
     case WalkOutcome::kDied:
@@ -275,6 +278,7 @@ void SecureRouteSession::finish_walk(WalkOutcome outcome) {
       // make an innocent node revive into shunning.
       if (rep != nullptr && router_->view().node_alive(current_)) {
         rep->record(current_, failure::Observation::kDiedAtHop);
+        if (cfg.telemetry != nullptr) cfg.telemetry->record_penalty();
       }
       break;
     case WalkOutcome::kStuck:
@@ -285,7 +289,10 @@ void SecureRouteSession::finish_walk(WalkOutcome outcome) {
       // Weak evidence against the last holder (it may be an innocent node a
       // misrouter dumped the message near — the small penalty_timeout plus
       // decay keeps this from condemning bystanders).
-      if (rep != nullptr) rep->record(current_, failure::Observation::kTimedOut);
+      if (rep != nullptr) {
+        rep->record(current_, failure::Observation::kTimedOut);
+        if (cfg.telemetry != nullptr) cfg.telemetry->record_penalty();
+      }
       break;
   }
   if (cfg.record_walks) {
@@ -306,6 +313,9 @@ void SecureRouteSession::finish_walk(WalkOutcome outcome) {
   result_.completion_epoch = router_->view().epoch();
   result_.byzantine_epoch = router_->byzantine().epoch();
   done_ = true;
+  // One record per retired query, shared by route(), session stepping and
+  // the batch pipeline (all of which funnel through this terminal state).
+  if (cfg.telemetry != nullptr) cfg.telemetry->record(result_);
 }
 
 SecureBatchPipeline::SecureBatchPipeline(const SecureRouter& router,

@@ -58,6 +58,8 @@
 
 namespace p2p::core {
 
+struct SecureTelemetry;  // core/route_telemetry.h — walk-outcome metric sink
+
 /// Redundant-routing knobs.
 struct SecureRouterConfig {
   /// Number of parallel walks per batch (1 = plain greedy).
@@ -77,6 +79,11 @@ struct SecureRouterConfig {
   failure::ReputationTable* reputation = nullptr;
   /// Record a per-walk WalkReport in SecureRouteResult::walks.
   bool record_walks = false;
+  /// Optional walk-outcome/escalation/reputation-attribution metrics
+  /// (core/route_telemetry.h). Recorded once per retired query plus one
+  /// counter bump per reputation observation; null = off. The bundle's
+  /// Recorder shard must belong to the thread routing through this router.
+  SecureTelemetry* telemetry = nullptr;
 };
 
 /// How one walk ended.

@@ -1,8 +1,10 @@
 #include "service/routing_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
+#include "service/service_telemetry.h"
 #include "util/options.h"
 #include "util/require.h"
 
@@ -38,9 +40,29 @@ RoutingService::~RoutingService() {
   request_stop();
 }
 
-void RoutingService::worker_loop(Job& job) {
+void RoutingService::worker_loop(Job& job, std::size_t worker_index) {
   Reader reader = publisher_->make_reader();
   const graph::OverlayGraph& g = publisher_->graph();
+
+  // Telemetry wiring, resolved once per job (never per stripe, never per
+  // hop): this worker's registry shard, its per-query route sink for the
+  // batch pipeline, and its own flight-recorder trace buffer.
+  const ServiceTelemetry* telem = config_.telemetry;
+  if (telem != nullptr && telem->registry == nullptr) telem = nullptr;
+  telemetry::Recorder rec;
+  core::RouteTelemetry route_sink;
+  core::BatchConfig batch = config_.batch;
+  if (telem != nullptr) {
+    rec = telem->registry->recorder(worker_index % telem->registry->shard_count());
+    route_sink = core::RouteTelemetry{rec, telem->metrics.route};
+    batch.telemetry = &route_sink;
+    batch.trace = telem->flight != nullptr
+                      ? &telem->flight->buffer(worker_index %
+                                               telem->flight->worker_count())
+                      : nullptr;
+  }
+  std::uint64_t claimed = 0;
+
   while (!stop_.load(std::memory_order_seq_cst)) {
     const std::size_t k =
         job.next_stripe.fetch_add(1, std::memory_order_relaxed);
@@ -48,7 +70,9 @@ void RoutingService::worker_loop(Job& job) {
     const std::size_t lo = k * job.stripe;
     const std::size_t hi = std::min(job.queries.size(), lo + job.stripe);
 
+    const auto pin_start = std::chrono::steady_clock::now();
     const ViewSnapshot* snap = reader.pin();
+    const auto pin_end = std::chrono::steady_clock::now();
     // A fresh Router per stripe binds this stripe to one immutable snapshot;
     // construction is a handful of field stores plus the SIMD eligibility
     // check, amortized over `stripe` queries.
@@ -56,13 +80,28 @@ void RoutingService::worker_loop(Job& job) {
     core::BatchPipeline pipeline(
         router, job.queries.subspan(lo, hi - lo),
         job.results.subspan(lo, hi - lo),
-        stripe_seed_base(config_.seed, k), config_.batch);
+        stripe_seed_base(config_.seed, k), batch);
     pipeline.run();
     job.epoch_by_stripe[k] = snap->epoch;
     const std::uint64_t latest = publisher_->latest_epoch();
     job.staleness_by_stripe[k] =
         latest > snap->epoch ? latest - snap->epoch : 0;
     reader.unpin();
+    if (telem != nullptr) {
+      // Record from the job slots, not `snap` — the snapshot is unpinned and
+      // may already be reclaimed.
+      const ServiceMetrics& m = telem->metrics;
+      rec.add(m.stripes);
+      rec.observe(m.staleness_hist, job.staleness_by_stripe[k]);
+      rec.set_min(m.stripe_epoch_min, job.epoch_by_stripe[k]);
+      rec.set_max(m.stripe_epoch_max, job.epoch_by_stripe[k]);
+      rec.observe(m.pin_ns_hist,
+                  static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          pin_end - pin_start)
+                          .count()));
+      rec.set(m.stripes_claimed, ++claimed);
+    }
     job.stripes_done.fetch_add(1, std::memory_order_release);
   }
   std::lock_guard lock(done_mutex_);
@@ -94,7 +133,7 @@ ServiceStats RoutingService::route_all(std::span<const core::Query> queries,
     workers_remaining_ = pool_.thread_count();
   }
   for (std::size_t w = 0; w < pool_.thread_count(); ++w) {
-    pool_.submit([this, &job] { worker_loop(job); });
+    pool_.submit([this, &job, w] { worker_loop(job, w); });
   }
   {
     std::unique_lock lock(done_mutex_);

@@ -48,6 +48,8 @@
 
 namespace p2p::service {
 
+struct ServiceTelemetry;  // service/service_telemetry.h
+
 struct ServiceConfig {
   /// Router threads. 0 resolves P2P_THREADS from the environment, then
   /// hardware concurrency (util/options.h).
@@ -59,6 +61,14 @@ struct ServiceConfig {
   core::BatchConfig batch;
   /// Master seed; see the determinism contract above.
   std::uint64_t seed = 1;
+  /// Optional service-wide telemetry (service/service_telemetry.h): worker w
+  /// records per-query outcomes and per-stripe epoch/staleness/pin metrics
+  /// through registry shard w % shard_count(), and samples hop trails into
+  /// the bundle's FlightRecorder when one is wired. Null = off; any
+  /// BatchConfig::telemetry/trace set in `batch` is overridden per worker.
+  /// Recording never perturbs results — the determinism contract holds with
+  /// telemetry on or off.
+  const ServiceTelemetry* telemetry = nullptr;
 };
 
 /// Aggregate outcome of one route_all() call.
@@ -148,7 +158,7 @@ class RoutingService {
     std::vector<std::uint64_t> staleness_by_stripe;
   };
 
-  void worker_loop(Job& job);
+  void worker_loop(Job& job, std::size_t worker_index);
 
   ViewPublisher* publisher_;
   ServiceConfig config_;

@@ -54,10 +54,19 @@ const ViewSnapshot* ViewPublisher::publish() {
   const std::uint64_t stamp =
       sequence_.fetch_add(1, std::memory_order_seq_cst) + 1;
   latest_epoch_.store(published->epoch, std::memory_order_seq_cst);
+  std::size_t pending;
+  std::size_t freed;
   {
     std::lock_guard lock(lists_mutex_);
     retired_.push_back(Retired{std::unique_ptr<ViewSnapshot>(old), stamp});
-    reclaim_locked();
+    freed = reclaim_locked();
+    pending = retired_.size();
+  }
+  if (telem_recorder_.attached()) {
+    telem_recorder_.add(telem_metrics_.publications);
+    if (freed > 0) telem_recorder_.add(telem_metrics_.reclaimed, freed);
+    telem_recorder_.set(telem_metrics_.latest_epoch, published->epoch);
+    telem_recorder_.set(telem_metrics_.retired_pending, pending);
   }
   return published;
 }

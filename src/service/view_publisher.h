@@ -47,11 +47,32 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "failure/failure_model.h"
+#include "telemetry/metric_registry.h"
 
 namespace p2p::service {
+
+/// Publication-side telemetry handles (registered once, recorded by the
+/// writer thread on every publish()).
+struct PublisherMetrics {
+  telemetry::Counter publications;
+  telemetry::Counter reclaimed;
+  telemetry::Gauge latest_epoch;
+  telemetry::Gauge retired_pending;
+
+  static PublisherMetrics create(telemetry::Registry& reg,
+                                 const std::string& prefix = "publisher") {
+    PublisherMetrics m;
+    m.publications = reg.counter(prefix + ".publications");
+    m.reclaimed = reg.counter(prefix + ".reclaimed");
+    m.latest_epoch = reg.gauge(prefix + ".latest_epoch");
+    m.retired_pending = reg.gauge(prefix + ".retired_pending");
+    return m;
+  }
+};
 
 /// One published, immutable (by contract) liveness state. Readers route
 /// against `view` between pin and unpin; they never mutate it.
@@ -112,6 +133,17 @@ class ViewPublisher {
   /// were freed. publish() calls this; exposed for drain/teardown tests.
   std::size_t reclaim();
 
+  /// Wires publication gauges/counters into a telemetry registry. The
+  /// recorder's shard must belong to the writer thread (publish() records
+  /// through it). Call before publishing from the writer thread; a
+  /// default-constructed Recorder (or never calling this) keeps telemetry
+  /// off.
+  void attach_telemetry(telemetry::Recorder recorder,
+                        const PublisherMetrics& metrics) noexcept {
+    telem_recorder_ = recorder;
+    telem_metrics_ = metrics;
+  }
+
   // -- Reader side ----------------------------------------------------------
 
   /// Registers a reader slot. Thread-safe. Throws std::invalid_argument when
@@ -159,6 +191,9 @@ class ViewPublisher {
   std::size_t reclaim_locked();
 
   failure::FailureView writer_view_;
+  /// Writer-side telemetry (inert until attach_telemetry()).
+  telemetry::Recorder telem_recorder_;
+  PublisherMetrics telem_metrics_;
   std::atomic<ViewSnapshot*> head_;
   std::atomic<std::uint64_t> sequence_{0};
   std::atomic<std::uint64_t> latest_epoch_{0};

@@ -1,0 +1,98 @@
+#include "telemetry/export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace p2p::telemetry {
+
+namespace {
+
+std::string prom_name(std::string_view name) {
+  std::string out = "p2p_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(const Snapshot& snap, std::ostream& os) {
+  os << "# TYPE p2p_snapshot_epoch_lo gauge\n"
+     << "p2p_snapshot_epoch_lo " << snap.epoch_lo << "\n"
+     << "# TYPE p2p_snapshot_epoch_hi gauge\n"
+     << "p2p_snapshot_epoch_hi " << snap.epoch_hi << "\n";
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << value << "\n";
+  }
+  for (const auto& [name, g] : snap.gauges) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n";
+    os << n << "{agg=\"min\"} " << g.min << "\n";
+    os << n << "{agg=\"max\"} " << g.max << "\n";
+    os << n << "{agg=\"sum\"} " << g.sum << "\n";
+    os << n << "{agg=\"updates\"} " << g.updates << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      // Upper bound of bin i is inclusive: edges[i+1] - 1.
+      os << n << "_bucket{le=\"" << (h.edges[i + 1] - 1) << "\"} " << cum << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.total << "\n";
+    os << n << "_sum " << h.sum << "\n";
+    os << n << "_count " << h.total << "\n";
+  }
+}
+
+std::string prometheus_text(const Snapshot& snap) {
+  std::ostringstream os;
+  write_prometheus(snap, os);
+  return os.str();
+}
+
+void write_json(const Snapshot& snap, std::ostream& os) {
+  os << "{\n  \"epoch_range\": [" << snap.epoch_lo << ", " << snap.epoch_hi
+     << "],\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    const auto& [name, value] = snap.counters[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+  }
+  os << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    const auto& [name, g] = snap.gauges[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << name << "\": {\"min\": " << g.min
+       << ", \"max\": " << g.max << ", \"sum\": " << g.sum
+       << ", \"updates\": " << g.updates << "}";
+  }
+  os << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": " << h.total
+       << ", \"sum\": " << h.sum << ", \"p50\": " << h.p50() << ", \"p90\": " << h.p90()
+       << ", \"p99\": " << h.p99() << ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (h.counts[b] == 0) continue;
+      os << (first ? "" : ", ") << "[" << h.edges[b] << ", " << (h.edges[b + 1] - 1)
+         << ", " << h.counts[b] << "]";
+      first = false;
+    }
+    os << "]}";
+  }
+  os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string json_text(const Snapshot& snap) {
+  std::ostringstream os;
+  write_json(snap, os);
+  return os.str();
+}
+
+}  // namespace p2p::telemetry

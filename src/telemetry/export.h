@@ -1,0 +1,27 @@
+// Snapshot exporters: Prometheus text exposition and a JSON writer. Both are
+// epoch-aligned — the snapshot carries the churn-epoch range it covers, and
+// the exporters surface it (`p2p_snapshot_epoch_lo/hi` gauges in Prometheus,
+// an `epoch_range` pair in JSON), so a scrape can be correlated with the
+// membership interval it measured.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metric_registry.h"
+
+namespace p2p::telemetry {
+
+/// Prometheus text exposition format, one family per metric. Metric names are
+/// sanitized ("route.hops" -> "p2p_route_hops"); histograms expand into
+/// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+void write_prometheus(const Snapshot& snap, std::ostream& os);
+[[nodiscard]] std::string prometheus_text(const Snapshot& snap);
+
+/// JSON object: {"epoch_range": [lo, hi], "counters": {...}, "gauges": {...},
+/// "histograms": {name: {count, sum, p50, p90, p99, buckets: [[lo,hi,n],...]}}}.
+/// Empty histogram buckets are elided from the bucket list.
+void write_json(const Snapshot& snap, std::ostream& os);
+[[nodiscard]] std::string json_text(const Snapshot& snap);
+
+}  // namespace p2p::telemetry

@@ -1,0 +1,106 @@
+#include "telemetry/flight_recorder.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace p2p::telemetry {
+
+TraceBuffer::TraceBuffer(std::size_t capacity, std::uint64_t sample_every,
+                         std::size_t max_hops)
+    : sample_every_(sample_every), max_hops_(max_hops) {
+  util::require(capacity >= 1, "TraceBuffer: capacity must be >= 1");
+  util::require(max_hops >= 1, "TraceBuffer: max_hops must be >= 1");
+  slots_.resize(capacity);
+  for (auto& t : slots_) t.hops.reserve(max_hops);
+}
+
+std::uint32_t TraceBuffer::begin(std::uint64_t query_id, std::uint32_t src) noexcept {
+  if (sample_every_ == 0 || query_id % sample_every_ != 0) return kNone;
+  // Probe from the cursor for a slot that is not mid-flight.
+  for (std::size_t probe = 0; probe < slots_.size(); ++probe) {
+    const std::size_t i = (cursor_ + probe) % slots_.size();
+    Trail& t = slots_[i];
+    if (t.open) continue;
+    cursor_ = (i + 1) % slots_.size();
+    t.query = query_id;
+    t.src = src;
+    t.outcome = 0;
+    t.open = true;
+    t.closed = false;
+    t.truncated = false;
+    t.hops.clear();
+    ++sampled_;
+    return static_cast<std::uint32_t>(i);
+  }
+  ++dropped_;
+  return kNone;
+}
+
+void TraceBuffer::hop(std::uint32_t trail, std::uint32_t node, std::uint32_t rank,
+                      std::uint64_t epoch) noexcept {
+  if (trail == kNone) return;
+  Trail& t = slots_[trail];
+  if (!t.open) return;
+  if (t.hops.size() >= max_hops_) {
+    t.truncated = true;
+    return;
+  }
+  t.hops.push_back(HopRecord{node, rank, epoch});
+}
+
+void TraceBuffer::end(std::uint32_t trail, std::uint8_t outcome) noexcept {
+  if (trail == kNone) return;
+  Trail& t = slots_[trail];
+  if (!t.open) return;
+  t.open = false;
+  t.closed = true;
+  t.outcome = outcome;
+}
+
+FlightRecorder::FlightRecorder(std::size_t workers, std::size_t capacity_per_worker,
+                               std::uint64_t sample_every, std::size_t max_hops) {
+  util::require(workers >= 1, "FlightRecorder: need at least one worker");
+  buffers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    buffers_.emplace_back(capacity_per_worker, sample_every, max_hops);
+}
+
+std::size_t FlightRecorder::trail_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& b : buffers_)
+    for (const auto& t : b.slots())
+      if (t.closed) ++n;
+  return n;
+}
+
+void FlightRecorder::dump_json(std::ostream& os) const {
+  os << "{\n  \"trails\": [";
+  bool first = true;
+  for (std::size_t w = 0; w < buffers_.size(); ++w) {
+    for (const auto& t : buffers_[w].slots()) {
+      if (!t.closed) continue;
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "    {\"worker\": " << w << ", \"query\": " << t.query
+         << ", \"src\": " << t.src << ", \"outcome\": " << static_cast<unsigned>(t.outcome)
+         << ", \"truncated\": " << (t.truncated ? "true" : "false") << ", \"hops\": [";
+      for (std::size_t i = 0; i < t.hops.size(); ++i) {
+        const auto& h = t.hops[i];
+        os << (i == 0 ? "" : ", ") << "[" << h.node << ", " << h.rank << ", "
+           << h.epoch << "]";
+      }
+      os << "]}";
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string FlightRecorder::dump_json() const {
+  std::ostringstream os;
+  dump_json(os);
+  return os.str();
+}
+
+}  // namespace p2p::telemetry

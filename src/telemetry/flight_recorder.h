@@ -1,0 +1,99 @@
+// Sampled route flight recorder: fixed-capacity per-worker ring buffers that
+// capture full hop trails (node, candidate rank, view epoch, outcome) for
+// 1-in-k queries, dumpable on demand to diagnose individual failed walks.
+//
+// Each TraceBuffer belongs to exactly one worker (one BatchPipeline); all of
+// its operations are single-threaded and allocation-free after construction.
+// The FlightRecorder owns one buffer per worker and renders merged dumps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace p2p::telemetry {
+
+struct HopRecord {
+  std::uint32_t node = 0;  // node arrived at
+  std::uint32_t rank = 0;  // candidate rank chosen at the previous node
+  std::uint64_t epoch = 0; // failure-view epoch observed at this hop
+};
+
+/// One recorded query trail. `hops` excludes the source (it is `src`);
+/// `truncated` is set when the walk outran the per-trail hop cap.
+struct Trail {
+  std::uint64_t query = 0;
+  std::uint32_t src = 0;
+  std::uint8_t outcome = 0;  // core::RouteResult::Status numeric value
+  bool open = false;
+  bool closed = false;
+  bool truncated = false;
+  std::vector<HopRecord> hops;
+};
+
+/// Single-writer sampled trail ring. Capacity is fixed; when the ring wraps,
+/// the oldest closed trail is recycled. A query whose slot cannot be
+/// recycled (every slot still open — only possible when capacity < the
+/// pipeline width) is silently not traced.
+class TraceBuffer {
+ public:
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  /// Samples 1 query in `sample_every` (0 disables sampling entirely);
+  /// each trail records at most `max_hops` hops.
+  TraceBuffer(std::size_t capacity, std::uint64_t sample_every,
+              std::size_t max_hops = 256);
+
+  /// Starts a trail for `query_id` if it is sampled and a slot is free.
+  /// Returns a trail handle or kNone.
+  std::uint32_t begin(std::uint64_t query_id, std::uint32_t src) noexcept;
+
+  void hop(std::uint32_t trail, std::uint32_t node, std::uint32_t rank,
+           std::uint64_t epoch) noexcept;
+
+  void end(std::uint32_t trail, std::uint8_t outcome) noexcept;
+
+  [[nodiscard]] std::uint64_t sample_every() const noexcept { return sample_every_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::uint64_t sampled() const noexcept { return sampled_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Closed trails, oldest-first is not guaranteed (ring order).
+  [[nodiscard]] const std::vector<Trail>& slots() const noexcept { return slots_; }
+
+ private:
+  std::vector<Trail> slots_;
+  std::uint64_t sample_every_;
+  std::size_t max_hops_;
+  std::size_t cursor_ = 0;
+  std::uint64_t sampled_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Per-worker trail rings plus merged rendering.
+class FlightRecorder {
+ public:
+  FlightRecorder(std::size_t workers, std::size_t capacity_per_worker,
+                 std::uint64_t sample_every, std::size_t max_hops = 256);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return buffers_.size(); }
+  [[nodiscard]] TraceBuffer& buffer(std::size_t worker) { return buffers_[worker]; }
+  [[nodiscard]] const TraceBuffer& buffer(std::size_t worker) const {
+    return buffers_[worker];
+  }
+
+  /// Total closed trails across workers.
+  [[nodiscard]] std::size_t trail_count() const noexcept;
+
+  /// JSON dump of every closed trail: one object per trail with its hop list.
+  /// Call only while workers are quiescent (buffers are single-writer).
+  void dump_json(std::ostream& os) const;
+  [[nodiscard]] std::string dump_json() const;
+
+ private:
+  std::vector<TraceBuffer> buffers_;
+};
+
+}  // namespace p2p::telemetry

@@ -1,10 +1,62 @@
 #include "util/histogram.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/require.h"
 
 namespace p2p::util {
+
+std::vector<std::uint64_t> log_bucket_edges(double base, std::uint64_t max_value) {
+  require(base > 1.0, "log_bucket_edges: base must be > 1");
+  require(max_value >= 1, "log_bucket_edges: max_value must be >= 1");
+  std::vector<std::uint64_t> edges;
+  std::uint64_t edge = 1;
+  while (edge <= max_value) {
+    edges.push_back(edge);
+    const auto next = static_cast<std::uint64_t>(std::ceil(static_cast<double>(edge) * base));
+    edge = next > edge ? next : edge + 1;
+  }
+  edges.push_back(edge);  // sentinel upper edge
+  return edges;
+}
+
+std::size_t log_bucket_index(std::span<const std::uint64_t> edges,
+                             std::uint64_t value) noexcept {
+  if (value == 0) value = 1;
+  if (value >= edges.back()) return edges.size() - 2;
+  // Binary search for the last edge <= value.
+  std::size_t lo = 0, hi = edges.size() - 1;
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (edges[mid] <= value)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+double quantile_from_log_bins(std::span<const std::uint64_t> edges,
+                              std::span<const std::uint64_t> counts,
+                              std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total - 1);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double first = static_cast<double>(cum);
+    cum += counts[i];
+    if (rank < static_cast<double>(cum)) {
+      const double lo = static_cast<double>(edges[i]);
+      const double hi = static_cast<double>(edges[i + 1] - 1);
+      const double frac = (rank - first) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return static_cast<double>(edges.back() - 1);
+}
 
 LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
     : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
@@ -24,6 +76,39 @@ void LinearHistogram::add(double x, std::uint64_t weight) noexcept {
     return;
   }
   counts_[idx] += weight;
+}
+
+void LinearHistogram::merge(const LinearHistogram& other) {
+  require(lo_ == other.lo_ && width_ == other.width_ &&
+              counts_.size() == other.counts_.size(),
+          "LinearHistogram::merge: incompatible shapes");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double LinearHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total_ - 1);
+  const double hi_edge = bin_hi(counts_.size() - 1);
+  std::uint64_t cum = 0;
+  // Underflow mass sits at lo, overflow mass at the top edge.
+  if (underflow_ > 0) {
+    cum += underflow_;
+    if (rank < static_cast<double>(cum)) return lo_;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double first = static_cast<double>(cum);
+    cum += counts_[i];
+    if (rank < static_cast<double>(cum)) {
+      const double frac = (rank - first) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + (bin_hi(i) - bin_lo(i)) * frac;
+    }
+  }
+  return hi_edge;
 }
 
 double LinearHistogram::bin_lo(std::size_t i) const noexcept {
@@ -63,40 +148,37 @@ double ExactCounter::probability(std::uint64_t value) const {
   return static_cast<double>(count(value)) / static_cast<double>(total_);
 }
 
-LogHistogram::LogHistogram(double base, std::uint64_t max_value) : base_(base) {
-  require(base > 1.0, "LogHistogram: base must be > 1");
-  require(max_value >= 1, "LogHistogram: max_value must be >= 1");
-  std::uint64_t edge = 1;
-  while (edge <= max_value) {
-    edges_.push_back(edge);
-    const auto next = static_cast<std::uint64_t>(std::ceil(static_cast<double>(edge) * base_));
-    edge = next > edge ? next : edge + 1;
+std::uint64_t ExactCounter::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum > rank) return i;
   }
-  edges_.push_back(edge);  // sentinel upper edge
+  return counts_.size();  // rank lands in overflow mass: > max_value()
+}
+
+LogHistogram::LogHistogram(double base, std::uint64_t max_value)
+    : base_(base), edges_(log_bucket_edges(base, max_value)) {
   counts_.assign(edges_.size() - 1, 0);
 }
 
-std::size_t LogHistogram::bin_index(std::uint64_t value) const noexcept {
-  // Binary search for the last edge <= value.
-  std::size_t lo = 0, hi = edges_.size() - 1;
-  while (lo + 1 < hi) {
-    const std::size_t mid = (lo + hi) / 2;
-    if (edges_[mid] <= value)
-      lo = mid;
-    else
-      hi = mid;
-  }
-  return lo;
+void LogHistogram::add(std::uint64_t value, std::uint64_t weight) noexcept {
+  total_ += weight;
+  counts_[log_bucket_index(edges_, value)] += weight;
 }
 
-void LogHistogram::add(std::uint64_t value, std::uint64_t weight) noexcept {
-  if (value == 0) value = 1;
-  total_ += weight;
-  if (value >= edges_.back()) {
-    counts_.back() += weight;
-    return;
-  }
-  counts_[bin_index(value)] += weight;
+void LogHistogram::merge(const LogHistogram& other) {
+  require(base_ == other.base_ && edges_ == other.edges_,
+          "LogHistogram::merge: incompatible edges");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  return quantile_from_log_bins(edges_, counts_, total_, q);
 }
 
 std::uint64_t LogHistogram::bin_lo(std::size_t i) const {

@@ -4,9 +4,30 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace p2p::util {
+
+/// Geometric bucket edges over positive integers: edges[k] is the first value
+/// of bin k and the final entry is a sentinel upper edge, so bin k covers
+/// [edges[k], edges[k+1]). Shared by LogHistogram and the telemetry registry
+/// so both sides bucket identically. Preconditions: base > 1, max_value >= 1.
+[[nodiscard]] std::vector<std::uint64_t> log_bucket_edges(double base,
+                                                          std::uint64_t max_value);
+
+/// Index of the bin containing `value` for edges from log_bucket_edges().
+/// Values below edges.front() clamp to bin 0; values at or above the sentinel
+/// clamp to the last bin.
+[[nodiscard]] std::size_t log_bucket_index(std::span<const std::uint64_t> edges,
+                                           std::uint64_t value) noexcept;
+
+/// Interpolated quantile (q in [0,1]) over integer log bins, where
+/// edges.size() == counts.size() + 1 and bin i covers [edges[i], edges[i+1]-1]
+/// inclusive. Returns 0 when total == 0.
+[[nodiscard]] double quantile_from_log_bins(std::span<const std::uint64_t> edges,
+                                            std::span<const std::uint64_t> counts,
+                                            std::uint64_t total, double q);
 
 /// Fixed-width linear histogram over [lo, hi); out-of-range samples are
 /// counted in saturating under/overflow bins.
@@ -16,6 +37,14 @@ class LinearHistogram {
   LinearHistogram(double lo, double hi, std::size_t bins);
 
   void add(double x, std::uint64_t weight = 1) noexcept;
+
+  /// Adds `other`'s bins into this one. Throws std::invalid_argument unless
+  /// both histograms were built with identical lo/hi/bins.
+  void merge(const LinearHistogram& other);
+
+  /// Interpolated quantile, q in [0,1]. Underflow mass is treated as sitting
+  /// at lo and overflow mass at hi. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
 
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
   [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
@@ -55,6 +84,11 @@ class ExactCounter {
   /// Empirical probability mass at `value` (0 when no samples recorded).
   [[nodiscard]] double probability(std::uint64_t value) const;
 
+  /// Exact quantile, q in [0,1]: the smallest value whose cumulative count
+  /// reaches rank q*(total-1). Overflow mass is treated as max_value() + 1.
+  /// Returns 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
  private:
   std::vector<std::uint64_t> counts_;
   std::uint64_t overflow_ = 0;
@@ -70,16 +104,26 @@ class LogHistogram {
 
   void add(std::uint64_t value, std::uint64_t weight = 1) noexcept;
 
+  /// Adds `other`'s bins into this one. Throws std::invalid_argument unless
+  /// both histograms share the same base and max_value (identical edges).
+  void merge(const LogHistogram& other);
+
+  /// Interpolated quantile, q in [0,1]. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p90() const noexcept { return quantile(0.90); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
   [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
   /// Inclusive integer bounds of bin i.
   [[nodiscard]] std::uint64_t bin_lo(std::size_t i) const;
   [[nodiscard]] std::uint64_t bin_hi(std::size_t i) const;
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::span<const std::uint64_t> edges() const noexcept { return edges_; }
+  [[nodiscard]] std::span<const std::uint64_t> counts() const noexcept { return counts_; }
 
  private:
-  [[nodiscard]] std::size_t bin_index(std::uint64_t value) const noexcept;
-
   double base_;
   std::vector<std::uint64_t> counts_;
   std::vector<std::uint64_t> edges_;  // edges_[k] = first value of bin k

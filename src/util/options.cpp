@@ -51,6 +51,8 @@ ScaleOptions scale_options_from_env() {
   opts.prefetch_distance = static_cast<std::size_t>(
       env_u64("P2P_PREFETCH", ScaleOptions::kUnsetPrefetch));
   opts.threads = static_cast<std::size_t>(env_u64("P2P_THREADS", 0));
+  opts.telemetry = env_u64("P2P_TELEMETRY", 1) != 0;
+  opts.trace_sample = static_cast<std::size_t>(env_u64("P2P_TRACE_SAMPLE", 0));
   return opts;
 }
 

@@ -16,6 +16,13 @@
 //   P2P_THREADS=<int>               override thread count (ThreadPool fans,
 //                                   service::RoutingService workers;
 //                                   0/unset = hardware concurrency)
+//   P2P_TELEMETRY=0                 disable runtime telemetry wiring in the
+//                                   benches (1/unset = wire the registry;
+//                                   the compile-out gate is the CMake option
+//                                   of the same name)
+//   P2P_TRACE_SAMPLE=<int>          flight-recorder sampling: capture the
+//                                   hop trail of 1-in-<int> queries
+//                                   (0/unset = recorder off)
 //
 // P2P_WIDTH/P2P_PREFETCH shape the batch pipeline (core::BatchConfig) so
 // width/prefetch perf sweeps don't need recompiles; bench_common.h's
@@ -49,6 +56,13 @@ struct ScaleOptions {
   std::size_t prefetch_distance = kUnsetPrefetch;
   /// Worker-thread override (P2P_THREADS); 0 = hardware concurrency.
   std::size_t threads = 0;
+  /// Runtime telemetry switch (P2P_TELEMETRY; default on). Benches skip
+  /// registry/sink wiring entirely when false — the zero-overhead path even
+  /// in builds where recording is compiled in.
+  bool telemetry = true;
+  /// Flight-recorder sampling period (P2P_TRACE_SAMPLE): hop trails are
+  /// captured for 1-in-this-many queries; 0 = recorder off.
+  std::size_t trace_sample = 0;
 
   /// Resolves a size: explicit override > preset-scaled default.
   [[nodiscard]] std::size_t resolve_nodes(std::size_t dflt, std::size_t paper) const;

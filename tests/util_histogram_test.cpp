@@ -136,5 +136,116 @@ TEST(LogHistogram, RejectsBadConstruction) {
   EXPECT_THROW(LogHistogram(2.0, 0), std::invalid_argument);
 }
 
+// -- merge + quantile extraction (telemetry substrate) -----------------------
+
+TEST(LogBucketEdges, SharedEdgeFunctionsMatchLogHistogram) {
+  const LogHistogram h(2.0, 64);
+  const auto edges = log_bucket_edges(2.0, 64);
+  ASSERT_EQ(edges.size(), h.bin_count() + 1);
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    EXPECT_EQ(edges[i], h.bin_lo(i)) << i;
+    EXPECT_EQ(edges[i + 1] - 1, h.bin_hi(i)) << i;
+  }
+  // Index function agrees with add() for every value in range and beyond.
+  for (std::uint64_t v : {0ULL, 1ULL, 2ULL, 3ULL, 63ULL, 64ULL, 1000000ULL}) {
+    LogHistogram probe(2.0, 64);
+    probe.add(v);
+    EXPECT_EQ(probe.bin(log_bucket_index(edges, v)), 1u) << v;
+  }
+}
+
+TEST(LinearHistogram, MergeAddsBinsAndFlows) {
+  LinearHistogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+  a.add(1.0);
+  b.add(1.0);
+  b.add(-5.0);
+  b.add(50.0);
+  a.merge(b);
+  EXPECT_EQ(a.bin(0), 2u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(LinearHistogram, MergeRejectsMismatchedShape) {
+  LinearHistogram a(0.0, 10.0, 5), b(0.0, 10.0, 4), c(0.0, 8.0, 5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(LinearHistogram, QuantileInterpolates) {
+  LinearHistogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  // Median of a uniform fill sits mid-range; the top lands in the last bin.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(LinearHistogram(0.0, 1.0, 2).quantile(0.5), 0.0);
+}
+
+TEST(ExactCounter, QuantileIsExact) {
+  ExactCounter c(100);
+  for (std::uint64_t v = 1; v <= 100; ++v) c.add(v);
+  EXPECT_EQ(c.quantile(0.0), 1u);
+  EXPECT_EQ(c.quantile(0.5), 50u);
+  EXPECT_EQ(c.quantile(0.99), 99u);
+  EXPECT_EQ(c.quantile(1.0), 100u);
+  EXPECT_EQ(ExactCounter(10).quantile(0.5), 0u);
+}
+
+TEST(ExactCounter, QuantileOverflowMassSitsAboveMax) {
+  ExactCounter c(10);
+  c.add(5);
+  c.add(1'000'000);  // overflow
+  EXPECT_EQ(c.quantile(0.0), 5u);
+  EXPECT_EQ(c.quantile(1.0), c.max_value() + 1);
+}
+
+TEST(LogHistogram, MergeAddsBins) {
+  LogHistogram a(2.0, 64), b(2.0, 64);
+  a.add(1);
+  b.add(1);
+  b.add(5);
+  a.merge(b);
+  EXPECT_EQ(a.bin(0), 2u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(LogHistogram, MergeRejectsMismatchedShape) {
+  LogHistogram a(2.0, 64), b(2.0, 128), c(3.0, 64);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(LogHistogram, QuantilesBracketTrueValues) {
+  // 1..1000 uniformly: the interpolated quantile must stay within the true
+  // value's bin (a factor-of-base window).
+  LogHistogram h(2.0, 1024);
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_GE(h.p50(), 256.0);
+  EXPECT_LE(h.p50(), 1023.0);
+  EXPECT_GE(h.p99(), 512.0);
+  EXPECT_LE(h.p99(), 1024.0);
+  EXPECT_DOUBLE_EQ(LogHistogram(2.0, 8).quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, SingleValueQuantileLandsInItsBin) {
+  LogHistogram h(2.0, 1024);
+  h.add(37, 1000);
+  // All mass in [32, 63]: every quantile must stay inside that bin.
+  EXPECT_GE(h.p50(), 32.0);
+  EXPECT_LE(h.p50(), 63.0);
+  EXPECT_GE(h.p99(), 32.0);
+  EXPECT_LE(h.p99(), 63.0);
+}
+
+TEST(QuantileFromLogBins, MatchesHistogramAccessors) {
+  LogHistogram h(2.0, 256);
+  for (std::uint64_t v = 1; v <= 200; ++v) h.add(v);
+  const double direct =
+      quantile_from_log_bins(h.edges(), h.counts(), h.total(), 0.9);
+  EXPECT_DOUBLE_EQ(direct, h.quantile(0.9));
+}
+
 }  // namespace
 }  // namespace p2p::util
