@@ -8,6 +8,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <limits>
 #include <numeric>
@@ -33,6 +35,25 @@ namespace p2p::bench {
 inline double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or 0 where procfs is unavailable. The scale sweep
+/// reports it per decade so a build's transient memory high-water mark is
+/// visible next to the frozen graph's steady-state bytes.
+inline std::size_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  std::size_t kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
 }
 
 /// BuildSpec of the paper's §4.3 power-law ring overlay.

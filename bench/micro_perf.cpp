@@ -266,6 +266,12 @@ struct JsonMetrics {
   double parallel_links_per_sec = 0;
   double freeze_links_per_sec = 0;  ///< pool-parallel freeze packing alone
   std::size_t build_threads = 0;
+  /// Frozen-representation footprint of the headline graph: the standard
+  /// CSR's resident bytes/node, the compact (delta-encoded) twin built from
+  /// the same seed, and compact/standard.
+  double bytes_per_node_standard = 0;
+  double bytes_per_node_compact = 0;
+  double bytes_per_node_ratio = 0;
   /// Routing *under node failures* (§6's regime) per kFailFractions entry:
   /// scalar route(), route_batch at width 32, the same batched workload
   /// through the forced-scalar router (P2P_NO_SIMD — the pre-masked-kernel
@@ -315,6 +321,19 @@ JsonMetrics measure_headline() {
   const auto g = graph::build_overlay(spec, rng);
   m.build_seconds = seconds_since(t_build);
   m.links_per_sec = static_cast<double>(g.link_count()) / m.build_seconds;
+
+  // Footprint of both frozen forms over the same adjacency (same seed).
+  m.bytes_per_node_standard =
+      static_cast<double>(g.memory_bytes()) / static_cast<double>(g.size());
+  {
+    graph::BuildSpec compact_spec = spec;
+    compact_spec.layout = graph::EdgeLayout::kCompact;
+    util::Rng compact_rng(42);
+    const auto cg = graph::build_overlay(compact_spec, compact_rng);
+    m.bytes_per_node_compact =
+        static_cast<double>(cg.memory_bytes()) / static_cast<double>(cg.size());
+    m.bytes_per_node_ratio = m.bytes_per_node_compact / m.bytes_per_node_standard;
+  }
 
   const auto view = failure::FailureView::all_alive(g);
   const core::Router router(g, view);
@@ -603,12 +622,16 @@ void write_json(const JsonMetrics& m, const char* path) {
                "  \"parallel_links_per_sec\": %.1f,\n"
                "  \"freeze_links_per_sec\": %.1f,\n"
                "  \"build_threads\": %zu,\n"
+               "  \"bytes_per_node_standard\": %.2f,\n"
+               "  \"bytes_per_node_compact\": %.2f,\n"
+               "  \"bytes_per_node_ratio\": %.4f,\n"
                "  \"routes_per_sec\": %.1f,\n"
                "  \"hops_per_sec\": %.1f,\n"
                "  \"batch_routes_per_sec\": {",
                static_cast<unsigned long long>(m.nodes), m.links, m.build_seconds,
                m.links_per_sec, m.parallel_links_per_sec, m.freeze_links_per_sec,
-               m.build_threads, m.routes_per_sec, m.hops_per_sec);
+               m.build_threads, m.bytes_per_node_standard, m.bytes_per_node_compact,
+               m.bytes_per_node_ratio, m.routes_per_sec, m.hops_per_sec);
   for (std::size_t w = 0; w < std::size(kBatchWidths); ++w) {
     std::fprintf(f, "%s\"w%zu\": %.1f", w == 0 ? " " : ", ", kBatchWidths[w],
                  m.batch_routes_per_sec[w]);

@@ -1,0 +1,308 @@
+// Memory-lean scale sweep: build and route overlays of n = 1e4 ... 1e8
+// nodes through the NUMA-sharded service on the compact CSR layout.
+//
+// Per decade the sweep stands up a ShardedRoutingService — one compact
+// (EdgeLayout::kCompact) power-law ring overlay with lg n long links per
+// node per NUMA domain, built by workers pinned to that domain — and batch-
+// routes a fixed query load through it. It records, per decade:
+//
+//   * build seconds (full sharded stand-up: graphs + views + services),
+//   * routes/sec through the sharded frontend,
+//   * frozen bytes/node (OverlayGraph::memory_bytes over all shards) and the
+//     ratio to the analytic standard-layout cost of the same adjacency
+//     (OverlayGraph::standard_layout_bytes) — the compact form must stay
+//     at or below 60% of the standard form,
+//   * hop-count quantiles (p50/p90/p99 through a telemetry::Registry
+//     histogram) and the delivered fraction,
+//   * the process peak-RSS high-water mark (bench::peak_rss_bytes).
+//
+// The decade axis stops at P2P_SCALE_MAX_NODES (default 1e8) and is further
+// capped by detected available memory (MemAvailable * 0.8 against a
+// ~500 B/node transient build estimate), so the same binary smoke-tests at
+// n = 1e6 on CI and walks to 1e8 on a large box.
+//
+// Self-gates (P2P_SCALE_NO_GATE=1 skips): delivered fraction >= 99% per
+// decade; compact/standard byte ratio <= 0.60; mean hops <= 2 * lg^2 n per
+// decade and adjacent-decade mean-hop growth <= 1.5x the lg^2-predicted
+// ratio — the O(log^2 n) routing bound of Theorem 13 holding across the
+// sweep, not just at one size.
+//
+// Output: a fresh BENCH_scale.json (this bench owns the file). Knobs:
+// P2P_MESSAGES (queries per decade, default 65536), P2P_SHARDS,
+// P2P_SCALE_MAX_NODES, P2P_SCALE_NO_GATE, P2P_SEED.
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/sharded_service.h"
+#include "telemetry/metric_registry.h"
+
+namespace {
+
+using namespace p2p;
+using bench::seconds_since;
+
+/// MemAvailable from /proc/meminfo in bytes, or 0 when unreadable.
+std::size_t mem_available_bytes() {
+  std::FILE* f = std::fopen("/proc/meminfo", "r");
+  if (f == nullptr) return 0;
+  std::size_t kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "MemAvailable:", 13) == 0) {
+      kib = static_cast<std::size_t>(std::strtoull(line + 13, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+struct DecadeResult {
+  std::uint64_t nodes = 0;
+  std::size_t shards = 0;
+  double build_seconds = 0;
+  double routes_per_sec = 0;
+  double bytes_per_node = 0;
+  double standard_bytes_per_node = 0;
+  double compact_ratio = 0;
+  double mean_hops = 0;
+  double hops_p50 = 0;
+  double hops_p90 = 0;
+  double hops_p99 = 0;
+  double delivered_fraction = 0;
+  std::size_t peak_rss = 0;
+};
+
+double lg2(double n) {
+  const double l = std::log2(n);
+  return l * l;
+}
+
+void write_json(const std::vector<DecadeResult>& rows, std::uint64_t max_nodes,
+                const char* gate_status) {
+  std::FILE* f = std::fopen("BENCH_scale.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "scale_sweep: cannot open BENCH_scale.json\n");
+    return;
+  }
+  const DecadeResult& last = rows.back();
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"scale_sweep\",\n"
+               "  \"scale_shards\": %zu,\n"
+               "  \"scale_decades\": %zu,\n"
+               "  \"scale_max_nodes\": %" PRIu64 ",\n"
+               "  \"scale_bytes_per_node\": %.2f,\n"
+               "  \"scale_compact_ratio\": %.4f,\n"
+               "  \"scale_routes_per_sec\": %.1f,\n"
+               "  \"scale_hops_p50\": %.2f,\n"
+               "  \"scale_gate\": \"%s\",\n"
+               "  \"decades\": [\n",
+               last.shards, rows.size(), max_nodes, last.bytes_per_node,
+               last.compact_ratio, last.routes_per_sec, last.hops_p50,
+               gate_status);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DecadeResult& r = rows[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %" PRIu64
+                 ", \"shards\": %zu, \"build_seconds\": %.3f, "
+                 "\"routes_per_sec\": %.1f, \"bytes_per_node\": %.2f, "
+                 "\"standard_bytes_per_node\": %.2f, \"compact_ratio\": %.4f, "
+                 "\"mean_hops\": %.3f, \"hops_p50\": %.2f, \"hops_p90\": "
+                 "%.2f, \"hops_p99\": %.2f, \"delivered_fraction\": %.5f, "
+                 "\"peak_rss_bytes\": %zu}%s\n",
+                 r.nodes, r.shards, r.build_seconds, r.routes_per_sec,
+                 r.bytes_per_node, r.standard_bytes_per_node, r.compact_ratio,
+                 r.mean_hops, r.hops_p50, r.hops_p90, r.hops_p99,
+                 r.delivered_fraction, r.peak_rss,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t max_nodes =
+      util::env_u64("P2P_SCALE_MAX_NODES", 100000000ULL);
+  const auto query_count =
+      static_cast<std::size_t>(util::env_u64("P2P_MESSAGES", 1 << 16));
+  const std::uint64_t seed = util::env_u64("P2P_SEED", 0x5ca1eULL);
+  const bool gate_disabled = util::env_u64("P2P_SCALE_NO_GATE", 0) != 0;
+
+  // ~500 B/node covers the transient peak: the builder's per-node adjacency
+  // vectors plus the flat freeze arrays coexist briefly, dwarfing the
+  // ~80 B/node frozen compact form.
+  constexpr std::size_t kTransientBytesPerNode = 500;
+  const std::size_t avail = mem_available_bytes();
+
+  std::vector<std::uint64_t> decade_axis;
+  for (std::uint64_t n = 10000; n <= max_nodes; n *= 10) {
+    if (avail != 0 &&
+        n * kTransientBytesPerNode > avail / 10 * 8) {
+      std::printf("scale_sweep: stopping before n=%" PRIu64
+                  " (%.1f GiB transient estimate vs %.1f GiB available)\n",
+                  n,
+                  static_cast<double>(n * kTransientBytesPerNode) /
+                      (1024.0 * 1024.0 * 1024.0),
+                  static_cast<double>(avail) / (1024.0 * 1024.0 * 1024.0));
+      break;
+    }
+    decade_axis.push_back(n);
+  }
+  if (decade_axis.empty()) decade_axis.push_back(10000);
+
+  std::printf("scale_sweep: %zu decades up to n=%" PRIu64
+              ", %zu queries/decade, compact CSR via sharded service\n",
+              decade_axis.size(), decade_axis.back(), query_count);
+  std::printf("%12s %7s %9s %12s %8s %7s %7s %7s %7s %8s\n", "nodes",
+              "shards", "build_s", "routes/s", "B/node", "ratio", "hops50",
+              "hops99", "deliv%", "rss_GiB");
+
+  std::vector<DecadeResult> rows;
+  bool gate_failed = false;
+  std::string gate_message;
+
+  for (const std::uint64_t n : decade_axis) {
+    service::ShardedConfig cfg;
+    cfg.seed = seed;
+    cfg.topology = service::NumaTopology::detect();
+    cfg.service.batch = bench::batch_config_from_env();
+    const std::size_t shards = cfg.topology.domain_count();
+    const std::uint64_t per_shard = n / shards < 2 ? 2 : n / shards;
+
+    graph::BuildSpec spec = bench::power_law_spec(per_shard,
+                                                  bench::lg_links(per_shard));
+    spec.layout = graph::EdgeLayout::kCompact;
+
+    const auto t_build = std::chrono::steady_clock::now();
+    service::ShardedRoutingService svc(spec, std::move(cfg));
+    DecadeResult r;
+    r.build_seconds = seconds_since(t_build);
+    r.nodes = svc.node_count();
+    r.shards = svc.shard_count();
+
+    const std::size_t compact_bytes = svc.graph_memory_bytes();
+    std::size_t standard_bytes = 0;
+    for (std::size_t k = 0; k < svc.shard_count(); ++k) {
+      standard_bytes += svc.shard(k).graph->standard_layout_bytes();
+    }
+    r.bytes_per_node =
+        static_cast<double>(compact_bytes) / static_cast<double>(r.nodes);
+    r.standard_bytes_per_node =
+        static_cast<double>(standard_bytes) / static_cast<double>(r.nodes);
+    r.compact_ratio = static_cast<double>(compact_bytes) /
+                      static_cast<double>(standard_bytes);
+
+    // Fixed query load, valid on every shard (all shards share one space).
+    std::vector<core::Query> queries(query_count);
+    util::Rng query_rng(seed ^ 0x9e37);
+    for (core::Query& q : queries) {
+      const auto src =
+          static_cast<graph::NodeId>(query_rng.next_below(per_shard));
+      auto dst = src;
+      while (dst == src) {
+        dst = static_cast<graph::NodeId>(query_rng.next_below(per_shard));
+      }
+      q = {src, static_cast<metric::Point>(dst)};
+    }
+    std::vector<core::RouteResult> results(queries.size());
+
+    const auto t_route = std::chrono::steady_clock::now();
+    const service::ServiceStats stats = svc.route_all(queries, results);
+    const double route_seconds = seconds_since(t_route);
+    r.routes_per_sec =
+        route_seconds > 0 ? static_cast<double>(stats.routed) / route_seconds
+                          : 0;
+    r.delivered_fraction = stats.delivered_fraction();
+    r.mean_hops = stats.mean_hops_delivered;
+
+    // Hop quantiles through the telemetry registry: one single-writer shard,
+    // filled from the main thread after the concurrent routing finished.
+    telemetry::Registry reg(1);
+    const telemetry::Histogram hops_hist =
+        reg.histogram("scale.hops", 1.15, 1 << 14);
+    telemetry::Recorder rec = reg.recorder(0);
+    for (std::size_t i = 0; i < stats.routed; ++i) {
+      if (results[i].delivered()) {
+        rec.observe(hops_hist, results[i].hops == 0 ? 1 : results[i].hops);
+      }
+    }
+    const telemetry::Snapshot snap = reg.snapshot();
+    if (const auto* h = snap.histogram("scale.hops")) {
+      r.hops_p50 = h->p50();
+      r.hops_p90 = h->p90();
+      r.hops_p99 = h->p99();
+    }
+    r.peak_rss = bench::peak_rss_bytes();
+    rows.push_back(r);
+
+    std::printf("%12" PRIu64 " %7zu %9.2f %12.0f %8.1f %7.3f %7.1f %7.1f "
+                "%6.1f%% %8.2f\n",
+                r.nodes, r.shards, r.build_seconds, r.routes_per_sec,
+                r.bytes_per_node, r.compact_ratio, r.hops_p50, r.hops_p99,
+                100.0 * r.delivered_fraction,
+                static_cast<double>(r.peak_rss) / (1024.0 * 1024.0 * 1024.0));
+
+    // Per-decade gates.
+    char msg[256];
+    if (r.delivered_fraction < 0.99) {
+      std::snprintf(msg, sizeof msg,
+                    "delivered fraction %.4f below 0.99 at n=%" PRIu64,
+                    r.delivered_fraction, r.nodes);
+      gate_failed = true;
+      gate_message = msg;
+    }
+    if (r.compact_ratio > 0.60) {
+      std::snprintf(msg, sizeof msg,
+                    "compact/standard ratio %.3f above 0.60 at n=%" PRIu64,
+                    r.compact_ratio, r.nodes);
+      gate_failed = true;
+      gate_message = msg;
+    }
+    const double hop_budget = 2.0 * lg2(static_cast<double>(r.nodes));
+    if (r.mean_hops > hop_budget) {
+      std::snprintf(msg, sizeof msg,
+                    "mean hops %.2f above 2*lg^2(n)=%.1f at n=%" PRIu64,
+                    r.mean_hops, hop_budget, r.nodes);
+      gate_failed = true;
+      gate_message = msg;
+    }
+    if (rows.size() >= 2) {
+      const DecadeResult& prev = rows[rows.size() - 2];
+      const double predicted = lg2(static_cast<double>(r.nodes)) /
+                               lg2(static_cast<double>(prev.nodes));
+      const double actual =
+          prev.mean_hops > 0 ? r.mean_hops / prev.mean_hops : 0.0;
+      if (actual > predicted * 1.5) {
+        std::snprintf(msg, sizeof msg,
+                      "hop growth %.2fx exceeds 1.5x the lg^2 prediction "
+                      "%.2fx from n=%" PRIu64 " to n=%" PRIu64,
+                      actual, predicted, prev.nodes, r.nodes);
+        gate_failed = true;
+        gate_message = msg;
+      }
+    }
+  }
+
+  const char* gate_status =
+      gate_disabled ? "skipped" : (gate_failed ? "fail" : "pass");
+  write_json(rows, decade_axis.back(), gate_status);
+  std::printf("scale_sweep: %zu decades -> BENCH_scale.json (gate %s)\n",
+              rows.size(), gate_status);
+
+  if (gate_failed && !gate_disabled) {
+    std::fprintf(stderr, "scale_sweep: GATE FAILED: %s\n",
+                 gate_message.c_str());
+    return 1;
+  }
+  return 0;
+}

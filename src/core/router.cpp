@@ -82,7 +82,7 @@ std::size_t Router::effective_ttl() const noexcept {
 
 namespace {
 
-/// Core of select_candidate, compiled once per (trust-check, dense,
+/// Core of select_candidate, compiled once per (layout, trust-check, dense,
 /// link-check, node-check, sidedness) combination so the common
 /// configurations run with no per-neighbour flag tests at all. Candidates
 /// order by (distance-to-target, node id); duplicate links to the same
@@ -92,10 +92,14 @@ namespace {
 /// `trusted` is the reputation distrust sideband (trusted_bytes());
 /// dereferenced only when kCheckTrust, nullptr otherwise.
 ///
+/// On the compact layout each round re-decodes the node's delta stream in
+/// place of the inline/spill walk; slot indices (h.offset + i) are identical
+/// across layouts, so the failure-mask queries don't change shape.
+///
 /// A self-link (v == u) can never be selected — its distance equals du and
 /// every round filters to dv < du — so no explicit check is needed.
-template <bool kCheckTrust, bool kDense, bool kCheckLinks, bool kCheckNodes,
-          bool kOneSided>
+template <bool kCompact, bool kCheckTrust, bool kDense, bool kCheckLinks,
+          bool kCheckNodes, bool kOneSided>
 graph::NodeId select_impl(const graph::OverlayGraph& g,
                           const failure::FailureView& view,
                           const std::uint8_t* trusted, graph::NodeId u,
@@ -104,13 +108,26 @@ graph::NodeId select_impl(const graph::OverlayGraph& g,
   const metric::Space& space = g.space();
   const metric::Point up = g.position(u);
   const metric::Distance du = space.distance(up, target);
-  // One header cache line carries the offsets and the inline slice prefix;
-  // the rest of the slice lives in the compact spill array, which is small
-  // enough to stay cache-resident (and prefetched ahead by the batch
-  // pipeline).
-  const graph::OverlayGraph::NodeHeader& h = g.header(u);
-  const graph::NodeId* tail = g.tail(h);
-  const std::uint32_t degree = h.degree;
+  // Standard layout: one header cache line carries the offsets and the
+  // inline slice prefix; the rest of the slice lives in the spill array,
+  // which is small enough to stay cache-resident (and prefetched ahead by
+  // the batch pipeline). Compact layout: the 16-byte header points at the
+  // node's delta-encoded stream.
+  const graph::OverlayGraph::NodeHeader* h = nullptr;
+  const graph::OverlayGraph::CompactHeader* ch = nullptr;
+  const graph::NodeId* tail = nullptr;
+  std::uint32_t degree;
+  std::size_t slot_base;
+  if constexpr (kCompact) {
+    ch = &g.cheader(u);
+    degree = ch->degree;
+    slot_base = ch->offset;
+  } else {
+    h = &g.header(u);
+    tail = g.tail(*h);
+    degree = h->degree;
+    slot_base = h->offset;
+  }
   const auto inline_n =
       degree < kInline ? degree : static_cast<std::uint32_t>(kInline);
 
@@ -124,7 +141,7 @@ graph::NodeId select_impl(const graph::OverlayGraph& g,
     graph::NodeId best_v = graph::kInvalidNode;
     const auto consider = [&](graph::NodeId v, std::uint32_t i) {
       if constexpr (kCheckLinks) {
-        if (!view.link_alive_at(h.offset + i)) return;
+        if (!view.link_alive_at(slot_base + i)) return;
       }
       if constexpr (kCheckNodes) {
         if (!view.node_alive(v)) return;
@@ -161,8 +178,16 @@ graph::NodeId select_impl(const graph::OverlayGraph& g,
         best_v = v;
       }
     };
-    for (std::uint32_t i = 0; i < inline_n; ++i) consider(h.inline_edges[i], i);
-    for (std::uint32_t i = kInline; i < degree; ++i) consider(tail[i - kInline], i);
+    if constexpr (kCompact) {
+      const std::uint16_t* p = g.enc_stream(*ch);
+      for (std::uint32_t i = 0; i < degree; ++i) {
+        consider(graph::detail::decode_link(p, u), i);
+      }
+    } else {
+      for (std::uint32_t i = 0; i < inline_n; ++i) consider(h->inline_edges[i], i);
+      for (std::uint32_t i = kInline; i < degree; ++i)
+        consider(tail[i - kInline], i);
+    }
     if (best_v == graph::kInvalidNode) return graph::kInvalidNode;
     if (rank == 0) return best_v;
     --rank;
@@ -178,16 +203,23 @@ using SelectFn = graph::NodeId (*)(const graph::OverlayGraph&,
                                    metric::Point, std::size_t) noexcept;
 
 template <std::size_t... Is>
-constexpr std::array<SelectFn, 32> make_select_table(std::index_sequence<Is...>) {
-  return {select_impl<(Is & 16) != 0, (Is & 8) != 0, (Is & 4) != 0,
-                      (Is & 2) != 0, (Is & 1) != 0>...};
+constexpr std::array<SelectFn, 64> make_select_table(std::index_sequence<Is...>) {
+  return {select_impl<(Is & 32) != 0, (Is & 16) != 0, (Is & 8) != 0,
+                      (Is & 4) != 0, (Is & 2) != 0, (Is & 1) != 0>...};
 }
 
-constexpr std::array<SelectFn, 32> kSelectTable =
-    make_select_table(std::make_index_sequence<32>{});
+constexpr std::array<SelectFn, 64> kSelectTable =
+    make_select_table(std::make_index_sequence<64>{});
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define P2P_HAVE_AVX512_SELECT 1
+
+/// Compact-layout SIMD staging: a node's delta stream is decoded into an
+/// aligned id buffer and scanned as one segment. Degrees above the cap (far
+/// beyond any paper configuration — ℓ + 2 per node; only adversarial inputs
+/// exceed it) fall back to the scalar compact kernel.
+inline constexpr std::uint32_t kSimdDecodeCap = 256;
+
 // GCC's _mm512_* expansions seed results from _mm512_undefined_epi32, which
 // -Wmaybe-uninitialized flags at -O3; the intrinsics are correct as written.
 #pragma GCC diagnostic push
@@ -292,10 +324,6 @@ graph::NodeId select_best_avx512(const graph::OverlayGraph& g,
   const metric::Space& space = g.space();
   // simd_ok_ admits 1-D spaces only, so the kind is line or ring here.
   const bool ring = space.kind() == metric::Space::Kind::kRing;
-  const graph::OverlayGraph::NodeHeader& h = g.header(u);
-  const std::uint32_t degree = h.degree;
-  const auto inline_n =
-      degree < kInline ? degree : static_cast<std::uint32_t>(kInline);
   const metric::Distance du =
       space.distance(static_cast<metric::Point>(u), target);
   const std::uint8_t* alive_bytes = kCheckNodes ? view.node_alive_bytes() : nullptr;
@@ -303,13 +331,34 @@ graph::NodeId select_best_avx512(const graph::OverlayGraph& g,
   const __m512i vt = _mm512_set1_epi64(static_cast<long long>(target));
   const __m512i vn = _mm512_set1_epi64(static_cast<long long>(space.size()));
   __m512i vbest = _mm512_set1_epi64(-1);
-  vbest = avx512_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
-      vbest, h.inline_edges, inline_n, vt, vn, ring, view, h.offset,
-      alive_bytes, trusted_bytes);
-  if (degree > kInline) {
+  if (g.compact()) {
+    const graph::OverlayGraph::CompactHeader& ch = g.cheader(u);
+    if (ch.degree > kSimdDecodeCap) {
+      return select_impl<true, kCheckTrust, true, kCheckLinks, kCheckNodes,
+                         false>(g, view, trusted_bytes, u, target, 0);
+    }
+    // Decode the delta stream into lane-loadable ids, then scan the buffer
+    // as one segment (slot base = the node's flat slot base, exactly the
+    // standard kernel's keying). Masked loads never touch lanes past the
+    // remainder mask, so the buffer needs no padding.
+    alignas(64) graph::NodeId buf[kSimdDecodeCap];
+    g.decode_links(u, buf);
     vbest = avx512_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
-        vbest, g.tail(h), degree - inline_n, vt, vn, ring, view,
-        h.offset + kInline, alive_bytes, trusted_bytes);
+        vbest, buf, ch.degree, vt, vn, ring, view, ch.offset, alive_bytes,
+        trusted_bytes);
+  } else {
+    const graph::OverlayGraph::NodeHeader& h = g.header(u);
+    const std::uint32_t degree = h.degree;
+    const auto inline_n =
+        degree < kInline ? degree : static_cast<std::uint32_t>(kInline);
+    vbest = avx512_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
+        vbest, h.inline_edges, inline_n, vt, vn, ring, view, h.offset,
+        alive_bytes, trusted_bytes);
+    if (degree > kInline) {
+      vbest = avx512_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
+          vbest, g.tail(h), degree - inline_n, vt, vn, ring, view,
+          h.offset + kInline, alive_bytes, trusted_bytes);
+    }
   }
   const std::uint64_t best = _mm512_reduce_min_epu64(vbest);
   if (best >= (static_cast<std::uint64_t>(du) << 32)) return graph::kInvalidNode;
@@ -386,10 +435,6 @@ graph::NodeId select_best_torus_avx512(const graph::OverlayGraph& g,
   const metric::Space& space = g.space();
   // simd_ok_ bounds size by 2^32, so the side is < 2^16 here.
   const auto side = static_cast<std::uint64_t>(space.as_torus().side());
-  const graph::OverlayGraph::NodeHeader& h = g.header(u);
-  const std::uint32_t degree = h.degree;
-  const auto inline_n =
-      degree < kInline ? degree : static_cast<std::uint32_t>(kInline);
   const metric::Distance du =
       space.distance(static_cast<metric::Point>(u), target);
   const std::uint8_t* alive_bytes = kCheckNodes ? view.node_alive_bytes() : nullptr;
@@ -400,13 +445,30 @@ graph::NodeId select_best_torus_avx512(const graph::OverlayGraph& g,
   const __m512i vside = _mm512_set1_epi64(static_cast<long long>(side));
   const __m512d vinv_side = _mm512_set1_pd(1.0 / static_cast<double>(side));
   __m512i vbest = _mm512_set1_epi64(-1);
-  vbest = avx512_torus_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
-      vbest, h.inline_edges, inline_n, vtr, vtc, vside, vinv_side, view,
-      h.offset, alive_bytes, trusted_bytes);
-  if (degree > kInline) {
+  if (g.compact()) {
+    const graph::OverlayGraph::CompactHeader& ch = g.cheader(u);
+    if (ch.degree > kSimdDecodeCap) {
+      return select_impl<true, kCheckTrust, true, kCheckLinks, kCheckNodes,
+                         false>(g, view, trusted_bytes, u, target, 0);
+    }
+    alignas(64) graph::NodeId buf[kSimdDecodeCap];
+    g.decode_links(u, buf);
     vbest = avx512_torus_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
-        vbest, g.tail(h), degree - inline_n, vtr, vtc, vside, vinv_side, view,
-        h.offset + kInline, alive_bytes, trusted_bytes);
+        vbest, buf, ch.degree, vtr, vtc, vside, vinv_side, view, ch.offset,
+        alive_bytes, trusted_bytes);
+  } else {
+    const graph::OverlayGraph::NodeHeader& h = g.header(u);
+    const std::uint32_t degree = h.degree;
+    const auto inline_n =
+        degree < kInline ? degree : static_cast<std::uint32_t>(kInline);
+    vbest = avx512_torus_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
+        vbest, h.inline_edges, inline_n, vtr, vtc, vside, vinv_side, view,
+        h.offset, alive_bytes, trusted_bytes);
+    if (degree > kInline) {
+      vbest = avx512_torus_scan_ids<kCheckLinks, kCheckNodes, kCheckTrust>(
+          vbest, g.tail(h), degree - inline_n, vtr, vtc, vside, vinv_side,
+          view, h.offset + kInline, alive_bytes, trusted_bytes);
+    }
   }
   const std::uint64_t best = _mm512_reduce_min_epu64(vbest);
   if (best >= (static_cast<std::uint64_t>(du) << 32)) return graph::kInvalidNode;
@@ -482,9 +544,10 @@ graph::NodeId Router::select_candidate(graph::NodeId u, metric::Point target,
   }
 #endif
   const bool one_sided = config_.sidedness == Sidedness::kOneSided;
-  const std::size_t index = (check_trust ? 16u : 0u) | (graph_->dense() ? 8u : 0u) |
-                            (check_links ? 4u : 0u) | (check_nodes ? 2u : 0u) |
-                            (one_sided ? 1u : 0u);
+  const std::size_t index =
+      (graph_->compact() ? 32u : 0u) | (check_trust ? 16u : 0u) |
+      (graph_->dense() ? 8u : 0u) | (check_links ? 4u : 0u) |
+      (check_nodes ? 2u : 0u) | (one_sided ? 1u : 0u);
   return kSelectTable[index](*graph_, *view_, trusted, u, target, rank);
 }
 
@@ -499,17 +562,22 @@ std::vector<graph::NodeId> Router::candidates(graph::NodeId u,
 
   std::vector<std::pair<metric::Distance, graph::NodeId>> ranked;
   ranked.reserve(neigh.size());
-  for (std::size_t i = 0; i < neigh.size(); ++i) {
-    const graph::NodeId v = neigh[i];
+  // Iterate rather than index: NeighborRange::operator[] re-decodes the
+  // stream prefix on the compact layout, turning an indexed loop quadratic.
+  std::size_t i = 0;
+  for (const graph::NodeId v : neigh) {
+    const std::size_t link_index = i++;
     if (v == u) continue;
     if (check_trust && !rep->trusted(v)) continue;
     if (config_.knowledge == Knowledge::kLiveness) {
-      if (!view_->hop_usable(u, i)) continue;
+      // hop_usable(u, i) inlined against the already-decoded v (the member
+      // helper would re-index neighbors(u)).
+      if (!view_->link_alive(u, link_index) || !view_->node_alive(v)) continue;
     } else {
       // Stale mode: a failed link transmits nothing, so the sender can rule
       // it out, but the far node's aliveness is discovered only after
       // committing to the choice.
-      if (!view_->link_alive(u, i)) continue;
+      if (!view_->link_alive(u, link_index)) continue;
     }
     const metric::Point vp = graph_->position(v);
     const metric::Distance dv = space.distance(vp, target);
@@ -635,9 +703,7 @@ bool BatchPipeline::tick() {
     // rings already smaller than the lookahead skip it (lines are warm).
     std::size_t ahead = cursor_ + prefetch_distance_;
     if (ahead >= lanes_.size()) ahead -= lanes_.size();
-    const graph::OverlayGraph::NodeHeader& h =
-        g.header(lanes_[ahead].session.current());
-    if (h.degree > graph::OverlayGraph::kInlineEdges) g.prefetch_tail(h);
+    g.prefetch_spill(lanes_[ahead].session.current());
   }
   Lane& lane = lanes_[cursor_];
   const std::optional<graph::NodeId> moved = lane.session.step_inline(lane.rng);

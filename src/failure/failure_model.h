@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "graph/overlay_graph.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace p2p::failure {
@@ -181,17 +182,30 @@ class FailureView {
   /// current epoch.
   void revert(const FailureDelta& delta);
 
+  /// Resident bytes of the view's bitsets and sidebands (capacity-based —
+  /// the HpVector allocator maps >= 1 MiB blocks on whole huge pages).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return node_dead_.capacity() * sizeof(std::uint64_t) +
+           node_alive_byte_.capacity() +
+           link_dead_.capacity() * sizeof(std::uint64_t);
+  }
+
  private:
   explicit FailureView(const graph::OverlayGraph& g);
 
-  [[nodiscard]] static bool test_bit(const std::vector<std::uint64_t>& bits,
+  /// Bitset word storage: huge-page-backed once past the allocator's mmap
+  /// threshold — at 1e8 nodes the node bitset alone is 12.5 MB and the link
+  /// bitset ~350 MB, exactly the TLB-hostile sizes THP exists for.
+  using BitWords = util::HpVector<std::uint64_t>;
+
+  [[nodiscard]] static bool test_bit(const BitWords& bits,
                                      std::size_t i) noexcept {
     return (bits[i >> 6] >> (i & 63)) & 1u;
   }
-  static void set_bit(std::vector<std::uint64_t>& bits, std::size_t i) noexcept {
+  static void set_bit(BitWords& bits, std::size_t i) noexcept {
     bits[i >> 6] |= std::uint64_t{1} << (i & 63);
   }
-  static void reset_bit(std::vector<std::uint64_t>& bits, std::size_t i) noexcept {
+  static void reset_bit(BitWords& bits, std::size_t i) noexcept {
     bits[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
   }
   static std::size_t words_for(std::size_t bits) noexcept { return (bits + 63) / 64; }
@@ -211,11 +225,11 @@ class FailureView {
   static constexpr std::size_t kNodeBytePad = 8;
 
   const graph::OverlayGraph* graph_;
-  std::vector<std::uint64_t> node_dead_;  // packed, 1 = dead; empty = all alive
+  BitWords node_dead_;  // packed, 1 = dead; empty = all alive
   /// bytes[u] == 1 iff u alive; empty exactly when node_dead_ is. Kept in
   /// lockstep by every mutator so the router can gather bytes per candidate.
-  std::vector<std::uint8_t> node_alive_byte_;
-  std::vector<std::uint64_t> link_dead_;  // packed over CSR slots (+ guard word)
+  util::HpVector<std::uint8_t> node_alive_byte_;
+  BitWords link_dead_;  // packed over CSR slots (+ guard word)
   std::size_t link_slots_ = 0;  // edge_slots() when link_dead_ was allocated
   std::size_t alive_count_ = 0;
   std::uint64_t epoch_ = 0;             // delta-log cursor (see apply/revert)

@@ -154,13 +154,15 @@ void GraphBuilder::make_bidirectional(util::ThreadPool& pool) {
   }
 }
 
-OverlayGraph GraphBuilder::freeze() { return freeze_impl(nullptr); }
-
-OverlayGraph GraphBuilder::freeze(util::ThreadPool& pool) {
-  return freeze_impl(&pool);
+OverlayGraph GraphBuilder::freeze(FreezeOptions opts) {
+  return freeze_impl(nullptr, opts);
 }
 
-OverlayGraph GraphBuilder::freeze_impl(util::ThreadPool* pool) {
+OverlayGraph GraphBuilder::freeze(util::ThreadPool& pool, FreezeOptions opts) {
+  return freeze_impl(&pool, opts);
+}
+
+OverlayGraph GraphBuilder::freeze_impl(util::ThreadPool* pool, FreezeOptions opts) {
   util::require(link_count_ <= std::numeric_limits<std::uint32_t>::max(),
                 "GraphBuilder::freeze: edge slot index overflow");
   const std::size_t n = adjacency_.size();
@@ -186,8 +188,13 @@ OverlayGraph GraphBuilder::freeze_impl(util::ThreadPool* pool) {
   } else {
     pack(0, n);
   }
-  OverlayGraph g(space_, std::move(positions_), std::move(slice_sizes),
-                 std::move(short_degree_), std::move(edges));
+  OverlayGraph g =
+      opts.layout == EdgeLayout::kCompact
+          ? OverlayGraph::freeze_compact(space_, std::move(positions_),
+                                         slice_sizes, short_degree_, edges,
+                                         opts.huge_pages, pool)
+          : OverlayGraph(space_, std::move(positions_), std::move(slice_sizes),
+                         std::move(short_degree_), std::move(edges));
   // Leave the builder empty rather than half-moved-from.
   adjacency_.clear();
   positions_.clear();
@@ -356,7 +363,9 @@ OverlayGraph build_overlay_impl(const BuildSpec& spec, util::Rng& rng,
       builder.make_bidirectional();
     }
   }
-  return pool != nullptr ? builder.freeze(*pool) : builder.freeze();
+  const FreezeOptions freeze_opts{.layout = spec.layout};
+  return pool != nullptr ? builder.freeze(*pool, freeze_opts)
+                         : builder.freeze(freeze_opts);
 }
 
 }  // namespace

@@ -26,6 +26,16 @@
 
 namespace p2p::graph {
 
+/// How GraphBuilder::freeze materializes the frozen graph.
+struct FreezeOptions {
+  /// kStandard: the 64-byte-header CSR with inline/spill replicas (mutable,
+  /// the churn experiments' form). kCompact: the 16-byte-header
+  /// delta-encoded arena form (immutable, ~2x leaner; the scale sweeps').
+  EdgeLayout layout = EdgeLayout::kStandard;
+  /// Compact only: request MADV_HUGEPAGE on the arena chunks.
+  bool huge_pages = true;
+};
+
 /// Mutable first phase of overlay construction; freeze() yields the CSR
 /// OverlayGraph. The link contract matches OverlayGraph's incremental API:
 /// all short links of a node must be added before its first long link.
@@ -100,19 +110,22 @@ class GraphBuilder {
   /// to the serial overload for any thread count.
   void make_bidirectional(util::ThreadPool& pool);
 
-  /// Packs the accumulated links into a frozen CSR OverlayGraph. The builder
-  /// is consumed: it is left empty (size 0) afterwards.
-  [[nodiscard]] OverlayGraph freeze();
+  /// Packs the accumulated links into a frozen OverlayGraph in the layout
+  /// `opts` selects. The builder is consumed: left empty (size 0) afterwards.
+  [[nodiscard]] OverlayGraph freeze(FreezeOptions opts = {});
 
   /// As freeze(), fanning the edge packing (per-node slice copies into the
-  /// flat CSR array) across `pool`. Bit-identical to the serial overload:
-  /// every slice lands at an offset fixed by the serial prefix sum.
-  [[nodiscard]] OverlayGraph freeze(util::ThreadPool& pool);
+  /// flat CSR array, plus the compact encode passes) across `pool`.
+  /// Bit-identical to the serial overload: every slice lands at an offset
+  /// fixed by the serial prefix sum.
+  [[nodiscard]] OverlayGraph freeze(util::ThreadPool& pool,
+                                    FreezeOptions opts = {});
 
  private:
   void check_node(NodeId u) const;
 
-  [[nodiscard]] OverlayGraph freeze_impl(util::ThreadPool* pool);
+  [[nodiscard]] OverlayGraph freeze_impl(util::ThreadPool* pool,
+                                         FreezeOptions opts);
 
   metric::Space space_;
   std::vector<metric::Point> positions_;        // empty when dense
@@ -166,6 +179,9 @@ struct BuildSpec {
   /// the §6 experiments treat the overlay as bidirectional. The §4 theorems
   /// analyze directed out-links, so the analytical benches keep this off.
   bool bidirectional = false;
+
+  /// Frozen representation of the built graph (see FreezeOptions::layout).
+  EdgeLayout layout = EdgeLayout::kStandard;
 };
 
 /// Builds a frozen overlay per `spec` through a GraphBuilder. All randomness

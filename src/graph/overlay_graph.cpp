@@ -1,10 +1,12 @@
 #include "graph/overlay_graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <stdexcept>
 
 #include "util/require.h"
+#include "util/thread_pool.h"
 
 namespace p2p::graph {
 
@@ -21,8 +23,8 @@ NodeId node_at(const metric::Space& space,
 }
 
 NodeId node_nearest(const metric::Space& space,
-                    std::span<const metric::Point> positions,
-                    metric::Point p) noexcept {
+                    std::span<const metric::Point> positions, metric::Point p,
+                    util::ThreadPool* pool) noexcept {
   if (positions.empty()) {
     return space.contains(p) ? static_cast<NodeId>(p) : kInvalidNode;
   }
@@ -39,8 +41,35 @@ NodeId node_nearest(const metric::Space& space,
   };
   if (!space.one_dimensional()) {
     // Flattened row-major order is not metric order on a torus, so the
-    // sorted-positions bisection below does not apply; scan. Sparse 2-D
-    // overlays only occur at test scale — the torus builds fully populated.
+    // sorted-positions bisection below does not apply; scan. The pool fans
+    // the scan with a chunk-deterministic reduction (ties break to the lower
+    // position exactly as the serial walk does — positions are strictly
+    // increasing, so lower index == lower position).
+    if (pool != nullptr && positions.size() >= 4096) {
+      struct Best {
+        NodeId id = kInvalidNode;
+        metric::Distance d = 0;
+      };
+      const Best top = pool->parallel_reduce(
+          positions.size(), pool->thread_count() * 4, Best{},
+          [&](std::size_t lo, std::size_t hi) {
+            Best b;
+            for (std::size_t idx = lo; idx < hi; ++idx) {
+              const metric::Distance d = space.distance(positions[idx], p);
+              if (b.id == kInvalidNode || d < b.d) {
+                b.id = static_cast<NodeId>(idx);
+                b.d = d;
+              }
+            }
+            return b;
+          },
+          [](Best acc, Best part) {
+            if (part.id == kInvalidNode) return acc;
+            if (acc.id == kInvalidNode || part.d < acc.d) return part;
+            return acc;  // equal distance: earlier chunk == lower position
+          });
+      return top.id;
+    }
     for (std::size_t idx = 0; idx < positions.size(); ++idx) consider(idx);
     return best;
   }
@@ -59,8 +88,40 @@ NodeId node_nearest(const metric::Space& space,
 
 }  // namespace detail
 
+namespace {
+
+/// Zigzag map: 0,-1,1,-2,... -> 0,1,2,3,...
+inline std::uint64_t zigzag64(std::int64_t d) noexcept {
+  return (static_cast<std::uint64_t>(d) << 1) ^ static_cast<std::uint64_t>(d >> 63);
+}
+
+/// u16 words the compact encoding of link u -> v occupies.
+inline std::size_t encoded_words(NodeId u, NodeId v) noexcept {
+  return zigzag64(static_cast<std::int64_t>(v) - static_cast<std::int64_t>(u)) <
+                 detail::kEscapeWord
+             ? 1
+             : 3;
+}
+
+/// Appends the encoding of u -> v at p; returns the advanced cursor.
+inline std::uint16_t* encode_link(std::uint16_t* p, NodeId u, NodeId v) noexcept {
+  const std::uint64_t zz =
+      zigzag64(static_cast<std::int64_t>(v) - static_cast<std::int64_t>(u));
+  if (zz < detail::kEscapeWord) {
+    *p++ = static_cast<std::uint16_t>(zz);
+    return p;
+  }
+  *p++ = detail::kEscapeWord;
+  *p++ = static_cast<std::uint16_t>(v & 0xFFFFu);
+  *p++ = static_cast<std::uint16_t>(v >> 16);
+  return p;
+}
+
+}  // namespace
+
 OverlayGraph::OverlayGraph(metric::Space space)
     : space_(space),
+      node_count_(space.size()),
       headers_(space.size() + 1),
       short_degree_(space.size(), 0) {}
 
@@ -75,6 +136,7 @@ OverlayGraph::OverlayGraph(metric::Space space, std::vector<metric::Point> posit
                     "OverlayGraph: positions must be strictly increasing");
     }
   }
+  node_count_ = positions_.size();
   headers_.resize(positions_.size() + 1);
   short_degree_.assign(positions_.size(), 0);
 }
@@ -89,6 +151,7 @@ OverlayGraph::OverlayGraph(metric::Space space, std::vector<metric::Point> posit
       edges_(std::move(edges)),
       link_count_(edges_.size()) {
   const std::size_t n = slice_sizes.size();
+  node_count_ = n;
   headers_.resize(n + 1);
   std::uint32_t offset = 0;
   std::uint32_t tail = 0;
@@ -115,8 +178,130 @@ OverlayGraph::OverlayGraph(metric::Space space, std::vector<metric::Point> posit
   }
 }
 
+OverlayGraph::OverlayGraph(metric::Space space, std::vector<metric::Point> positions,
+                           CompactTag) noexcept
+    : space_(space),
+      positions_(std::move(positions)),
+      layout_(EdgeLayout::kCompact) {}
+
+OverlayGraph::OverlayGraph(const OverlayGraph& other)
+    : space_(other.space_),
+      positions_(other.positions_),
+      node_count_(other.node_count_),
+      layout_(other.layout_),
+      headers_(other.headers_),
+      short_degree_(other.short_degree_),
+      edges_(other.edges_),
+      tail_(other.tail_),
+      link_count_(other.link_count_),
+      structural_generation_(other.structural_generation_) {
+  if (other.layout_ == EdgeLayout::kCompact) {
+    auto* ch = arena_.allocate_array<CompactHeader>(node_count_ + 1);
+    std::copy_n(other.cheaders_, node_count_ + 1, ch);
+    auto* stream = arena_.allocate_array<std::uint16_t>(other.enc_words_);
+    std::copy_n(other.enc_, other.enc_words_, stream);
+    cheaders_ = ch;
+    enc_ = stream;
+    enc_words_ = other.enc_words_;
+  }
+}
+
+OverlayGraph& OverlayGraph::operator=(const OverlayGraph& other) {
+  if (this != &other) *this = OverlayGraph(other);
+  return *this;
+}
+
+OverlayGraph OverlayGraph::freeze_compact(
+    metric::Space space, std::vector<metric::Point> positions,
+    const std::vector<std::uint32_t>& slice_sizes,
+    const std::vector<std::uint32_t>& short_degree,
+    const std::vector<NodeId>& edges, bool huge_pages, util::ThreadPool* pool) {
+  const std::size_t n = slice_sizes.size();
+  util::require(edges.size() <= std::numeric_limits<std::uint32_t>::max(),
+                "freeze_compact: slot index overflow");
+  OverlayGraph g(space, std::move(positions), CompactTag{});
+  g.node_count_ = n;
+  g.arena_ = util::Arena(util::Arena::kDefaultChunkBytes, huge_pages);
+  g.link_count_ = edges.size();
+
+  const auto fan = [&](std::size_t jobs, auto&& body) {
+    if (pool != nullptr && jobs >= 1024) {
+      pool->parallel_chunks(jobs, pool->thread_count() * 4, body);
+    } else {
+      body(0, jobs);
+    }
+  };
+
+  // Slot bases (shared keying with the standard layout).
+  std::vector<std::uint64_t> slot_off(n + 1);
+  slot_off[0] = 0;
+  for (std::size_t u = 0; u < n; ++u) slot_off[u + 1] = slot_off[u] + slice_sizes[u];
+  util::require(slot_off[n] == edges.size(),
+                "freeze_compact: slice sizes disagree with the edge array");
+
+  // Pass 1: per-node encoded length, rounded up to a whole 2-word unit so
+  // the u32 `enc` header field addresses streams past 2^32 words.
+  std::vector<std::uint32_t> unit_len(n);
+  fan(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      std::size_t words = 0;
+      const std::size_t base = slot_off[u];
+      for (std::size_t i = 0; i < slice_sizes[u]; ++i) {
+        words += encoded_words(static_cast<NodeId>(u), edges[base + i]);
+      }
+      unit_len[u] = static_cast<std::uint32_t>((words + 1) / 2);
+    }
+  });
+
+  std::vector<std::uint64_t> enc_unit_off(n + 1);
+  enc_unit_off[0] = 0;
+  for (std::size_t u = 0; u < n; ++u) enc_unit_off[u + 1] = enc_unit_off[u] + unit_len[u];
+  util::require(enc_unit_off[n] <= std::numeric_limits<std::uint32_t>::max(),
+                "freeze_compact: encoded stream exceeds the addressable range");
+  const std::uint64_t total_words = enc_unit_off[n] * 2;
+
+  auto* ch = g.arena_.allocate_array<CompactHeader>(n + 1);
+  auto* stream = g.arena_.allocate_array<std::uint16_t>(
+      static_cast<std::size_t>(total_words));
+
+  // Pass 2: headers + encoding (parallel: workers first-touch their span of
+  // the arena pages, which matters once shards pin their build pools).
+  fan(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      CompactHeader& h = ch[u];
+      h.offset = static_cast<std::uint32_t>(slot_off[u]);
+      h.enc = static_cast<std::uint32_t>(enc_unit_off[u]);
+      h.degree = slice_sizes[u];
+      h.short_degree = static_cast<std::uint16_t>(short_degree[u]);
+      h.reserved = 0;
+      std::uint16_t* p = stream + enc_unit_off[u] * 2;
+      std::uint16_t* const end = stream + enc_unit_off[u + 1] * 2;
+      const std::size_t base = slot_off[u];
+      for (std::size_t i = 0; i < slice_sizes[u]; ++i) {
+        p = encode_link(p, static_cast<NodeId>(u), edges[base + i]);
+      }
+      if (p != end) *p = 0;  // even-unit padding word
+    }
+  });
+  ch[n] = CompactHeader{static_cast<std::uint32_t>(slot_off[n]),
+                        static_cast<std::uint32_t>(enc_unit_off[n]), 0, 0, 0};
+
+  g.cheaders_ = ch;
+  g.enc_ = stream;
+  g.enc_words_ = total_words;
+  return g;
+}
+
 void OverlayGraph::check_node(NodeId u) const {
   util::require_in_range(u < size(), "OverlayGraph: node id out of range");
+}
+
+void OverlayGraph::require_mutable() const {
+  if (layout_ == EdgeLayout::kCompact) {
+    throw std::logic_error(
+        "OverlayGraph: the compact layout is immutable (build standard for "
+        "churn mutation)");
+  }
 }
 
 void OverlayGraph::write_slice_entry(NodeId u, std::size_t index, NodeId v) noexcept {
@@ -158,6 +343,7 @@ void OverlayGraph::append_slot(NodeId u, NodeId v) {
 }
 
 void OverlayGraph::add_short_link(NodeId u, NodeId v) {
+  require_mutable();
   check_node(u);
   check_node(v);
   if (short_degree_[u] != headers_[u].degree) {
@@ -168,12 +354,14 @@ void OverlayGraph::add_short_link(NodeId u, NodeId v) {
 }
 
 void OverlayGraph::add_long_link(NodeId u, NodeId v) {
+  require_mutable();
   check_node(u);
   check_node(v);
   append_slot(u, v);
 }
 
 void OverlayGraph::replace_long_link(NodeId u, std::size_t long_index, NodeId v) {
+  require_mutable();
   check_node(u);
   check_node(v);
   const std::size_t idx = short_degree_[u] + long_index;
@@ -183,6 +371,7 @@ void OverlayGraph::replace_long_link(NodeId u, std::size_t long_index, NodeId v)
 }
 
 void OverlayGraph::clear_links(NodeId u) {
+  require_mutable();
   check_node(u);
   link_count_ -= headers_[u].degree;
   headers_[u].degree = 0;
@@ -202,6 +391,24 @@ std::vector<std::uint32_t> OverlayGraph::in_degrees() const {
   return degrees;
 }
 
+std::vector<std::uint32_t> OverlayGraph::in_degrees(util::ThreadPool& pool) const {
+  std::vector<std::uint32_t> degrees(size(), 0);
+  if (size() == 0) return degrees;
+  // One shared output array with relaxed atomic bumps: in-degree targets are
+  // near-uniform, so contention is negligible and no per-chunk partial
+  // arrays (4n bytes each — prohibitive at 1e8) are needed.
+  pool.parallel_chunks(
+      size(), pool.thread_count() * 4, [&](std::size_t lo, std::size_t hi) {
+        for (NodeId u = static_cast<NodeId>(lo); u < hi; ++u) {
+          for (const NodeId v : neighbors(u)) {
+            std::atomic_ref<std::uint32_t>(degrees[v])
+                .fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+  return degrees;
+}
+
 std::vector<metric::Distance> OverlayGraph::long_link_lengths() const {
   std::vector<metric::Distance> lengths;
   lengths.reserve(link_count_);
@@ -211,6 +418,32 @@ std::vector<metric::Distance> OverlayGraph::long_link_lengths() const {
     }
   }
   return lengths;
+}
+
+OverlayGraph::MemoryBreakdown OverlayGraph::memory_breakdown() const noexcept {
+  MemoryBreakdown m;
+  m.positions = positions_.size() * sizeof(metric::Point);
+  if (layout_ == EdgeLayout::kCompact) {
+    m.headers = (node_count_ + 1) * sizeof(CompactHeader);
+    m.edges = static_cast<std::size_t>(enc_words_) * sizeof(std::uint16_t);
+  } else {
+    m.headers = headers_.size() * sizeof(NodeHeader);
+    m.edges = edges_.size() * sizeof(NodeId);
+    m.tail = tail_.size() * sizeof(NodeId);
+    m.short_degrees = short_degree_.size() * sizeof(std::uint32_t);
+  }
+  return m;
+}
+
+std::size_t OverlayGraph::standard_layout_bytes() const noexcept {
+  const std::size_t n = node_count_;
+  std::size_t spill = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t deg = out_degree(u);
+    if (deg > kInlineEdges) spill += deg - kInlineEdges;
+  }
+  return (n + 1) * sizeof(NodeHeader) + n * sizeof(std::uint32_t) +
+         edge_slots() * sizeof(NodeId) + spill * sizeof(NodeId);
 }
 
 }  // namespace p2p::graph

@@ -10,20 +10,32 @@
 // the split is what lets failure models keep ±1 links alive (§4.3.3 assumes
 // "links to the immediate neighbours are always present").
 //
-// Storage is compressed sparse row: one flat edge array (edges_) plus
-// per-node slot offsets, so neighbours are a contiguous slice and failure
-// views key per-link state by a single flat slot number (edge_base(u) + i).
-// Because greedy routing is a serial chain of dependent random accesses
-// (you cannot load node v's links before choosing v), each node additionally
-// owns a 64-byte-aligned header holding its offsets plus an inline replica
-// of the first kInlineEdges slice entries; the remainder of the slice is
-// replicated in a compact spill array small enough to stay cache-resident.
-// The router walks headers (one cache line per hop); everything else reads
-// the canonical CSR slice. All mutation paths write through both copies.
+// Two frozen representations share one query surface (EdgeLayout):
+//
+//  * kStandard — compressed sparse row with a 64-byte header per node
+//    (CSR offsets + an inline replica of the first kInlineEdges slice
+//    entries) over a canonical flat edge array plus a spill replica. The
+//    router walks headers (one cache line per hop); mutation paths write
+//    through every replica. Supports in-place churn mutation.
+//
+//  * kCompact — a memory-lean immutable form for the 1e7–1e8 node scale
+//    sweeps: a prefix-free 16-byte header per node (slot base, encoded
+//    stream base, degree, short degree) over a single u16 stream of
+//    delta-encoded link targets. Most long links are metric-local, so a
+//    target v of node u is stored as the zigzag of v - u in one u16 word;
+//    targets out of that range cost an escape word plus the absolute id in
+//    two more words. Headers and stream live in a util::Arena backed by
+//    transparent huge pages. Slot numbering (edge_base(u) + i) is identical
+//    to the standard form, so FailureViews and churn deltas key the same;
+//    mutators throw std::logic_error.
+//
+// Neighbour queries return a NeighborRange — a forward range that is a raw
+// pointer walk on the standard layout and a decode-as-you-go cursor on the
+// compact one; operator[] is O(1) standard, O(i) compact.
 //
 // Graphs are normally assembled through GraphBuilder (graph_builder.h) and
-// frozen once; the frozen form still supports the in-place mutations the
-// churn experiments need:
+// frozen once; the standard frozen form still supports the in-place
+// mutations the churn experiments need:
 //
 //  * replace_long_link — rewires a slot in place, O(1), offsets unchanged;
 //  * clear_links       — truncates the node's degree to zero, O(1); the
@@ -39,10 +51,16 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <vector>
 
 #include "metric/space.h"
+#include "util/arena.h"
+
+namespace p2p::util {
+class ThreadPool;
+}  // namespace p2p::util
 
 namespace p2p::graph {
 
@@ -51,6 +69,9 @@ using NodeId = std::uint32_t;
 
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Frozen edge representation (see file comment).
+enum class EdgeLayout : std::uint8_t { kStandard, kCompact };
 
 namespace detail {
 
@@ -65,23 +86,128 @@ namespace detail {
 /// O(log nodes) on a 1-D space (positions are sorted along the metric);
 /// O(nodes) on a torus, whose flattened order is not metric order — sparse
 /// 2-D overlays are a test-scale configuration, the torus builds dense.
+/// The pool overload fans the torus scan; pass nullptr for the serial walk.
 [[nodiscard]] NodeId node_nearest(const metric::Space& space,
                                   std::span<const metric::Point> positions,
-                                  metric::Point p) noexcept;
+                                  metric::Point p,
+                                  util::ThreadPool* pool = nullptr) noexcept;
+
+/// Escape marker of the compact encoding: the next two words hold the
+/// absolute target (lo, hi). Any other word is the zigzag of (target - u).
+inline constexpr std::uint16_t kEscapeWord = 0xFFFF;
+
+/// Decodes one compact-stream link target of source node u; advances p past
+/// the entry (1 word for an in-range delta, 3 for an escaped absolute).
+inline NodeId decode_link(const std::uint16_t*& p, NodeId u) noexcept {
+  const std::uint16_t w = *p++;
+  if (w != kEscapeWord) {
+    // Zigzag decode: 0,1,2,3,... -> 0,-1,1,-2,...
+    const std::int32_t d = static_cast<std::int32_t>(w >> 1) ^
+                           -static_cast<std::int32_t>(w & 1u);
+    return static_cast<NodeId>(static_cast<std::int64_t>(u) + d);
+  }
+  const std::uint32_t lo = p[0];
+  const std::uint32_t hi = p[1];
+  p += 2;
+  return static_cast<NodeId>(lo | (hi << 16));
+}
 
 }  // namespace detail
 
+/// Forward range over a node's out-neighbours. On the standard layout this
+/// is a contiguous NodeId slice; on the compact layout each step decodes the
+/// next stream entry. operator[] is O(1) standard, O(i) compact — indexed
+/// loops over compact graphs should prefer iteration.
+class NeighborRange {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NodeId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const NodeId*;
+    using reference = NodeId;
+
+    iterator() = default;
+    [[nodiscard]] NodeId operator*() const noexcept {
+      return raw_ != nullptr ? raw_[i_] : cur_;
+    }
+    iterator& operator++() noexcept {
+      ++i_;
+      if (raw_ == nullptr) cur_ = detail::decode_link(enc_, u_);
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator t = *this;
+      ++*this;
+      return t;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) noexcept {
+      return a.i_ == b.i_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) noexcept {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    friend class NeighborRange;
+    iterator(const NodeId* raw, const std::uint16_t* enc, NodeId u,
+             std::size_t i, bool decode_first) noexcept
+        : raw_(raw), enc_(enc), u_(u), i_(i) {
+      if (raw_ == nullptr && decode_first) cur_ = detail::decode_link(enc_, u_);
+    }
+
+    const NodeId* raw_ = nullptr;
+    const std::uint16_t* enc_ = nullptr;
+    NodeId u_ = 0;
+    std::size_t i_ = 0;
+    NodeId cur_ = kInvalidNode;
+  };
+
+  /// Standard-layout range over a contiguous slice.
+  NeighborRange(const NodeId* raw, std::size_t n) noexcept : raw_(raw), n_(n) {}
+  /// Compact-layout range decoding `n` entries of node u starting at enc.
+  NeighborRange(const std::uint16_t* enc, NodeId u, std::size_t n) noexcept
+      : enc_(enc), u_(u), n_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] iterator begin() const noexcept {
+    return iterator(raw_, enc_, u_, 0, n_ > 0);
+  }
+  [[nodiscard]] iterator end() const noexcept {
+    return iterator(raw_, enc_, u_, n_, false);
+  }
+  /// O(1) on the standard layout, O(i) on the compact one.
+  [[nodiscard]] NodeId operator[](std::size_t i) const noexcept {
+    if (raw_ != nullptr) return raw_[i];
+    const std::uint16_t* p = enc_;
+    NodeId v = kInvalidNode;
+    for (std::size_t k = 0; k <= i; ++k) v = detail::decode_link(p, u_);
+    return v;
+  }
+  [[nodiscard]] NodeId front() const noexcept { return (*this)[0]; }
+
+ private:
+  const NodeId* raw_ = nullptr;
+  const std::uint16_t* enc_ = nullptr;
+  NodeId u_ = 0;
+  std::size_t n_ = 0;
+};
+
 /// Directed overlay graph embedded in a metric::Space, stored as CSR with a
-/// cache-line header per node for the routing hot path.
+/// cache-line header per node for the routing hot path (standard layout) or
+/// as a delta-encoded stream behind 16-byte headers (compact layout).
 class OverlayGraph {
  public:
-  /// Slice-prefix length replicated inside each node's header. With the
-  /// paper's lg n long links per node, the prefix covers the two short links
-  /// plus most long links of any practical configuration.
+  /// Slice-prefix length replicated inside each node's standard header. With
+  /// the paper's lg n long links per node, the prefix covers the two short
+  /// links plus most long links of any practical configuration.
   static constexpr std::size_t kInlineEdges = 13;
 
-  /// Per-node header: CSR offsets plus the inline slice prefix. Exactly one
-  /// cache line so a routing hop costs one header load for most nodes.
+  /// Standard per-node header: CSR offsets plus the inline slice prefix.
+  /// Exactly one cache line so a routing hop costs one header load for most
+  /// nodes.
   struct alignas(64) NodeHeader {
     std::uint32_t offset = 0;  ///< flat slot base into edges_
     std::uint32_t tail = 0;    ///< spill base into tail_ (slice entries > kInlineEdges)
@@ -90,6 +216,19 @@ class OverlayGraph {
   };
   static_assert(sizeof(NodeHeader) == 64);
 
+  /// Compact per-node header: four per cache line. `enc` addresses the
+  /// node's stream start in 4-byte (two-u16-word) units — per-node streams
+  /// are padded to an even word count — so a u32 field spans the ~5e9-word
+  /// streams a 1e8-node overlay needs.
+  struct alignas(16) CompactHeader {
+    std::uint32_t offset = 0;        ///< flat slot base (same keying as standard)
+    std::uint32_t enc = 0;           ///< stream start, in 2-word units
+    std::uint32_t degree = 0;        ///< live out-degree
+    std::uint16_t short_degree = 0;  ///< immediate-neighbour prefix length
+    std::uint16_t reserved = 0;
+  };
+  static_assert(sizeof(CompactHeader) == 16);
+
   /// A graph whose node i sits at grid position i (fully populated grid).
   explicit OverlayGraph(metric::Space space);
 
@@ -97,13 +236,25 @@ class OverlayGraph {
   /// Preconditions: positions sorted strictly increasing, all within space.
   OverlayGraph(metric::Space space, std::vector<metric::Point> positions);
 
+  OverlayGraph(const OverlayGraph& other);
+  OverlayGraph& operator=(const OverlayGraph& other);
+  OverlayGraph(OverlayGraph&&) noexcept = default;
+  OverlayGraph& operator=(OverlayGraph&&) noexcept = default;
+  ~OverlayGraph() = default;
+
   [[nodiscard]] const metric::Space& space() const noexcept { return space_; }
 
   /// Number of nodes (not grid points).
-  [[nodiscard]] std::size_t size() const noexcept { return headers_.size() - 1; }
+  [[nodiscard]] std::size_t size() const noexcept { return node_count_; }
 
   /// True when node i sits at grid position i (no sparse position table).
   [[nodiscard]] bool dense() const noexcept { return positions_.empty(); }
+
+  /// The frozen edge representation this graph uses.
+  [[nodiscard]] EdgeLayout layout() const noexcept { return layout_; }
+  [[nodiscard]] bool compact() const noexcept {
+    return layout_ == EdgeLayout::kCompact;
+  }
 
   /// Grid position of node u. Precondition: u < size().
   [[nodiscard]] metric::Point position(NodeId u) const noexcept {
@@ -116,29 +267,46 @@ class OverlayGraph {
   }
 
   /// The node whose position is closest to p (ties break to the lower
-  /// position). Precondition: size() > 0 and space().contains(p).
+  /// position). Precondition: size() > 0 and space().contains(p). The pool
+  /// overload fans the torus-sparse O(n) scan across workers.
   [[nodiscard]] NodeId node_nearest(metric::Point p) const noexcept {
     return detail::node_nearest(space_, positions_, p);
   }
+  [[nodiscard]] NodeId node_nearest(metric::Point p,
+                                    util::ThreadPool& pool) const noexcept {
+    return detail::node_nearest(space_, positions_, p, &pool);
+  }
 
-  /// All out-neighbours of u: short links first, then long links. A view of
-  /// the canonical CSR slice.
-  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
+  /// All out-neighbours of u: short links first, then long links.
+  [[nodiscard]] NeighborRange neighbors(NodeId u) const noexcept {
+    if (layout_ == EdgeLayout::kCompact) {
+      const CompactHeader& h = cheaders_[u];
+      return {enc_stream(h), u, h.degree};
+    }
     const NodeHeader& h = headers_[u];
     return {edges_.data() + h.offset, h.degree};
   }
 
   /// Long-distance out-neighbours of u only.
-  [[nodiscard]] std::span<const NodeId> long_neighbors(NodeId u) const noexcept {
+  [[nodiscard]] NeighborRange long_neighbors(NodeId u) const noexcept {
+    if (layout_ == EdgeLayout::kCompact) {
+      const CompactHeader& h = cheaders_[u];
+      const std::uint16_t* p = enc_stream(h);
+      for (std::uint16_t k = 0; k < h.short_degree; ++k) {
+        (void)detail::decode_link(p, u);
+      }
+      return {p, u, h.degree - h.short_degree};
+    }
     const NodeHeader& h = headers_[u];
     return {edges_.data() + h.offset + short_degree_[u],
             h.degree - short_degree_[u]};
   }
 
-  /// The routing hot-path view of u's links: the header cache line (inline
-  /// prefix) plus the spill pointer for entries beyond kInlineEdges.
-  /// header(u).inline_edges[i] for i < kInlineEdges and tail(u)[i -
-  /// kInlineEdges] otherwise equal neighbors(u)[i].
+  /// The standard-layout routing hot-path view of u's links: the header
+  /// cache line (inline prefix) plus the spill pointer for entries beyond
+  /// kInlineEdges. header(u).inline_edges[i] for i < kInlineEdges and
+  /// tail(u)[i - kInlineEdges] otherwise equal neighbors(u)[i]. Standard
+  /// layout only — compact routing reads cheader()/enc_stream().
   [[nodiscard]] const NodeHeader& header(NodeId u) const noexcept {
     return headers_[u];
   }
@@ -146,38 +314,77 @@ class OverlayGraph {
     return tail_.data() + h.tail;
   }
 
-  /// Prefetches u's header (the single line a routing hop reads).
-  void prefetch(NodeId u) const noexcept {
-    __builtin_prefetch(&headers_[u]);
+  /// Compact-layout counterparts of header()/tail().
+  [[nodiscard]] const CompactHeader& cheader(NodeId u) const noexcept {
+    return cheaders_[u];
+  }
+  [[nodiscard]] const std::uint16_t* enc_stream(const CompactHeader& h) const noexcept {
+    return enc_ + (static_cast<std::size_t>(h.enc) * 2);
   }
 
-  /// Prefetches the spill line of a node whose degree exceeds the inline
-  /// prefix. The spill address lives in the header, so this is only
-  /// possible once the header is resident — the batch pipeline issues it a
-  /// few ticks ahead of the hop, hiding the second dependent load of
-  /// high-degree nodes that the in-scan header prefetch cannot cover.
+  /// Decodes all of u's targets into out (compact layout; caller provides
+  /// >= out_degree(u) slots). Returns the degree.
+  std::size_t decode_links(NodeId u, NodeId* out) const noexcept {
+    const CompactHeader& h = cheaders_[u];
+    const std::uint16_t* p = enc_stream(h);
+    for (std::uint32_t i = 0; i < h.degree; ++i) out[i] = detail::decode_link(p, u);
+    return h.degree;
+  }
+
+  /// Prefetches u's header (the single line a routing hop reads first).
+  void prefetch(NodeId u) const noexcept {
+    if (layout_ == EdgeLayout::kCompact) {
+      __builtin_prefetch(&cheaders_[u]);
+    } else {
+      __builtin_prefetch(&headers_[u]);
+    }
+  }
+
+  /// Prefetches the second dependent line of u's adjacency — the spill line
+  /// of a standard node whose degree exceeds the inline prefix, or the
+  /// encoded stream of a compact node. The address lives in the header, so
+  /// this is only possible once the header is resident — the batch pipeline
+  /// issues it a few ticks ahead of the hop.
+  void prefetch_spill(NodeId u) const noexcept {
+    if (layout_ == EdgeLayout::kCompact) {
+      __builtin_prefetch(enc_stream(cheaders_[u]));
+    } else {
+      const NodeHeader& h = headers_[u];
+      if (h.degree > kInlineEdges) __builtin_prefetch(tail_.data() + h.tail);
+    }
+  }
+
+  /// Standard-only spill prefetch kept for call sites that already hold the
+  /// header.
   void prefetch_tail(const NodeHeader& h) const noexcept {
     __builtin_prefetch(tail_.data() + h.tail);
   }
 
   /// Number of short (immediate-neighbour) links of u.
   [[nodiscard]] std::size_t short_degree(NodeId u) const noexcept {
-    return short_degree_[u];
+    return layout_ == EdgeLayout::kCompact ? cheaders_[u].short_degree
+                                           : short_degree_[u];
   }
 
   [[nodiscard]] std::size_t out_degree(NodeId u) const noexcept {
-    return headers_[u].degree;
+    return layout_ == EdgeLayout::kCompact ? cheaders_[u].degree
+                                           : headers_[u].degree;
   }
 
   /// Flat slot index of u's first link; link i of u lives in slot
-  /// edge_base(u) + i. Failure views use this to key per-link state.
+  /// edge_base(u) + i. Failure views use this to key per-link state; the
+  /// numbering is identical across layouts built from the same adjacency.
   [[nodiscard]] std::size_t edge_base(NodeId u) const noexcept {
-    return headers_[u].offset;
+    return layout_ == EdgeLayout::kCompact ? cheaders_[u].offset
+                                           : headers_[u].offset;
   }
 
   /// Total number of link slots (live links plus slots reserved by
   /// clear_links truncation). Flat slot indices are < edge_slots().
-  [[nodiscard]] std::size_t edge_slots() const noexcept { return edges_.size(); }
+  [[nodiscard]] std::size_t edge_slots() const noexcept {
+    return layout_ == EdgeLayout::kCompact ? cheaders_[node_count_].offset
+                                           : edges_.size();
+  }
 
   /// Incremented by every slot-moving mutation (an add_* call that could not
   /// reuse a reserved slot and had to shift the flat arrays). FailureViews
@@ -193,18 +400,20 @@ class OverlayGraph {
   [[nodiscard]] std::size_t link_count() const noexcept { return link_count_; }
 
   /// Appends a short (immediate-neighbour) link u -> v. Short links must be
-  /// added before any long link of u. Throws std::logic_error otherwise.
+  /// added before any long link of u. Throws std::logic_error otherwise, and
+  /// always on a compact graph.
   void add_short_link(NodeId u, NodeId v);
 
-  /// Appends a long-distance link u -> v.
+  /// Appends a long-distance link u -> v. Throws on a compact graph.
   void add_long_link(NodeId u, NodeId v);
 
   /// Replaces the long link at `long_index` (index into long_neighbors(u))
   /// with a link to v, in place. Precondition: long_index < long degree of u.
+  /// Throws on a compact graph.
   void replace_long_link(NodeId u, std::size_t long_index, NodeId v);
 
   /// Removes every link of u (short and long) by truncating its degree; the
-  /// slots stay reserved for later re-adds.
+  /// slots stay reserved for later re-adds. Throws on a compact graph.
   void clear_links(NodeId u);
 
   /// True when u has any link to v.
@@ -215,11 +424,36 @@ class OverlayGraph {
     return space_.distance(position(u), position(v));
   }
 
-  /// In-degrees of every node (O(links) scan).
+  /// In-degrees of every node — O(links) scan; the pool overload fans it.
   [[nodiscard]] std::vector<std::uint32_t> in_degrees() const;
+  [[nodiscard]] std::vector<std::uint32_t> in_degrees(util::ThreadPool& pool) const;
 
   /// Lengths of every long-distance link (for Figure 5 style histograms).
   [[nodiscard]] std::vector<metric::Distance> long_link_lengths() const;
+
+  /// Per-layer accounting of the frozen representation's resident bytes.
+  struct MemoryBreakdown {
+    std::size_t headers = 0;        ///< NodeHeader / CompactHeader array
+    std::size_t edges = 0;          ///< canonical slices / encoded stream
+    std::size_t tail = 0;           ///< spill replica (standard only)
+    std::size_t short_degrees = 0;  ///< cold sideband (standard only)
+    std::size_t positions = 0;      ///< sparse position table
+    [[nodiscard]] std::size_t total() const noexcept {
+      return headers + edges + tail + short_degrees + positions;
+    }
+  };
+  [[nodiscard]] MemoryBreakdown memory_breakdown() const noexcept;
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return memory_breakdown().total();
+  }
+
+  /// What the same adjacency costs in the standard layout (analytic:
+  /// 64 B/header + sentinel, the 4 B short-degree sideband, 4 B per edge
+  /// slot, and the spill replica of every slice entry beyond the inline
+  /// prefix). Equals memory_breakdown() minus `positions` on an actual
+  /// standard-layout graph; on a compact graph it is the denominator of the
+  /// bytes/node comparison.
+  [[nodiscard]] std::size_t standard_layout_bytes() const noexcept;
 
  private:
   friend class GraphBuilder;
@@ -230,7 +464,23 @@ class OverlayGraph {
                std::vector<std::uint32_t> slice_sizes,
                std::vector<std::uint32_t> short_degree, std::vector<NodeId> edges);
 
+  /// Compact frozen-form factory used by GraphBuilder::freeze with
+  /// EdgeLayout::kCompact: encodes `edges` into the arena-backed stream.
+  /// `pool` (optional) fans the encode passes.
+  static OverlayGraph freeze_compact(metric::Space space,
+                                     std::vector<metric::Point> positions,
+                                     const std::vector<std::uint32_t>& slice_sizes,
+                                     const std::vector<std::uint32_t>& short_degree,
+                                     const std::vector<NodeId>& edges,
+                                     bool huge_pages, util::ThreadPool* pool);
+
+  /// Tag ctor for freeze_compact: space/positions only, edge state unset.
+  struct CompactTag {};
+  OverlayGraph(metric::Space space, std::vector<metric::Point> positions,
+               CompactTag) noexcept;
+
   void check_node(NodeId u) const;
+  void require_mutable() const;
 
   /// Capacity (reserved slots) of u's slice.
   [[nodiscard]] std::uint32_t slot_capacity(NodeId u) const noexcept {
@@ -248,10 +498,21 @@ class OverlayGraph {
 
   metric::Space space_;
   std::vector<metric::Point> positions_;     // empty when dense
+  std::size_t node_count_ = 0;
+  EdgeLayout layout_ = EdgeLayout::kStandard;
+
+  // Standard layout.
   std::vector<NodeHeader> headers_;          // size()+1: last entry is the sentinel
   std::vector<std::uint32_t> short_degree_;  // cold: router never reads it
   std::vector<NodeId> edges_;                // canonical flat slices, shorts first
   std::vector<NodeId> tail_;                 // spill replica of slice entries > prefix
+
+  // Compact layout (arena-backed; pointers index into arena_ chunks).
+  util::Arena arena_{util::Arena::kDefaultChunkBytes};
+  const CompactHeader* cheaders_ = nullptr;  // size()+1: sentinel carries ends
+  const std::uint16_t* enc_ = nullptr;       // concatenated per-node streams
+  std::uint64_t enc_words_ = 0;              // total u16 words incl. padding
+
   std::size_t link_count_ = 0;
   std::uint64_t structural_generation_ = 0;  // bumped when slots move
 };

@@ -1,0 +1,117 @@
+#include "service/numa.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/options.h"
+#include "util/require.h"
+
+namespace p2p::service {
+
+namespace detail {
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  const auto parse_int = [&](long& out) -> bool {
+    const std::size_t start = i;
+    long v = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      v = v * 10 + (text[i] - '0');
+      if (v > 1 << 20) return false;  // implausible CPU id; reject
+      ++i;
+    }
+    if (i == start) return false;
+    out = v;
+    return true;
+  };
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i])) != 0 ||
+        text[i] == ',') {
+      ++i;
+      continue;
+    }
+    long lo = 0;
+    if (!parse_int(lo)) return {};
+    long hi = lo;
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      if (!parse_int(hi) || hi < lo) return {};
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+}  // namespace detail
+
+NumaTopology NumaTopology::single(std::size_t cpu_count) {
+  if (cpu_count == 0) {
+    cpu_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  NumaTopology t;
+  NumaDomain d;
+  d.id = 0;
+  d.cpus.reserve(cpu_count);
+  for (std::size_t c = 0; c < cpu_count; ++c) d.cpus.push_back(static_cast<int>(c));
+  t.domains_.push_back(std::move(d));
+  return t;
+}
+
+NumaTopology NumaTopology::detect() {
+  NumaTopology t;
+#if defined(__linux__)
+  // Node ids are not guaranteed contiguous but in practice are small; probe
+  // node0..node255 and stop caring beyond that (a 256-socket box can set
+  // P2P_SHARDS).
+  for (int node = 0; node < 256; ++node) {
+    std::ifstream in("/sys/devices/system/node/node" + std::to_string(node) +
+                     "/cpulist");
+    if (!in.is_open()) continue;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::vector<int> cpus = detail::parse_cpulist(buf.str());
+    if (cpus.empty()) continue;  // memory-only node: no CPUs to pin to
+    NumaDomain d;
+    d.id = node;
+    d.cpus = std::move(cpus);
+    t.domains_.push_back(std::move(d));
+  }
+#endif
+  if (t.domains_.empty()) t = single();
+  const auto shards = static_cast<std::size_t>(util::env_u64("P2P_SHARDS", 0));
+  if (shards >= 1) t = t.resharded(shards);
+  return t;
+}
+
+NumaTopology NumaTopology::resharded(std::size_t shards) const {
+  util::require(shards >= 1, "NumaTopology: shards must be >= 1");
+  if (shards == domains_.size()) return *this;
+  std::vector<int> all;
+  for (const NumaDomain& d : domains_) {
+    all.insert(all.end(), d.cpus.begin(), d.cpus.end());
+  }
+  if (all.empty()) all.push_back(0);
+  NumaTopology t;
+  t.domains_.resize(std::min(shards, all.size()));
+  for (std::size_t k = 0; k < t.domains_.size(); ++k) {
+    t.domains_[k].id = static_cast<int>(k);
+  }
+  for (std::size_t c = 0; c < all.size(); ++c) {
+    t.domains_[c % t.domains_.size()].cpus.push_back(all[c]);
+  }
+  return t;
+}
+
+std::size_t NumaTopology::cpu_count() const noexcept {
+  std::size_t n = 0;
+  for (const NumaDomain& d : domains_) n += d.cpus.size();
+  return n;
+}
+
+}  // namespace p2p::service

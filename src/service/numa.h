@@ -1,0 +1,67 @@
+// NUMA topology discovery for the sharded routing service.
+//
+// A shard of ShardedRoutingService wants every byte it routes against —
+// graph CSR, failure-view bitsets, snapshot pool — allocated and consumed on
+// one socket, so detection answers exactly one question: which CPUs belong
+// to which NUMA node. Linux publishes this as
+// /sys/devices/system/node/node<k>/cpulist ("0-15,32-47" syntax); machines
+// without the sysfs tree (containers with masked sysfs, non-Linux hosts)
+// fall back to a single domain spanning every CPU, which degrades the
+// sharded service to exactly the plain one-service behaviour.
+//
+// P2P_SHARDS=<k> overrides the detected domain count: k=1 forces the
+// single-shard fallback anywhere, k>1 splits the detected CPUs round-robin
+// into k synthetic domains — the way to exercise the multi-shard code path
+// on a single-socket CI host.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace p2p::service {
+
+/// One NUMA domain: its sysfs node id and the CPUs it owns.
+struct NumaDomain {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// The machine's NUMA layout as the sharded service consumes it.
+class NumaTopology {
+ public:
+  /// Reads /sys/devices/system/node; falls back to single() when the tree is
+  /// absent or unreadable. Honours P2P_SHARDS (see file comment).
+  [[nodiscard]] static NumaTopology detect();
+
+  /// One domain holding CPUs [0, cpu_count); cpu_count 0 resolves to
+  /// hardware concurrency (min 1).
+  [[nodiscard]] static NumaTopology single(std::size_t cpu_count = 0);
+
+  /// A topology with exactly `shards` synthetic domains over this one's
+  /// CPUs: existing domains are kept when counts match, otherwise all CPUs
+  /// are dealt round-robin. Precondition: shards >= 1.
+  [[nodiscard]] NumaTopology resharded(std::size_t shards) const;
+
+  [[nodiscard]] const std::vector<NumaDomain>& domains() const noexcept {
+    return domains_;
+  }
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return domains_.size();
+  }
+  [[nodiscard]] std::size_t cpu_count() const noexcept;
+
+ private:
+  std::vector<NumaDomain> domains_;
+};
+
+namespace detail {
+
+/// Parses the kernel's cpulist syntax ("0-3,8,10-11") into CPU ids, sorted
+/// ascending. Malformed input yields an empty list (callers treat that as
+/// "node absent"). Exposed for tests.
+[[nodiscard]] std::vector<int> parse_cpulist(const std::string& text);
+
+}  // namespace detail
+
+}  // namespace p2p::service

@@ -21,7 +21,9 @@ std::size_t RoutingService::resolve_workers(std::size_t requested) {
 RoutingService::RoutingService(ViewPublisher& publisher, ServiceConfig config)
     : publisher_(&publisher),
       config_(config),
-      pool_(resolve_workers(config.workers)) {
+      pool_(config.affinity.empty()
+                ? util::ThreadPool(resolve_workers(config.workers))
+                : util::ThreadPool(config.affinity)) {
   util::require(config_.stripe >= 1, "RoutingService: stripe must be >= 1");
   config_.workers = pool_.thread_count();
   // Validate the router configuration against the graph now, on the calling

@@ -54,6 +54,11 @@ struct ServiceConfig {
   /// Router threads. 0 resolves P2P_THREADS from the environment, then
   /// hardware concurrency (util/options.h).
   std::size_t workers = 0;
+  /// When non-empty, overrides `workers`: one worker per entry, pinned to
+  /// that CPU (best-effort; see util::ThreadPool). The NUMA-sharded service
+  /// sets this so a shard's snapshot pins and graph traffic stay on one
+  /// socket.
+  std::vector<int> affinity;
   /// Queries per claimed stripe: the staleness/contention trade — one pin
   /// and one atomic claim per `stripe` queries.
   std::size_t stripe = 1024;

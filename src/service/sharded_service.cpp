@@ -1,0 +1,124 @@
+#include "service/sharded_service.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "failure/failure_model.h"
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace p2p::service {
+
+ShardedRoutingService::ShardedRoutingService(const graph::BuildSpec& spec,
+                                             ShardedConfig config) {
+  NumaTopology topo = config.topology.domain_count() != 0
+                          ? std::move(config.topology)
+                          : NumaTopology::detect();
+  const std::size_t shard_n = topo.domain_count();
+  shards_.resize(shard_n);
+  std::vector<std::exception_ptr> errors(shard_n);
+
+  // Shard builds run on plain std::threads, never on a shared ThreadPool:
+  // build_overlay(pool) must not be entered from inside another pool's task
+  // (its wait_idle would deadlock), and a plain thread is also what lets
+  // each shard's temporary build pool pin to its own domain so first-touch
+  // page placement lands the graph on the shard's socket.
+  std::vector<std::thread> builders;
+  builders.reserve(shard_n);
+  for (std::size_t k = 0; k < shard_n; ++k) {
+    builders.emplace_back([&, k] {
+      try {
+        Shard& s = shards_[k];
+        s.domain = topo.domains()[k];
+        util::ThreadPool build_pool(s.domain.cpus);
+        util::Rng rng(shard_seed(config.seed, k));
+        s.graph = std::make_unique<graph::OverlayGraph>(
+            graph::build_overlay(spec, rng, build_pool));
+        failure::FailureView view =
+            config.node_fail_p > 0.0
+                ? failure::FailureView::with_node_failures(
+                      *s.graph, config.node_fail_p, rng)
+                : failure::FailureView::all_alive(*s.graph);
+        s.publisher = std::make_unique<ViewPublisher>(std::move(view));
+        ServiceConfig svc = config.service;
+        svc.affinity = s.domain.cpus;
+        svc.seed = shard_seed(config.seed, k);
+        s.service = std::make_unique<RoutingService>(*s.publisher, svc);
+      } catch (...) {
+        errors[k] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : builders) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+std::size_t ShardedRoutingService::graph_memory_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) total += s.graph->memory_bytes();
+  return total;
+}
+
+std::size_t ShardedRoutingService::node_count() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) total += s.graph->size();
+  return total;
+}
+
+ServiceStats ShardedRoutingService::route_all(
+    std::span<const core::Query> queries,
+    std::span<core::RouteResult> results) {
+  util::require(results.size() >= queries.size(),
+                "ShardedRoutingService: results span shorter than queries");
+  const std::size_t shard_n = shards_.size();
+  const std::size_t per =
+      queries.empty() ? 0 : (queries.size() + shard_n - 1) / shard_n;
+  std::vector<ServiceStats> stats(shard_n);
+
+  std::vector<std::thread> runners;
+  runners.reserve(shard_n);
+  for (std::size_t k = 0; k < shard_n; ++k) {
+    const std::size_t lo = std::min(queries.size(), k * per);
+    const std::size_t hi = std::min(queries.size(), lo + per);
+    if (lo == hi) continue;
+    runners.emplace_back([&, k, lo, hi] {
+      stats[k] = shards_[k].service->route_all(
+          queries.subspan(lo, hi - lo), results.subspan(lo, hi - lo));
+    });
+  }
+  for (std::thread& t : runners) t.join();
+
+  ServiceStats merged;
+  double hop_sum = 0.0;
+  bool have_epoch = false;
+  for (const ServiceStats& s : stats) {
+    merged.queries += s.queries;
+    merged.routed += s.routed;
+    merged.delivered += s.delivered;
+    hop_sum += s.mean_hops_delivered * static_cast<double>(s.delivered);
+    merged.stripes += s.stripes;
+    if (s.stripes > 0) {
+      if (!have_epoch) {
+        merged.min_epoch = s.min_epoch;
+        merged.max_epoch = s.max_epoch;
+        have_epoch = true;
+      } else {
+        merged.min_epoch = std::min(merged.min_epoch, s.min_epoch);
+        merged.max_epoch = std::max(merged.max_epoch, s.max_epoch);
+      }
+    }
+    merged.staleness.insert(merged.staleness.end(), s.staleness.begin(),
+                            s.staleness.end());
+  }
+  merged.mean_hops_delivered =
+      merged.delivered == 0
+          ? 0.0
+          : hop_sum / static_cast<double>(merged.delivered);
+  return merged;
+}
+
+}  // namespace p2p::service

@@ -1,0 +1,105 @@
+// NUMA-sharded scale-out of the routing service: one (overlay, publisher,
+// service) column per detected socket.
+//
+// The single RoutingService already saturates one socket's memory channels —
+// its hot data (CSR headers, encoded streams, liveness bitsets, snapshot
+// pool) is one shared working set, and on a multi-socket box remote-socket
+// traffic dominates once the graph outgrows the last-level cache. At the
+// 1e7–1e8 node scale the answer is sharding, not sharing: each NUMA domain
+// gets its *own* overlay built by workers pinned to that domain (so
+// first-touch lands every byte on the local socket), its own ViewPublisher,
+// and its own RoutingService whose worker pool is pinned to the domain's
+// CPUs — snapshot pins, stripe claims and per-hop loads never cross the
+// interconnect.
+//
+// Query hand-off is partitioned shard-first, then striped: route_all() cuts
+// the query span into shard_count() contiguous blocks (block k to shard k),
+// and each shard's service stripes its block exactly as the plain service
+// does. Every shard routes concurrently on its own pool; the call returns
+// the merged stats. Results are deterministic per shard — shard k always
+// builds from substream shard_seed(seed, k) and routes its block with the
+// plain service's stripe-seed contract — so a 1-shard sharded service is
+// bit-identical to a plain service over the same spec and seed (pinned by
+// tests/sharded_service_test.cpp).
+//
+// Topology comes from service::NumaTopology (sysfs; single-domain fallback;
+// P2P_SHARDS override), so on a 1-socket CI host this degrades to exactly
+// one plain service behind the sharded interface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "service/numa.h"
+#include "service/routing_service.h"
+#include "service/view_publisher.h"
+
+namespace p2p::service {
+
+struct ShardedConfig {
+  /// Per-shard service shape; `affinity`/`workers` are overridden per shard
+  /// with the shard's pinned CPU list.
+  ServiceConfig service;
+  /// Master seed: shard k builds and routes from shard_seed(seed, k).
+  std::uint64_t seed = 1;
+  /// Each shard's nodes dead independently with this probability (0 = the
+  /// all-alive view the scale sweeps route against).
+  double node_fail_p = 0.0;
+  /// Shard layout; default-constructed (empty) means NumaTopology::detect().
+  NumaTopology topology;
+};
+
+/// One socket's column of the sharded service.
+struct Shard {
+  NumaDomain domain;
+  /// unique_ptr: the FailureView inside `publisher` holds the graph's
+  /// address, so the graph must never relocate.
+  std::unique_ptr<graph::OverlayGraph> graph;
+  std::unique_ptr<ViewPublisher> publisher;
+  std::unique_ptr<RoutingService> service;
+};
+
+class ShardedRoutingService {
+ public:
+  /// Builds shard_count() overlays per `spec` concurrently — each on a
+  /// temporary thread pool pinned to its domain's CPUs, from the shard's own
+  /// seed substream — then stands up one publisher + service per shard.
+  /// Throws what build_overlay/RoutingService would (the first shard's error
+  /// is rethrown after every build thread joins).
+  ShardedRoutingService(const graph::BuildSpec& spec, ShardedConfig config);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const Shard& shard(std::size_t k) const noexcept {
+    return shards_[k];
+  }
+
+  /// Sum of every shard graph's resident bytes (OverlayGraph::memory_bytes).
+  [[nodiscard]] std::size_t graph_memory_bytes() const noexcept;
+  /// Total nodes across shards.
+  [[nodiscard]] std::size_t node_count() const noexcept;
+
+  /// Routes queries[i] into results[i]: the span is cut into shard_count()
+  /// contiguous blocks, block k routed by shard k against its own overlay
+  /// (query node ids are per-shard ids; every shard's space has the same
+  /// grid). Blocks run concurrently; returns the merged stats (staleness
+  /// concatenated in shard order).
+  ServiceStats route_all(std::span<const core::Query> queries,
+                         std::span<core::RouteResult> results);
+
+  /// Build/route seed of shard k under master seed `seed`.
+  [[nodiscard]] static constexpr std::uint64_t shard_seed(
+      std::uint64_t seed, std::size_t shard) noexcept {
+    return util::splitmix64(seed ^ (0xd1b54a32d192ed03ULL * (shard + 1)));
+  }
+
+ private:
+  std::vector<Shard> shards_;
+};
+
+}  // namespace p2p::service

@@ -2,9 +2,31 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "util/require.h"
 
 namespace p2p::util {
+
+namespace {
+
+void pin_current_thread(int cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  // Best-effort: a cpuset-restricted or offlined CPU just leaves the worker
+  // unpinned.
+  (void)::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -13,6 +35,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::ThreadPool(const std::vector<int>& affinity) {
+  require(!affinity.empty(), "ThreadPool: affinity list must be non-empty");
+  workers_.reserve(affinity.size());
+  for (const int cpu : affinity) {
+    workers_.emplace_back([this, cpu] {
+      pin_current_thread(cpu);
+      worker_loop();
+    });
   }
 }
 

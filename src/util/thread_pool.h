@@ -27,6 +27,14 @@ class ThreadPool {
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
   explicit ThreadPool(std::size_t threads = 0);
 
+  /// Spawns one worker per entry of `affinity`, pinning worker i to CPU
+  /// affinity[i] (Linux; a no-op elsewhere, and a failed pin is ignored —
+  /// affinity is a performance hint, not a correctness requirement). The
+  /// NUMA-sharded routing service uses this to keep each shard's workers —
+  /// and therefore its snapshot pins and graph traffic — on one socket.
+  /// Precondition: affinity non-empty.
+  explicit ThreadPool(const std::vector<int>& affinity);
+
   /// Drains outstanding work, then joins all workers.
   ~ThreadPool();
 

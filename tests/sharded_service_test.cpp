@@ -1,0 +1,226 @@
+// Pins the NUMA-sharded routing service of ISSUE 9:
+//  * detail::parse_cpulist over sysfs cpulist shapes (ranges, commas,
+//    whitespace, duplicates) and malformed input;
+//  * NumaTopology::single / resharded round-robin CPU dealing;
+//  * a 1-shard ShardedRoutingService is bit-identical to a plain
+//    RoutingService built from the shard-0 seed substream over the same
+//    spec — the sharded interface adds partitioning, never perturbation;
+//  * multi-shard route_all partitions the query span shard-first, routes
+//    every block, and merges stats consistently with the per-query results;
+//  * shard construction and routing are deterministic: two services from
+//    one config agree result-for-result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/router.h"
+#include "failure/failure_model.h"
+#include "graph/graph_builder.h"
+#include "service/numa.h"
+#include "service/routing_service.h"
+#include "service/sharded_service.h"
+#include "service/view_publisher.h"
+#include "util/rng.h"
+
+namespace p2p::service {
+namespace {
+
+using graph::NodeId;
+
+TEST(NumaTopology, ParseCpulist) {
+  using detail::parse_cpulist;
+  EXPECT_EQ(parse_cpulist("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpulist("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpulist(" 2 ,\n"), (std::vector<int>{2}));
+  EXPECT_EQ(parse_cpulist("3-5"), (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(parse_cpulist("1,1-2"), (std::vector<int>{1, 2}));  // dedup
+  EXPECT_TRUE(parse_cpulist("").empty());
+  EXPECT_TRUE(parse_cpulist("abc").empty());
+  EXPECT_TRUE(parse_cpulist("5-3").empty());       // inverted range
+  EXPECT_TRUE(parse_cpulist("4-").empty());        // dangling dash
+  EXPECT_TRUE(parse_cpulist("9999999999").empty());  // implausible id
+}
+
+TEST(NumaTopology, SingleAndResharded) {
+  const NumaTopology one = NumaTopology::single(4);
+  ASSERT_EQ(one.domain_count(), 1u);
+  EXPECT_EQ(one.domains()[0].cpus, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(one.cpu_count(), 4u);
+
+  const NumaTopology two = one.resharded(2);
+  ASSERT_EQ(two.domain_count(), 2u);
+  EXPECT_EQ(two.domains()[0].cpus, (std::vector<int>{0, 2}));
+  EXPECT_EQ(two.domains()[1].cpus, (std::vector<int>{1, 3}));
+  EXPECT_EQ(two.cpu_count(), 4u);
+
+  // More shards than CPUs: capped at one CPU per shard.
+  EXPECT_EQ(one.resharded(16).domain_count(), 4u);
+  // Same count round-trips unchanged.
+  EXPECT_EQ(two.resharded(2).domain_count(), 2u);
+
+  const NumaTopology detected = NumaTopology::detect();
+  ASSERT_GE(detected.domain_count(), 1u);
+  ASSERT_GE(detected.cpu_count(), 1u);
+}
+
+TEST(ShardedService, ShardSeedsAreDistinct) {
+  const std::uint64_t s0 = ShardedRoutingService::shard_seed(1, 0);
+  const std::uint64_t s1 = ShardedRoutingService::shard_seed(1, 1);
+  const std::uint64_t t0 = ShardedRoutingService::shard_seed(2, 0);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, t0);
+  EXPECT_EQ(s0, ShardedRoutingService::shard_seed(1, 0));
+}
+
+graph::BuildSpec small_spec(std::uint64_t n, std::size_t links) {
+  graph::BuildSpec spec;
+  spec.grid_size = n;
+  spec.long_links = links;
+  spec.bidirectional = true;
+  spec.layout = graph::EdgeLayout::kCompact;  // the scale sweep's form
+  return spec;
+}
+
+std::vector<core::Query> draw_queries(std::size_t count, std::uint64_t n,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<core::Query> queries(count);
+  for (auto& q : queries) {
+    q = {static_cast<NodeId>(rng.next_below(n)),
+         static_cast<metric::Point>(rng.next_below(n))};
+  }
+  return queries;
+}
+
+TEST(ShardedService, OneShardMatchesPlainService) {
+  const graph::BuildSpec spec = small_spec(2048, 11);
+  const std::uint64_t seed = 7;
+
+  // Plain reference: the exact build and stripe-seed contract shard 0 uses.
+  util::Rng rng(ShardedRoutingService::shard_seed(seed, 0));
+  const auto g = graph::build_overlay(spec, rng);
+  ViewPublisher publisher(failure::FailureView::all_alive(g));
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.stripe = 64;
+  cfg.seed = ShardedRoutingService::shard_seed(seed, 0);
+  RoutingService plain(publisher, cfg);
+
+  ShardedConfig scfg;
+  scfg.service.stripe = 64;
+  scfg.seed = seed;
+  scfg.topology = NumaTopology::single(2);
+  ShardedRoutingService sharded(spec, scfg);
+  ASSERT_EQ(sharded.shard_count(), 1u);
+  EXPECT_EQ(sharded.node_count(), g.size());
+  EXPECT_EQ(sharded.graph_memory_bytes(), g.memory_bytes());
+  EXPECT_TRUE(sharded.shard(0).graph->compact());
+
+  const auto queries = draw_queries(400, spec.grid_size, 8);
+  std::vector<core::RouteResult> want(queries.size());
+  std::vector<core::RouteResult> got(queries.size());
+  const ServiceStats want_stats = plain.route_all(queries, want);
+  const ServiceStats got_stats = sharded.route_all(queries, got);
+
+  EXPECT_EQ(got_stats.queries, want_stats.queries);
+  EXPECT_EQ(got_stats.routed, want_stats.routed);
+  EXPECT_EQ(got_stats.delivered, want_stats.delivered);
+  EXPECT_EQ(got_stats.stripes, want_stats.stripes);
+  EXPECT_DOUBLE_EQ(got_stats.mean_hops_delivered, want_stats.mean_hops_delivered);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(got[i].status, want[i].status) << "query " << i;
+    ASSERT_EQ(got[i].hops, want[i].hops) << "query " << i;
+    ASSERT_EQ(got[i].backtracks, want[i].backtracks) << "query " << i;
+  }
+}
+
+TEST(ShardedService, MultiShardPartitionsAndMerges) {
+  const graph::BuildSpec spec = small_spec(512, 9);
+  ShardedConfig scfg;
+  scfg.service.stripe = 32;
+  scfg.seed = 11;
+  scfg.topology = NumaTopology::single(4).resharded(2);
+  ShardedRoutingService sharded(spec, scfg);
+  ASSERT_EQ(sharded.shard_count(), 2u);
+  EXPECT_EQ(sharded.node_count(), 2 * spec.grid_size);
+  EXPECT_EQ(sharded.graph_memory_bytes(),
+            sharded.shard(0).graph->memory_bytes() +
+                sharded.shard(1).graph->memory_bytes());
+  // Distinct seed substreams: the two shard overlays are not the same graph.
+  EXPECT_NE(ShardedRoutingService::shard_seed(11, 0),
+            ShardedRoutingService::shard_seed(11, 1));
+
+  // 333 queries over 2 shards: contiguous blocks of 167 and 166.
+  const auto queries = draw_queries(333, spec.grid_size, 12);
+  std::vector<core::RouteResult> results(queries.size());
+  const ServiceStats stats = sharded.route_all(queries, results);
+  EXPECT_EQ(stats.queries, queries.size());
+  EXPECT_EQ(stats.routed, queries.size());
+  EXPECT_GT(stats.delivered, 0u);
+  EXPECT_GE(stats.stripes, 2u);
+
+  // Merged stats agree with the per-query results they summarize.
+  std::size_t delivered = 0;
+  double hop_sum = 0.0;
+  for (const core::RouteResult& r : results) {
+    if (r.delivered()) {
+      ++delivered;
+      hop_sum += static_cast<double>(r.hops);
+    }
+  }
+  EXPECT_EQ(stats.delivered, delivered);
+  ASSERT_GT(delivered, 0u);
+  EXPECT_NEAR(stats.mean_hops_delivered,
+              hop_sum / static_cast<double>(delivered), 1e-9);
+  EXPECT_EQ(stats.staleness.size(), stats.stripes);
+
+  // Empty query spans are a no-op.
+  const ServiceStats empty = sharded.route_all({}, {});
+  EXPECT_EQ(empty.queries, 0u);
+  EXPECT_EQ(empty.routed, 0u);
+  EXPECT_EQ(empty.stripes, 0u);
+}
+
+TEST(ShardedService, DeterministicAcrossConstructions) {
+  const graph::BuildSpec spec = small_spec(512, 9);
+  ShardedConfig scfg;
+  scfg.service.stripe = 32;
+  scfg.seed = 21;
+  scfg.topology = NumaTopology::single(4).resharded(2);
+  ShardedRoutingService first(spec, scfg);
+  ShardedRoutingService second(spec, scfg);
+
+  const auto queries = draw_queries(256, spec.grid_size, 22);
+  std::vector<core::RouteResult> a(queries.size());
+  std::vector<core::RouteResult> b(queries.size());
+  const ServiceStats sa = first.route_all(queries, a);
+  const ServiceStats sb = second.route_all(queries, b);
+  EXPECT_EQ(sa.delivered, sb.delivered);
+  EXPECT_DOUBLE_EQ(sa.mean_hops_delivered, sb.mean_hops_delivered);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(a[i].status, b[i].status) << "query " << i;
+    ASSERT_EQ(a[i].hops, b[i].hops) << "query " << i;
+  }
+}
+
+TEST(ShardedService, NodeFailuresPerShard) {
+  const graph::BuildSpec spec = small_spec(512, 9);
+  ShardedConfig scfg;
+  scfg.seed = 31;
+  scfg.node_fail_p = 0.2;
+  scfg.topology = NumaTopology::single(2);
+  ShardedRoutingService sharded(spec, scfg);
+  const auto queries = draw_queries(128, spec.grid_size, 32);
+  std::vector<core::RouteResult> results(queries.size());
+  const ServiceStats stats = sharded.route_all(queries, results);
+  EXPECT_EQ(stats.routed, queries.size());
+  // With a fifth of the nodes dead some searches fail; the service still
+  // completes the span.
+  EXPECT_LT(stats.delivered, queries.size());
+}
+
+}  // namespace
+}  // namespace p2p::service
