@@ -1,0 +1,243 @@
+// Object-availability headline bench: the replicated store under churn.
+//
+// One power-law overlay (bidirectional, the §6 setup) carries a
+// QuorumStore through end-to-end churn replays:
+//
+//  * regime table — all five trace regimes (Poisson, flash crowd, regional
+//    outage, adversarial waves, link flap) at the headline k=3, R=W=2
+//    configuration: availability, stale-read fraction, failovers, and the
+//    post-trace recovery window (degraded keys, recovered fraction,
+//    sweeps-to-quiescence);
+//  * quorum sweep — k × (R,W) × churn-rate grid on the Poisson regime,
+//    showing the availability/consistency trade the quorum knobs buy.
+//
+// Self-enforced floors on the headline Poisson row: availability >= 0.999
+// and recovered fraction >= 0.99 (P2P_OBJ_NO_GATE=1 skips the gate, e.g.
+// for exploratory runs at hostile scales). Results land in
+// BENCH_object.json — keys prefixed object_* — and print as tables.
+//
+// Knobs: P2P_NODES, P2P_MESSAGES (client ops per replay), P2P_OBJ_KEYS,
+// P2P_OBJ_DURATION (virtual ms per trace), P2P_THREADS, P2P_TELEMETRY.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "churn/trace_gen.h"
+#include "store/quorum_store.h"
+#include "store/store_replay.h"
+#include "telemetry/export.h"
+
+namespace {
+
+using namespace p2p;
+using bench::seconds_since;
+
+struct ReplayRow {
+  std::string label;
+  store::StoreReplayStats stats;
+  double seconds = 0.0;
+};
+
+/// One full churn replay: fresh store over `g`, preload, trace, recovery.
+ReplayRow run_regime(const graph::OverlayGraph& g,
+                     const churn::TraceSpec& trace_spec,
+                     const store::QuorumConfig& qcfg,
+                     const store::StoreReplayConfig& rcfg, std::string label,
+                     store::StoreTelemetry telem = {}) {
+  util::Rng trace_rng(19);
+  const churn::ChurnLog log = churn::make_trace(g, trace_spec, trace_rng);
+  store::QuorumStore qs(g, qcfg);
+  ReplayRow row;
+  row.label = std::move(label);
+  const auto t0 = std::chrono::steady_clock::now();
+  row.stats = store::replay_store(qs, log, rcfg, telem);
+  row.seconds = seconds_since(t0);
+  return row;
+}
+
+void print_row(const ReplayRow& r) {
+  const auto& s = r.stats;
+  std::printf(
+      "  %-18s av=%.4f (put %.4f get %.4f) stale=%.4f fo=%zu "
+      "degraded=%zu lost=%zu recovered=%.3f in %.0fms (%zu sweeps)\n",
+      r.label.c_str(), s.availability(), s.put_availability(),
+      s.get_availability(),
+      s.gets == 0 ? 0.0
+                  : static_cast<double>(s.stale_reads) /
+                        static_cast<double>(s.gets),
+      s.failovers, s.degraded_keys, s.lost_keys, s.recovered_fraction(),
+      s.recovery_ms, s.sweeps_used);
+}
+
+void write_json(const ReplayRow& headline, std::uint64_t nodes,
+                std::size_t keys, double ops_per_sec, bool gate_passed,
+                const char* path) {
+  const auto& s = headline.stats;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "object_availability: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"object_availability\",\n"
+      "  \"object_nodes\": %llu,\n"
+      "  \"object_keys\": %zu,\n"
+      "  \"object_ops\": %zu,\n"
+      "  \"object_availability\": %.6f,\n"
+      "  \"object_put_availability\": %.6f,\n"
+      "  \"object_get_availability\": %.6f,\n"
+      "  \"object_stale_read_fraction\": %.6f,\n"
+      "  \"object_failovers\": %zu,\n"
+      "  \"object_subqueries\": %zu,\n"
+      "  \"object_hints_delivered\": %zu,\n"
+      "  \"object_degraded_keys\": %zu,\n"
+      "  \"object_lost_keys\": %zu,\n"
+      "  \"object_recovered_fraction\": %.6f,\n"
+      "  \"object_recovery_ms\": %.1f,\n"
+      "  \"object_ops_per_sec\": %.1f,\n"
+      "  \"object_gate\": %s\n"
+      "}\n",
+      static_cast<unsigned long long>(nodes), keys, s.ops(), s.availability(),
+      s.put_availability(), s.get_availability(),
+      s.gets == 0 ? 0.0
+                  : static_cast<double>(s.stale_reads) /
+                        static_cast<double>(s.gets),
+      s.failovers, s.subqueries, s.hints_delivered, s.degraded_keys,
+      s.lost_keys, s.recovered_fraction(), s.recovery_ms, ops_per_sec,
+      gate_passed ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t n = util::env_u64("P2P_NODES", 100000);
+  const auto total_ops =
+      static_cast<std::size_t>(util::env_u64("P2P_MESSAGES", 4096));
+  const auto keys =
+      static_cast<std::size_t>(util::env_u64("P2P_OBJ_KEYS", 512));
+  const double duration =
+      static_cast<double>(util::env_u64("P2P_OBJ_DURATION", 200));
+  const bool gate = util::env_u64("P2P_OBJ_NO_GATE", 0) == 0;
+
+  util::ThreadPool pool = bench::pool_from_env();
+  util::Rng rng(42);
+  const auto t_build = std::chrono::steady_clock::now();
+  const auto g = graph::build_overlay(
+      bench::power_law_spec(n, bench::lg_links(n), /*bidirectional=*/true),
+      rng, pool);
+  std::printf("object_availability: n=%llu built in %.2fs (%zu threads)\n",
+              static_cast<unsigned long long>(n), seconds_since(t_build),
+              pool.thread_count());
+
+  // Telemetry: one registry for every replay; the store meters flow through
+  // it and the final counter table prints below.
+  telemetry::Registry registry(1);
+  store::StoreTelemetry telem;
+  if (bench::telemetry_enabled_from_env()) {
+    telem.metrics = store::StoreMetrics::create(registry, "store");
+    registry.seal();
+    telem.recorder = registry.recorder(0);
+  } else {
+    registry.seal();
+  }
+
+  store::QuorumConfig qcfg;  // headline: k=3, R=W=2
+  core::RouterConfig router_cfg;
+  router_cfg.stuck_policy = core::StuckPolicy::kBacktrack;
+  store::StoreReplayConfig rcfg;
+  rcfg.keys = keys;
+  rcfg.ops_per_ms = static_cast<double>(total_ops) / duration;
+  rcfg.router = router_cfg;
+  rcfg.seed = 1;
+
+  // --- Regime table: the five trace scenarios at k=3, R=W=2. -------------
+  std::printf("regimes (k=%zu R=%zu W=%zu, %zu keys, ~%zu ops/trace):\n",
+              qcfg.k, qcfg.r, qcfg.w, keys, total_ops);
+  ReplayRow headline;
+  for (const auto scenario : churn::kAllScenarios) {
+    const churn::TraceSpec spec = churn::default_spec(
+        scenario, duration, static_cast<std::size_t>(n));
+    ReplayRow row =
+        run_regime(g, spec, qcfg, rcfg, churn::scenario_name(scenario), telem);
+    print_row(row);
+    if (scenario == churn::TraceSpec::Scenario::kPoissonChurn) {
+      headline = row;
+    }
+  }
+
+  // --- Quorum sweep: k × (R,W) × churn multiplier on the Poisson regime. --
+  struct QuorumShape {
+    std::size_t k, r, w;
+  };
+  const std::vector<QuorumShape> shapes = {
+      {1, 1, 1}, {3, 1, 1}, {3, 2, 2}, {3, 2, 3}, {5, 2, 4}, {5, 3, 3}};
+  const std::vector<double> churn_mult = {1.0, 4.0};
+  std::printf("quorum sweep (Poisson):\n");
+  for (const double mult : churn_mult) {
+    churn::TraceSpec spec = churn::default_spec(
+        churn::TraceSpec::Scenario::kPoissonChurn, duration,
+        static_cast<std::size_t>(n));
+    spec.kill_rate *= mult;
+    spec.revive_rate *= mult;
+    for (const QuorumShape& shape : shapes) {
+      store::QuorumConfig qc = qcfg;
+      qc.k = shape.k;
+      qc.r = shape.r;
+      qc.w = shape.w;
+      char label[64];
+      std::snprintf(label, sizeof label, "x%.0f k=%zu R=%zu W=%zu", mult,
+                    shape.k, shape.r, shape.w);
+      print_row(run_regime(g, spec, qc, rcfg, label, telem));
+    }
+  }
+
+  const double ops_per_sec =
+      headline.seconds > 0.0
+          ? static_cast<double>(headline.stats.ops()) / headline.seconds
+          : 0.0;
+
+  if (bench::telemetry_enabled_from_env()) {
+    const telemetry::Snapshot snap = registry.snapshot();
+    std::printf(
+        "telemetry: subqueries=%llu failovers=%llu timeouts=%llu "
+        "unreachable=%llu repair_pushes=%llu repair_bytes=%llu "
+        "hints=%llu/%llu\n",
+        static_cast<unsigned long long>(snap.counter_or("store.subqueries")),
+        static_cast<unsigned long long>(snap.counter_or("store.failovers")),
+        static_cast<unsigned long long>(snap.counter_or("store.timeouts")),
+        static_cast<unsigned long long>(snap.counter_or("store.unreachable")),
+        static_cast<unsigned long long>(
+            snap.counter_or("store.repair_pushes")),
+        static_cast<unsigned long long>(snap.counter_or("store.repair_bytes")),
+        static_cast<unsigned long long>(
+            snap.counter_or("store.hints_delivered")),
+        static_cast<unsigned long long>(snap.counter_or("store.hints_stored")));
+  }
+
+  // --- Gate + JSON. -------------------------------------------------------
+  const bool availability_ok = headline.stats.availability() >= 0.999;
+  const bool recovery_ok = headline.stats.recovered_fraction() >= 0.99;
+  const bool gate_passed = availability_ok && recovery_ok;
+  write_json(headline, n, keys, ops_per_sec, gate_passed,
+             "BENCH_object.json");
+  std::printf("object_availability: headline av=%.4f recovered=%.3f -> %s\n",
+              headline.stats.availability(),
+              headline.stats.recovered_fraction(),
+              gate_passed ? "PASS" : "FAIL");
+  if (gate && !gate_passed) {
+    std::fprintf(stderr,
+                 "object_availability: gate FAILED (availability %.4f floor "
+                 "0.999, recovered %.3f floor 0.99); P2P_OBJ_NO_GATE=1 to "
+                 "skip\n",
+                 headline.stats.availability(),
+                 headline.stats.recovered_fraction());
+    return 1;
+  }
+  return 0;
+}

@@ -307,6 +307,39 @@ const char* scenario_name(TraceSpec::Scenario s) noexcept {
   return "unknown";
 }
 
+TraceSpec default_spec(TraceSpec::Scenario s, double duration, std::size_t n) {
+  TraceSpec spec;
+  spec.scenario = s;
+  spec.duration = duration;
+  spec.batch_interval = std::max(duration / 200.0, 1e-3);
+  // Background node churn: ~1e-4 events per node per ms, so any network size
+  // loses (and regains) the same fraction over one trace.
+  const double churn = static_cast<double>(n) * 1e-4;
+  spec.kill_rate = churn;
+  spec.revive_rate = churn;
+  switch (s) {
+    case TraceSpec::Scenario::kPoissonChurn:
+      break;
+    case TraceSpec::Scenario::kFlashCrowd:
+      spec.kill_rate = churn / 4.0;  // calm background, then the mass exit
+      spec.crowd_fraction = 0.25;
+      spec.crowd_time = 0.25;
+      break;
+    case TraceSpec::Scenario::kRegionalOutage:
+      spec.region_fraction = 0.1;
+      spec.outages = 4;
+      break;
+    case TraceSpec::Scenario::kAdversarialWaves:
+      spec.wave_size = std::max<std::size_t>(8, n / 256);
+      spec.wave_period = duration / 8.0;
+      break;
+    case TraceSpec::Scenario::kLinkFlap:
+      spec.flap_fraction = 0.05;
+      break;
+  }
+  return spec;
+}
+
 ChurnLog make_trace(const graph::OverlayGraph& g, const TraceSpec& spec,
                     util::Rng& rng) {
   util::require(g.size() > kAliveFloor, "make_trace: graph too small to churn");

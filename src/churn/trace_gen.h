@@ -33,6 +33,7 @@
 // maintained throughout (a routable core, as sim::make_churn_trace does).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -89,6 +90,20 @@ struct TraceSpec {
 
 /// Human-readable scenario name (tables, logs).
 [[nodiscard]] const char* scenario_name(TraceSpec::Scenario s) noexcept;
+
+/// All five dynamic regimes in declaration order — the sweep set for drivers
+/// that exercise every regime (bench/object_availability, examples).
+inline constexpr std::array<TraceSpec::Scenario, 5> kAllScenarios = {
+    TraceSpec::Scenario::kPoissonChurn,   TraceSpec::Scenario::kFlashCrowd,
+    TraceSpec::Scenario::kRegionalOutage, TraceSpec::Scenario::kAdversarialWaves,
+    TraceSpec::Scenario::kLinkFlap};
+
+/// A moderate default spec for scenario `s` over an n-node overlay, scaled
+/// to `duration` virtual ms — the shared starting point for drivers sweeping
+/// every regime (background node-churn rates scale with n so a trace damages
+/// a comparable *fraction* of any network; callers override fields freely).
+[[nodiscard]] TraceSpec default_spec(TraceSpec::Scenario s, double duration,
+                                     std::size_t n);
 
 /// Generates a trace over the all-alive baseline of `g` per `spec`.
 [[nodiscard]] ChurnLog make_trace(const graph::OverlayGraph& g,

@@ -1,5 +1,14 @@
 // Distributed hash table on top of the dynamic overlay.
 //
+// DEPRECATED SURFACE — this class is the legacy single-coordinator store
+// over the Space1D/DynamicOverlay path. New code should use the replicated
+// object service in src/store (store/quorum_store.h): it is metric-generic
+// (line/ring/torus via metric::Space), places k replicas against the frozen
+// CSR overlay's FailureView, executes quorum reads/writes as routed
+// sub-queries through Router::route_batch, and reports through
+// telemetry::Registry. Dht stays for the join/leave/self-heal protocol study
+// on the dynamic overlay, which the frozen-graph store does not model.
+//
 // This is the "hash table-like functionality" §1 promises: resources are
 // mapped to grid points by hashing their keys (dht/hash.h); the node whose
 // position is closest to a key's point *owns* that key; lookups are greedy

@@ -23,4 +23,8 @@ metric::Point point_for_key(std::string_view key, std::uint64_t grid_size) {
   return static_cast<metric::Point>(key_digest(key) % grid_size);
 }
 
+metric::Point point_for_key(std::string_view key, const metric::Space& space) {
+  return point_for_key(key, space.size());
+}
+
 }  // namespace p2p::dht

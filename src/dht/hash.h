@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "metric/space.h"
 #include "metric/space1d.h"
 
 namespace p2p::dht {
@@ -23,5 +24,12 @@ namespace p2p::dht {
 /// Precondition: grid_size >= 1.
 [[nodiscard]] metric::Point point_for_key(std::string_view key,
                                           std::uint64_t grid_size);
+
+/// Metric-generic embedding: the point a key hashes to in `space` — line,
+/// ring, or flattened torus alike (the digest reduced over the point count;
+/// replica placement interprets the point under the space's own metric).
+/// This is the mapping the replicated object store (src/store) places by.
+[[nodiscard]] metric::Point point_for_key(std::string_view key,
+                                          const metric::Space& space);
 
 }  // namespace p2p::dht

@@ -1,0 +1,453 @@
+#include "store/quorum_store.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "dht/hash.h"
+#include "util/require.h"
+
+namespace p2p::store {
+
+namespace {
+
+using graph::NodeId;
+
+/// Per-hint accounting overhead charged to repair/hint traffic on top of the
+/// value bytes (version + addressing).
+constexpr std::size_t kRecordOverhead = 16;
+
+/// In-flight replica sub-query of one wave.
+struct SubQuery {
+  std::uint32_t op = 0;
+  NodeId replica = 0;
+  /// The failed primary this standby stands in for (hinted handoff), or
+  /// kInvalidNode for a primary attempt.
+  NodeId hint_for = graph::kInvalidNode;
+  /// Virtual launch time within the op (failovers start after the failed
+  /// attempt's completion plus backoff).
+  double launch_ms = 0.0;
+};
+
+/// Mutable per-op state across waves.
+struct OpState {
+  std::array<NodeId, kMaxReplicas> cand{};
+  std::size_t cand_count = 0;
+  std::size_t primaries = 0;
+  std::size_t next_standby = 0;
+  std::uint64_t digest = 0;
+  Version put_version;
+  util::Rng lat_rng{0};
+  std::uint32_t acks = 0;
+  std::uint32_t responses = 0;
+  std::uint32_t subqueries = 0;
+  std::uint32_t failovers = 0;
+  std::uint64_t hops = 0;
+  double latency_ms = 0.0;
+  bool quorum = false;
+  bool found = false;
+  Version best;
+  std::string best_value;
+};
+
+}  // namespace
+
+QuorumStore::QuorumStore(const graph::OverlayGraph& g, QuorumConfig config)
+    : graph_(&g), config_(config), storage_(g.size()) {
+  util::require(config_.k >= 1, "QuorumStore: k must be >= 1");
+  util::require(config_.r >= 1 && config_.r <= config_.k,
+                "QuorumStore: R must be in [1, k]");
+  util::require(config_.w >= 1 && config_.w <= config_.k,
+                "QuorumStore: W must be in [1, k]");
+  util::require(config_.k + config_.max_failovers <= kMaxReplicas,
+                "QuorumStore: k + max_failovers exceeds kMaxReplicas");
+  util::require(config_.timeout_ms > 0.0, "QuorumStore: timeout must be > 0");
+}
+
+metric::Point QuorumStore::point_of(std::uint64_t digest) const noexcept {
+  return static_cast<metric::Point>(digest % graph_->space().size());
+}
+
+bool QuorumStore::apply_write(NodeId node, std::uint64_t digest,
+                              const Version& version, std::string_view value) {
+  bool first_copy = false;
+  bool changed = false;
+  {
+    std::lock_guard lock(node_mutex_[node_stripe(node)].m);
+    auto& map = storage_[node];
+    auto it = map.find(digest);
+    if (it == map.end()) {
+      map.emplace(digest, Stored{version, std::string(value)});
+      first_copy = changed = true;
+    } else if (version.newer_than(it->second.version)) {
+      it->second.version = version;
+      it->second.value.assign(value);
+      changed = true;
+    }
+  }
+  if (first_copy) {
+    std::lock_guard lock(key_mutex_[key_stripe(digest)].m);
+    auto& holders = directory_[key_stripe(digest)][digest].holders;
+    if (std::find(holders.begin(), holders.end(), node) == holders.end()) {
+      holders.push_back(node);
+    }
+  }
+  return changed;
+}
+
+Version QuorumStore::next_version(std::uint64_t digest, NodeId writer) {
+  std::lock_guard lock(key_mutex_[key_stripe(digest)].m);
+  KeyInfo& ki = directory_[key_stripe(digest)][digest];
+  return Version{++ki.issued, writer};
+}
+
+void QuorumStore::commit(std::uint64_t digest, const Version& version) {
+  std::lock_guard lock(key_mutex_[key_stripe(digest)].m);
+  KeyInfo& ki = directory_[key_stripe(digest)][digest];
+  if (ki.committed.seq == 0) {
+    keys_committed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (version.newer_than(ki.committed)) ki.committed = version;
+  // A committed seq must never outrun the issue counter (install() commits
+  // versions it issued itself; run_batch issues before routing).
+  if (version.seq > ki.issued) ki.issued = version.seq;
+}
+
+std::optional<QuorumStore::Stored> QuorumStore::read_replica(
+    NodeId node, std::uint64_t digest) const {
+  std::lock_guard lock(node_mutex_[node_stripe(node)].m);
+  const auto& map = storage_[node];
+  const auto it = map.find(digest);
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+void QuorumStore::run_batch(const core::Router& router, std::span<const Op> ops,
+                            std::span<OpResult> results,
+                            std::uint64_t seed_base, StoreTelemetry telem) {
+  util::require(results.size() >= ops.size(),
+                "QuorumStore: results span shorter than ops");
+  util::require(&router.graph() == graph_,
+                "QuorumStore: router is over a different graph");
+  const failure::FailureView& view = router.view();
+  const std::size_t want = config_.k + config_.max_failovers;
+
+  // Latency streams live in a substream family distinct from the routing
+  // one: op i's per-hop draws depend only on (seed_base, i), never on wave
+  // composition.
+  const std::uint64_t lat_base = util::splitmix64(seed_base ^ 0x9d5c0f1e6b7a3d42ULL);
+
+  std::vector<OpState> states(ops.size());
+  std::vector<SubQuery> inflight;
+  std::vector<SubQuery> next;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    OpState& st = states[i];
+    util::require_in_range(op.client < graph_->size(),
+                           "QuorumStore: op client out of range");
+    st.digest = dht::key_digest(op.key);
+    st.lat_rng = util::substream(lat_base, i);
+    st.cand_count = nearest_live(view, point_of(st.digest), want,
+                                 std::span<NodeId>(st.cand));
+    st.primaries = std::min(config_.k, st.cand_count);
+    st.next_standby = st.primaries;
+    if (op.type == OpType::kPut) {
+      st.put_version = next_version(st.digest, op.client);
+    }
+    const std::size_t fanout = op.type == OpType::kPut
+                                   ? st.primaries
+                                   : std::min(config_.r, st.primaries);
+    for (std::size_t t = 0; t < fanout; ++t) {
+      inflight.push_back(SubQuery{static_cast<std::uint32_t>(i), st.cand[t],
+                                  graph::kInvalidNode, 0.0});
+    }
+  }
+
+  std::vector<core::Query> queries;
+  std::vector<core::RouteResult> rres;
+  std::size_t wave = 0;
+  while (!inflight.empty()) {
+    queries.clear();
+    queries.reserve(inflight.size());
+    for (const SubQuery& sq : inflight) {
+      queries.push_back(core::Query{ops[sq.op].client,
+                                    graph_->position(sq.replica)});
+    }
+    rres.assign(inflight.size(), core::RouteResult{});
+    util::Rng wave_rng = util::substream(seed_base, wave);
+    router.route_batch(queries, rres, wave_rng, config_.batch);
+
+    next.clear();
+    for (std::size_t j = 0; j < inflight.size(); ++j) {
+      const SubQuery& sq = inflight[j];
+      const Op& op = ops[sq.op];
+      OpState& st = states[sq.op];
+      ++st.subqueries;
+      telem.recorder.add(telem.metrics.subqueries);
+      st.hops += rres[j].hops;
+
+      bool success = false;
+      double cost = config_.timeout_ms;  // a lost sub-query is waited out
+      if (rres[j].delivered()) {
+        double lat = 0.0;
+        for (std::size_t h = 0; h < rres[j].hops; ++h) {
+          lat += config_.latency.sample(st.lat_rng);
+        }
+        if (lat <= config_.timeout_ms) {
+          success = true;
+          cost = lat;
+        } else {
+          telem.recorder.add(telem.metrics.timeouts);
+        }
+      } else {
+        telem.recorder.add(telem.metrics.unreachable);
+      }
+      const double done_ms = sq.launch_ms + cost;
+      st.latency_ms = std::max(st.latency_ms, done_ms);
+
+      if (success) {
+        if (op.type == OpType::kPut) {
+          apply_write(sq.replica, st.digest, st.put_version, op.value);
+          ++st.acks;
+          st.quorum = st.acks >= config_.w;
+          if (config_.hinted_handoff && sq.hint_for != graph::kInvalidNode) {
+            std::lock_guard lock(hints_mutex_);
+            hints_.push_back(
+                Hint{sq.hint_for, st.digest, st.put_version, op.value});
+            telem.recorder.add(telem.metrics.hints_stored);
+          }
+        } else {
+          ++st.responses;
+          st.quorum = st.responses >= config_.r;
+          if (auto stored = read_replica(sq.replica, st.digest)) {
+            if (!st.found || stored->version.newer_than(st.best)) {
+              st.best = stored->version;
+              st.best_value = std::move(stored->value);
+            }
+            st.found = true;
+          }
+        }
+      } else if (!st.quorum && st.next_standby < st.cand_count) {
+        // Failover: promote the next standby, inheriting the hint target of
+        // the primary this attempt chain started from.
+        const NodeId standby = st.cand[st.next_standby++];
+        const NodeId hint_for =
+            sq.hint_for != graph::kInvalidNode ? sq.hint_for : sq.replica;
+        ++st.failovers;
+        telem.recorder.add(telem.metrics.failovers);
+        next.push_back(
+            SubQuery{sq.op, standby, hint_for, done_ms + config_.backoff_ms});
+      }
+    }
+    inflight.swap(next);
+    ++wave;
+  }
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    OpState& st = states[i];
+    OpResult& res = results[i];
+    res = OpResult{};
+    res.acks = st.acks;
+    res.responses = st.responses;
+    res.subqueries = st.subqueries;
+    res.failovers = st.failovers;
+    res.hops = st.hops;
+    res.latency_ms = st.latency_ms;
+    telem.recorder.observe(telem.metrics.op_hops, st.hops);
+    telem.recorder.observe(
+        telem.metrics.op_latency_us,
+        static_cast<std::uint64_t>(st.latency_ms * 1000.0));
+
+    if (op.type == OpType::kPut) {
+      telem.recorder.add(telem.metrics.puts);
+      telem.recorder.observe(telem.metrics.op_acks, st.acks);
+      res.ok = st.acks >= config_.w;
+      res.version = st.put_version;
+      if (res.ok) {
+        commit(st.digest, st.put_version);
+      } else {
+        telem.recorder.add(telem.metrics.put_quorum_fail);
+      }
+      continue;
+    }
+
+    telem.recorder.add(telem.metrics.gets);
+    telem.recorder.observe(telem.metrics.op_acks, st.responses);
+    res.ok = st.responses >= config_.r;
+    res.found = st.found;
+    if (!res.ok) telem.recorder.add(telem.metrics.get_quorum_fail);
+    if (!st.found) {
+      telem.recorder.add(telem.metrics.not_found);
+      continue;
+    }
+    res.version = st.best;
+    res.value = st.best_value;
+    {
+      std::lock_guard lock(key_mutex_[key_stripe(st.digest)].m);
+      const auto& shard = directory_[key_stripe(st.digest)];
+      const auto it = shard.find(st.digest);
+      if (it != shard.end() && it->second.committed.newer_than(st.best)) {
+        res.stale = true;
+      }
+    }
+    if (res.stale) telem.recorder.add(telem.metrics.stale_reads);
+    if (config_.read_repair && res.ok) {
+      // Push the returned version to live primaries holding less. apply_write
+      // merges by max version, so repairing with a stale read is harmless.
+      for (std::size_t t = 0; t < st.primaries; ++t) {
+        const NodeId p = st.cand[t];
+        if (!view.node_alive(p)) continue;
+        const auto stored = read_replica(p, st.digest);
+        if (stored && !st.best.newer_than(stored->version)) continue;
+        if (apply_write(p, st.digest, st.best, st.best_value)) {
+          telem.recorder.add(telem.metrics.repair_pushes);
+          telem.recorder.add(telem.metrics.repair_bytes,
+                             st.best_value.size() + kRecordOverhead);
+        }
+      }
+    }
+  }
+  telem.recorder.set(telem.metrics.keys, key_count());
+}
+
+Version QuorumStore::install(const failure::FailureView& view,
+                             std::string_view key, std::string_view value,
+                             NodeId writer) {
+  const std::uint64_t digest = dht::key_digest(key);
+  const Version version = next_version(digest, writer);
+  std::array<NodeId, kMaxReplicas> cand{};
+  const std::size_t n = nearest_live(view, point_of(digest), config_.k,
+                                     std::span<NodeId>(cand));
+  for (std::size_t t = 0; t < n; ++t) {
+    apply_write(cand[t], digest, version, value);
+  }
+  commit(digest, version);
+  return version;
+}
+
+void QuorumStore::forget(NodeId node) {
+  std::unordered_map<std::uint64_t, Stored> dropped;
+  {
+    std::lock_guard lock(node_mutex_[node_stripe(node)].m);
+    dropped.swap(storage_[node]);
+  }
+  for (const auto& [digest, stored] : dropped) {
+    std::lock_guard lock(key_mutex_[key_stripe(digest)].m);
+    auto& shard = directory_[key_stripe(digest)];
+    const auto it = shard.find(digest);
+    if (it == shard.end()) continue;
+    auto& holders = it->second.holders;
+    holders.erase(std::remove(holders.begin(), holders.end(), node),
+                  holders.end());
+  }
+}
+
+std::size_t QuorumStore::deliver_hints(const failure::FailureView& view,
+                                       StoreTelemetry telem) {
+  std::vector<Hint> pending;
+  {
+    std::lock_guard lock(hints_mutex_);
+    pending.swap(hints_);
+  }
+  std::size_t delivered = 0;
+  std::vector<Hint> keep;
+  for (Hint& h : pending) {
+    if (!view.node_alive(h.target)) {
+      keep.push_back(std::move(h));
+      continue;
+    }
+    apply_write(h.target, h.digest, h.version, h.value);
+    ++delivered;
+    telem.recorder.add(telem.metrics.hints_delivered);
+    telem.recorder.add(telem.metrics.repair_bytes,
+                       h.value.size() + kRecordOverhead);
+  }
+  if (!keep.empty()) {
+    std::lock_guard lock(hints_mutex_);
+    hints_.insert(hints_.end(), std::make_move_iterator(keep.begin()),
+                  std::make_move_iterator(keep.end()));
+  }
+  return delivered;
+}
+
+SweepStats QuorumStore::repair_sweep(const failure::FailureView& view,
+                                     StoreTelemetry telem) {
+  SweepStats stats;
+  std::array<NodeId, kMaxReplicas> cand{};
+  for (std::size_t s = 0; s < kStripes; ++s) {
+    // Snapshot the stripe's committed keys, then work lock-free per key
+    // (replica reads/writes take the node-stripe locks themselves).
+    std::vector<std::pair<std::uint64_t, KeyInfo>> keys;
+    {
+      std::lock_guard lock(key_mutex_[s].m);
+      keys.reserve(directory_[s].size());
+      for (const auto& [digest, ki] : directory_[s]) {
+        if (ki.committed.seq > 0) keys.emplace_back(digest, ki);
+      }
+    }
+    for (const auto& [digest, ki] : keys) {
+      ++stats.examined;
+      const std::size_t n = nearest_live(view, point_of(digest), config_.k,
+                                         std::span<NodeId>(cand));
+      std::vector<NodeId> missing;
+      for (std::size_t t = 0; t < n; ++t) {
+        const auto stored = read_replica(cand[t], digest);
+        if (!stored || ki.committed.newer_than(stored->version)) {
+          missing.push_back(cand[t]);
+        }
+      }
+      if (missing.empty()) continue;
+
+      // Source: any live holder with a version >= the committed one.
+      std::optional<Stored> source;
+      for (const NodeId holder : ki.holders) {
+        if (!view.node_alive(holder)) continue;
+        auto stored = read_replica(holder, digest);
+        if (stored && !ki.committed.newer_than(stored->version)) {
+          source = std::move(stored);
+          break;
+        }
+      }
+      if (!source) {
+        ++stats.lost;
+        continue;
+      }
+      ++stats.degraded;
+      for (const NodeId target : missing) {
+        if (apply_write(target, digest, source->version, source->value)) {
+          telem.recorder.add(telem.metrics.repair_pushes);
+          telem.recorder.add(telem.metrics.repair_bytes,
+                             source->value.size() + kRecordOverhead);
+        }
+      }
+      ++stats.repaired;
+    }
+  }
+  telem.recorder.set(telem.metrics.degraded_keys, stats.degraded + stats.lost);
+  telem.recorder.set(telem.metrics.keys, key_count());
+  return stats;
+}
+
+std::optional<Version> QuorumStore::latest_committed(
+    std::string_view key) const {
+  const std::uint64_t digest = dht::key_digest(key);
+  std::lock_guard lock(key_mutex_[key_stripe(digest)].m);
+  const auto& shard = directory_[key_stripe(digest)];
+  const auto it = shard.find(digest);
+  if (it == shard.end() || it->second.committed.seq == 0) return std::nullopt;
+  return it->second.committed;
+}
+
+std::optional<std::pair<Version, std::string>> QuorumStore::replica(
+    NodeId node, std::string_view key) const {
+  const auto stored = read_replica(node, dht::key_digest(key));
+  if (!stored) return std::nullopt;
+  return std::make_pair(stored->version, stored->value);
+}
+
+std::size_t QuorumStore::pending_hints() const {
+  std::lock_guard lock(hints_mutex_);
+  return hints_.size();
+}
+
+}  // namespace p2p::store
